@@ -1,0 +1,523 @@
+// Benchmark harness: one benchmark family per figure and table of the
+// paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record), plus scaling sweeps on synthetic graphs and
+// the ablation benches of DESIGN.md §5.
+package gpml_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gpml"
+	"gpml/internal/baseline"
+	"gpml/internal/dataset"
+)
+
+// mustEval compiles and evaluates, reporting rows; helper for benches.
+func mustEval(b *testing.B, g *gpml.Graph, src string, opts ...gpml.Option) int {
+	b.Helper()
+	res, err := gpml.Match(g, src, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return len(res.Rows)
+}
+
+// ---------------------------------------------------------------------------
+// E1/E2: Figures 1 and 2.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig1_BuildGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := gpml.Fig1()
+		if g.NumNodes() != 14 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkFig2_TabularExport(b *testing.B) {
+	g := gpml.Fig1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tables := gpml.Tabular(g); len(tables) != 9 {
+			b.Fatal("bad export")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3: Figure 3 patterns and the Figure 4 fraud query.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig3_NodePattern(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked='yes')`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := q.Eval(g); err != nil || len(res.Rows) != 1 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_EdgePattern(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked='no')-[e:Transfer WHERE e.date='3/1/2020']->(y:Account WHERE y.isBlocked='yes')`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := q.Eval(g); err != nil || len(res.Rows) != 1 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_PathPattern(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`MATCH TRAIL (x:Account WHERE x.isBlocked='no')-[t:Transfer]->+(y:Account WHERE y.isBlocked='yes')`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Eval(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_FraudQuery(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`
+		MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->
+		      (gc:City WHERE gc.name='Ankh-Morpork')<-[:isLocatedIn]-
+		      (y:Account WHERE y.isBlocked='yes'),
+		      TRAIL (x)-[:Transfer]->+(y)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := q.Eval(g); err != nil || len(res.Rows) != 4 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4: §4.2 queries.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSec4_LengthTwoPaths(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`MATCH (s)-[e]->(m)-[f]->(t)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Eval(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec4_SamePhoneTransfers(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)~[:hasPhone]~(p)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := q.Eval(g); err != nil || len(res.Rows) != 2 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5: Figure 5 — the seven edge orientations.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig5_Orientation(b *testing.B) {
+	g := dataset.Random(dataset.RandomConfig{
+		Accounts: 300, AvgDegree: 3, Cities: 10, Phones: 50,
+		BlockedFraction: 0.05, Seed: 7, UndirectedPhones: true,
+	})
+	for name, src := range map[string]string{
+		"left":        `MATCH (x)<-[e]-(y)`,
+		"undirected":  `MATCH (x)~[e]~(y)`,
+		"right":       `MATCH (x)-[e]->(y)`,
+		"left_undir":  `MATCH (x)<~[e]~(y)`,
+		"undir_right": `MATCH (x)~[e]~>(y)`,
+		"left_right":  `MATCH (x)<-[e]->(y)`,
+		"any":         `MATCH (x)-[e]-(y)`,
+	} {
+		q := gpml.MustCompile(src)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6: Figure 6 — quantifiers.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig6_Quantifier(b *testing.B) {
+	g := gpml.Fig1()
+	for name, src := range map[string]string{
+		"star_trail":  `MATCH TRAIL (a:Account)-[t:Transfer]->*(c:Account)`,
+		"plus_trail":  `MATCH TRAIL (a:Account)-[t:Transfer]->+(c:Account)`,
+		"bounded_2_5": `MATCH (a:Account)-[t:Transfer]->{2,5}(c:Account)`,
+		"lower_3":     `MATCH TRAIL (a:Account)-[t:Transfer]->{3,}(c:Account)`,
+		"group_sum": `MATCH (a:Account) [()-[t:Transfer]->() WHERE t.amount>1M]{2,5} (c:Account)
+		              WHERE SUM(t.amount)>10M`,
+	} {
+		q := gpml.MustCompile(src)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7/E8/E9: §4.5 union and alternation, §4.6 optionality, §4.7 predicates.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSec45_UnionVsAlt(b *testing.B) {
+	g := gpml.Fig1()
+	union := gpml.MustCompile(`MATCH ->{1,5} | ->{3,7}`)
+	alt := gpml.MustCompile(`MATCH ->{1,5} |+| ->{3,7}`)
+	b.Run("set_union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := union.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multiset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := alt.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSec46_Optional(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`
+		MATCH (x:Account)-[:Transfer]->(y:Account) [~[:hasPhone]~(p)]?
+		WHERE y.isBlocked='yes' OR p.isBlocked='yes'`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err := q.Eval(g); err != nil || len(res.Rows) != 2 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec47_Predicates(b *testing.B) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`
+		MATCH (x)-[e]-(y)
+		WHERE e IS DIRECTED AND x IS SOURCE OF e AND ALL_DIFFERENT(x, y)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Eval(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10: Figure 7 — restrictors on an adversarial cyclic graph.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig7_Restrictor(b *testing.B) {
+	g := dataset.Cycle(64)
+	for _, restr := range []string{"TRAIL", "ACYCLIC", "SIMPLE"} {
+		q := gpml.MustCompile(fmt.Sprintf(
+			`MATCH %s (a WHERE a.owner='owner0')-[e:Transfer]->*(z WHERE z.owner='owner63')`, restr))
+		b.Run(restr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res, err := q.Eval(g); err != nil || len(res.Rows) != 1 {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E11: Figure 8 — selectors.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig8_Selector(b *testing.B) {
+	g := dataset.Grid(6, 6)
+	for name, sel := range map[string]string{
+		"any_shortest":     "ANY SHORTEST",
+		"all_shortest":     "ALL SHORTEST",
+		"any":              "ANY",
+		"any_3":            "ANY 3",
+		"shortest_3":       "SHORTEST 3",
+		"shortest_2_group": "SHORTEST 2 GROUP",
+	} {
+		q := gpml.MustCompile(fmt.Sprintf(`
+			MATCH %s p = (a WHERE a.owner='u0_0')-[e:Transfer]->+
+			      (z WHERE z.owner='u5_5')`, sel))
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E12/E14: §5.2 and the §6 pipeline.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSec52_PrePostFilter(b *testing.B) {
+	g := gpml.Fig1()
+	pre := gpml.MustCompile(`
+		MATCH ALL SHORTEST (x WHERE x.owner='Scott')-[e1:Transfer]->+
+		      (q:Account WHERE q.isBlocked='yes')-[e2:Transfer]->+
+		      (r:Account WHERE r.owner='Charles')`)
+	post := gpml.MustCompile(`
+		MATCH ALL SHORTEST (x WHERE x.owner='Scott')-[e1:Transfer]->+
+		      (q:Account)-[e2:Transfer]->+
+		      (r:Account WHERE r.owner='Charles')
+		WHERE q.isBlocked='yes'`)
+	b.Run("prefilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pre.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("postfilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := post.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+const section6Query = `
+	MATCH TRAIL (a WHERE a.owner='Jay')
+	      [-[t:Transfer WHERE t.amount>5M]->]+
+	      (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]`
+
+func BenchmarkSec6_Pipeline(b *testing.B) {
+	g := gpml.Fig1()
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gpml.Compile(section6Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	q := gpml.MustCompile(section6Query)
+	b.Run("eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res, err := q.Eval(g); err != nil || len(res.Rows) != 2 {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("end_to_end", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n := mustEval(b, g, section6Query); n != 2 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E15: Figure 9 — host-language outputs.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig9_Hosts(b *testing.B) {
+	g := gpml.Fig1()
+	const match = `MATCH (x:Account)-[e:Transfer WHERE e.amount>5M]->(y:Account)`
+	cols, err := gpml.ParseColumns("x.owner AS A, y.owner AS B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pgq_graph_table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if tbl, err := gpml.GraphTable(g, match, cols); err != nil || tbl.NumRows() != 7 {
+				b.Fatal(err)
+			}
+		}
+	})
+	q := gpml.MustCompile(match)
+	b.Run("gql_graph_view", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := q.Eval(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gpml.BuildGraphView(g, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E17: scaling sweeps and baseline comparisons. The shape the paper's
+// design predicts: selector search (BFS) stays polynomial where naive
+// enumeration explodes; restrictor DFS sits between.
+// ---------------------------------------------------------------------------
+
+func BenchmarkScale_AnyShortestVsNaive(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		g := dataset.LaunderingRings(n/4, 4, n, int64(n))
+		first := "owner0"
+		last := fmt.Sprintf("owner%d", n-1)
+		q := gpml.MustCompile(fmt.Sprintf(`
+			MATCH ANY SHORTEST p = (a WHERE a.owner='%s')-[e:Transfer]->+
+			      (z WHERE z.owner='%s')`, first, last))
+		b.Run(fmt.Sprintf("engine_bfs_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive_walks_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.EnumerateWalks(g, "a0", gpml.NodeID(fmt.Sprintf("a%d", n-1)), "Transfer", n)
+			}
+		})
+	}
+}
+
+func BenchmarkScale_TrailDFS(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		g := dataset.Chain(n)
+		q := gpml.MustCompile(`MATCH TRAIL (a WHERE a.owner='owner0')-[e:Transfer]->*(z)`)
+		b.Run(fmt.Sprintf("chain_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScale_NodeScan(b *testing.B) {
+	for _, n := range []int{100, 1_000, 10_000} {
+		g := dataset.Random(dataset.RandomConfig{Accounts: n, AvgDegree: 2, Seed: 1})
+		q := gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked='yes')`)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScale_ShortestGrid(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		g := dataset.Grid(n, n)
+		q := gpml.MustCompile(fmt.Sprintf(`
+			MATCH ANY SHORTEST p = (a WHERE a.owner='u0_0')-[e:Transfer]->+
+			      (z WHERE z.owner='u%d_%d')`, n-1, n-1))
+		b.Run(fmt.Sprintf("grid_%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+// ---------------------------------------------------------------------------
+
+// Ablation 1: lazy expansion (one {1,k} query) vs eager expansion (k
+// separate rigid queries {i,i}, the paper's literal §6.3 model).
+func BenchmarkAblation_EagerVsLazy(b *testing.B) {
+	g := gpml.Fig1()
+	const k = 6
+	lazy := gpml.MustCompile(fmt.Sprintf(
+		`MATCH (a:Account)-[t:Transfer]->{1,%d}(z:Account)`, k))
+	var eager []*gpml.Query
+	for i := 1; i <= k; i++ {
+		eager = append(eager, gpml.MustCompile(fmt.Sprintf(
+			`MATCH (a:Account)-[t:Transfer]->{%d,%d}(z:Account)`, i, i)))
+	}
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lazy.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range eager {
+				if _, err := q.Eval(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// Ablation 4: join order for comma-joined patterns — selective pattern
+// first vs last.
+func BenchmarkAblation_JoinOrder(b *testing.B) {
+	g := dataset.Random(dataset.RandomConfig{
+		Accounts: 400, AvgDegree: 3, Cities: 5, Seed: 3, BlockedFraction: 0.01,
+	})
+	selectiveFirst := gpml.MustCompile(`
+		MATCH (x:Account WHERE x.isBlocked='yes')-[:isLocatedIn]->(c),
+		      (x)-[t:Transfer]->(y)`)
+	selectiveLast := gpml.MustCompile(`
+		MATCH (x)-[t:Transfer]->(y),
+		      (x:Account WHERE x.isBlocked='yes')-[:isLocatedIn]->(c)`)
+	b.Run("selective_first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selectiveFirst.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("selective_last", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selectiveLast.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Compilation throughput across representative query shapes.
+func BenchmarkCompile(b *testing.B) {
+	queries := map[string]string{
+		"node":       `MATCH (x:Account WHERE x.isBlocked='no')`,
+		"path":       `MATCH (a)-[e:Transfer]->(b)-[f:Transfer]->(c)`,
+		"quantified": `MATCH TRAIL (a) [-[t:Transfer WHERE t.amount>5M]->]+ (a)`,
+		"section6":   section6Query,
+	}
+	for name, src := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gpml.Compile(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

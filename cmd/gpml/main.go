@@ -1,0 +1,94 @@
+// Command gpml runs GPML queries against a property graph.
+//
+// Usage:
+//
+//	gpml [-graph graph.json] [-gql] [-bindings] [-normalized] 'MATCH ...'
+//
+// Without -graph, the paper's Figure 1 banking graph is used. The query may
+// also be piped on stdin. With -bindings, the §6.4-style reduced path
+// binding tables are printed instead of the variable table; -normalized
+// additionally prints the §6.2 normalized pattern.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gpml"
+	"gpml/internal/graph"
+)
+
+func main() {
+	var (
+		graphFile  = flag.String("graph", "", "graph JSON file (default: the paper's Figure 1 graph)")
+		gqlMode    = flag.Bool("gql", false, "GQL host mode (allows element equality)")
+		bindings   = flag.Bool("bindings", false, "print reduced path binding tables (§6.4 presentation)")
+		normalized = flag.Bool("normalized", false, "print the normalized pattern before results")
+		maxMatches = flag.Int("max-matches", 0, "cap on raw matches per pattern (0 = default)")
+	)
+	flag.Parse()
+
+	query := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if query == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		query = strings.TrimSpace(string(data))
+	}
+	if query == "" {
+		fmt.Fprintln(os.Stderr, "usage: gpml [-graph file.json] 'MATCH ...'")
+		os.Exit(2)
+	}
+
+	g, err := loadGraph(*graphFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts []gpml.Option
+	if *gqlMode {
+		opts = append(opts, gpml.GQLMode())
+	}
+	if *maxMatches > 0 {
+		opts = append(opts, gpml.WithLimits(gpml.Limits{MaxMatches: *maxMatches}))
+	}
+	q, err := gpml.Compile(query, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *normalized {
+		fmt.Println("normalized:", q.Normalized())
+	}
+	res, err := q.Eval(g)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *bindings {
+		fmt.Print(gpml.FormatBindings(res))
+	} else {
+		fmt.Print(gpml.FormatResult(res))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpml:", err)
+	os.Exit(1)
+}
+
+func loadGraph(path string) (*gpml.Graph, error) {
+	if path == "" {
+		return gpml.Fig1(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadJSON(f)
+}

@@ -1,0 +1,91 @@
+// SQL/PGQ workflow (Figure 2 + Figure 9): start from relational tables,
+// define a property-graph view over them, query the view with GPML, and
+// project results back to a table with GRAPH_TABLE. Finally export the
+// graph to its Figure 2 tabular representation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpml"
+)
+
+func main() {
+	// The Figure 2 relational schema: node tables keyed by ID, edge tables
+	// with reference columns to the account keys.
+	accounts := gpml.NewTable("Account", "ID", "owner", "isBlocked").
+		MustAppend("a1", "Scott", "no").
+		MustAppend("a2", "Aretha", "no").
+		MustAppend("a3", "Mike", "no").
+		MustAppend("a4", "Jay", "yes").
+		MustAppend("a5", "Charles", "no").
+		MustAppend("a6", "Dave", "no")
+
+	transfers := gpml.NewTable("Transfer", "ID", "A_ID1", "A_ID2", "date", "amount").
+		MustAppend("t1", "a1", "a3", "1/1/2020", 8_000_000).
+		MustAppend("t2", "a3", "a2", "2/1/2020", 10_000_000).
+		MustAppend("t3", "a2", "a4", "3/1/2020", 10_000_000).
+		MustAppend("t4", "a4", "a6", "4/1/2020", 10_000_000).
+		MustAppend("t5", "a6", "a3", "6/1/2020", 10_000_000).
+		MustAppend("t6", "a6", "a5", "7/1/2020", 4_000_000).
+		MustAppend("t7", "a3", "a5", "8/1/2020", 6_000_000).
+		MustAppend("t8", "a5", "a1", "9/1/2020", 9_000_000)
+
+	// CREATE PROPERTY GRAPH bank
+	//   VERTEX TABLES (Account KEY (ID) LABEL Account)
+	//   EDGE TABLES (Transfer KEY (ID) SOURCE A_ID1 DESTINATION A_ID2 ...)
+	def := &gpml.GraphDef{
+		Name: "bank",
+		Vertices: []gpml.VertexTable{
+			{Table: accounts, Key: "ID", Labels: []string{"Account"}},
+		},
+		Edges: []gpml.EdgeTable{
+			{Table: transfers, Key: "ID", SourceKey: "A_ID1", TargetKey: "A_ID2", Labels: []string{"Transfer"}},
+		},
+	}
+	g, err := def.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph view:", g.Stats())
+
+	// SELECT A, B, hops FROM GRAPH_TABLE (bank,
+	//   MATCH ANY SHORTEST (x)-[e:Transfer]->+(y)
+	//   WHERE x.owner='Dave' AND y.owner='Aretha'
+	//   COLUMNS (x.owner AS A, y.owner AS B, COUNT(e) AS hops))
+	cols, err := gpml.ParseColumns("x.owner AS A, y.owner AS B, COUNT(e) AS hops")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := gpml.GraphTable(g, `
+		MATCH ANY SHORTEST (x:Account WHERE x.owner='Dave')-[e:Transfer]->+
+		      (y:Account WHERE y.owner='Aretha')`, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGRAPH_TABLE projection:")
+	fmt.Print(out.String())
+
+	// A larger projection: all transfer chains of length 2-3 with totals.
+	cols, err = gpml.ParseColumns("a.owner AS fromOwner, b.owner AS toOwner, COUNT(t) AS hops, SUM(t.amount) AS total")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err = gpml.GraphTable(g, `
+		MATCH (a:Account) [()-[t:Transfer]->()]{2,3} (b:Account)
+		WHERE SUM(t.amount) > 20M`, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out.SortRows("fromOwner", "toOwner", "hops")
+	fmt.Println("\nchains of 2-3 transfers totalling over 20M:")
+	fmt.Print(out.String())
+
+	// Round trip: export the full Figure 1 graph back to one relation per
+	// label combination (the Figure 2 representation).
+	fmt.Println("\nFigure 2 tabular export of the full Figure 1 graph:")
+	for _, t := range gpml.Tabular(gpml.Fig1()) {
+		fmt.Printf("  %s (%d rows, columns: %v)\n", t.Name, t.NumRows(), t.Columns)
+	}
+}

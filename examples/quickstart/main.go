@@ -1,0 +1,92 @@
+// Quickstart: build a small property graph, run a GPML match, and read the
+// variable bindings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpml"
+)
+
+func main() {
+	// A property graph is a mixed multigraph with labels and properties
+	// (Definition 2.1 of the paper). The builder accumulates errors and
+	// reports them at Build time.
+	g, err := gpml.NewBuilder().
+		Node("alice", []string{"Person"}, "name", "Alice", "age", 34).
+		Node("bob", []string{"Person"}, "name", "Bob", "age", 41).
+		Node("carol", []string{"Person"}, "name", "Carol", "age", 29).
+		Node("acme", []string{"Company"}, "name", "ACME").
+		Edge("e1", "alice", "bob", []string{"knows"}, "since", 2015).
+		Edge("e2", "bob", "carol", []string{"knows"}, "since", 2019).
+		UndirectedEdge("e3", "alice", "carol", []string{"sibling"}).
+		Edge("w1", "alice", "acme", []string{"worksFor"}).
+		Edge("w2", "carol", "acme", []string{"worksFor"}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile once, evaluate anywhere. The default host mode is the
+	// portable GPML core (SQL/PGQ rules).
+	q := gpml.MustCompile(`
+		MATCH (a:Person WHERE a.age > 30)-[k:knows]->(b:Person)
+	`)
+	res, err := q.Eval(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("knows relationships from people over 30:")
+	for _, row := range res.Rows {
+		a, _ := row.Get("a")
+		b, _ := row.Get("b")
+		k, _ := row.Get("k")
+		fmt.Printf("  %s -[%s]-> %s\n", a.Node, k.Edge, b.Node)
+	}
+
+	// Path patterns bind whole paths; quantifiers produce group variables.
+	res, err = gpml.Match(g, `
+		MATCH p = (a WHERE a.name='Alice')-[e:knows]->{1,2}(b:Person)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaths of 1-2 'knows' hops from Alice:")
+	for _, row := range res.Rows {
+		p, _ := row.Get("p")
+		fmt.Printf("  %s\n", p.Path)
+	}
+
+	// Undirected edges, label disjunction, and a postfilter.
+	res, err = gpml.Match(g, `
+		MATCH (x:Person)~[s:sibling]~(y:Person)
+		WHERE x.age < y.age
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nyounger siblings:")
+	for _, row := range res.Rows {
+		x, _ := row.Get("x")
+		y, _ := row.Get("y")
+		fmt.Printf("  %s is younger than %s\n", x.Node, y.Node)
+	}
+
+	// Shared variables across path patterns form a graph pattern (§4.3):
+	// colleagues who know each other.
+	res, err = gpml.Match(g, `
+		MATCH (x:Person)-[:worksFor]->(c:Company),
+		      (y:Person)-[:worksFor]->(c),
+		      (x)~[:sibling]~(y)
+		WHERE x.name = 'Alice'
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAlice's sibling colleagues:")
+	for _, row := range res.Rows {
+		y, _ := row.Get("y")
+		fmt.Printf("  %s\n", y.Node)
+	}
+}

@@ -1,0 +1,69 @@
+package gpml
+
+import (
+	"strings"
+
+	"gpml/internal/binding"
+)
+
+// FormatResult renders a result as an aligned text table over its named
+// columns, one row per match. Unbound conditional singletons render as
+// NULL; group variables as bracketed element lists; path variables in the
+// paper's path(...) notation.
+func FormatResult(res *Result) string {
+	cols := res.Columns
+	if len(cols) == 0 {
+		return ""
+	}
+	rows := make([][]string, 0, len(res.Rows)+1)
+	rows = append(rows, cols)
+	for _, row := range res.Rows {
+		cells := make([]string, len(cols))
+		for i, c := range cols {
+			if b, ok := row.Get(c); ok {
+				cells[i] = b.String()
+			} else {
+				cells[i] = "NULL"
+			}
+		}
+		rows = append(rows, cells)
+	}
+	widths := make([]int, len(cols))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			sep := make([]string, len(cols))
+			for i := range sep {
+				sep[i] = strings.Repeat("-", widths[i])
+			}
+			b.WriteString(strings.Join(sep, "-+-"))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatBindings renders the reduced path bindings of a result in the
+// two-row table presentation of §6.4 (variables above elements).
+func FormatBindings(res *Result) string {
+	var all []*binding.Reduced
+	for _, row := range res.Rows {
+		all = append(all, row.Bindings...)
+	}
+	return binding.FormatTable(all)
+}

@@ -1,0 +1,61 @@
+package gpml_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpml"
+)
+
+func TestFormatResult(t *testing.T) {
+	res, err := gpml.Match(gpml.Fig1(), `MATCH (y WHERE y.owner='Aretha')<-[e:Transfer]-(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpml.FormatResult(res)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header, separator, one row
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "y") || !strings.Contains(lines[2], "t2") {
+		t.Errorf("table:\n%s", out)
+	}
+	// Conditional singleton renders NULL.
+	res, err = gpml.Match(gpml.Fig1(), `
+		MATCH (x:Account)-[:Transfer]->(y:Account) [~[:hasPhone]~(p)]?
+		WHERE y.isBlocked='yes' OR p.isBlocked='yes'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = gpml.FormatResult(res)
+	if !strings.Contains(out, "NULL") {
+		t.Errorf("unbound conditional must render NULL:\n%s", out)
+	}
+}
+
+func TestFormatBindings(t *testing.T) {
+	res, err := gpml.Match(gpml.Fig1(), `
+		MATCH TRAIL (a WHERE a.owner='Jay')
+		      [-[b:Transfer WHERE b.amount>5M]->]+
+		      (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpml.FormatBindings(res)
+	if !strings.Contains(out, "□") || !strings.Contains(out, "li4") {
+		t.Errorf("§6.4 binding table:\n%s", out)
+	}
+}
+
+func TestFormatEmptyResult(t *testing.T) {
+	res, err := gpml.Match(gpml.Fig1(), `MATCH (x:Account WHERE x.owner='Nobody')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpml.FormatResult(res)
+	// Header and separator only.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("empty result table:\n%q", out)
+	}
+}

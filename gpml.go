@@ -1,0 +1,184 @@
+// Package gpml is a from-scratch Go implementation of GPML, the graph
+// pattern matching language shared by the ISO GQL and SQL/PGQ standards,
+// as described in "Graph Pattern Matching in GQL and SQL/PGQ" (Deutsch et
+// al., SIGMOD 2022).
+//
+// The package exposes:
+//
+//   - the property graph data model (Definition 2.1): mixed multigraphs
+//     with labels and properties — Graph, Node, Edge, Path, Builder;
+//   - compiled GPML queries: Compile / MustCompile and Query.Eval,
+//     covering node/edge/path patterns, the seven edge orientations,
+//     quantifiers and group variables, path pattern union and multiset
+//     alternation, conditional variables, graphical predicates,
+//     restrictors (TRAIL/ACYCLIC/SIMPLE) and selectors (ANY/ALL SHORTEST,
+//     ANY k, SHORTEST k [GROUP]);
+//   - both host-language substrates: SQL/PGQ graph views over tables with
+//     GRAPH_TABLE projection (package pgq via the PGQ helpers here) and
+//     GQL catalogs/sessions with graph outputs (the GQL helpers);
+//   - the paper's Figure 1 graph and synthetic workload generators.
+//
+// Quickstart:
+//
+//	g := gpml.Fig1()
+//	q := gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked='no')`)
+//	res, err := q.Eval(g)
+//	if err != nil { ... }
+//	for _, row := range res.Rows {
+//	    x, _ := row.Get("x")
+//	    fmt.Println(x)
+//	}
+package gpml
+
+import (
+	"gpml/internal/binding"
+	"gpml/internal/core"
+	"gpml/internal/dataset"
+	"gpml/internal/eval"
+	"gpml/internal/graph"
+	"gpml/internal/value"
+)
+
+// Re-exported data model types. These are aliases, so values flow freely
+// between the public API and the internal packages.
+type (
+	// Graph is a property graph (Definition 2.1).
+	Graph = graph.Graph
+	// Node is a graph node with labels and properties.
+	Node = graph.Node
+	// Edge is a directed or undirected graph edge.
+	Edge = graph.Edge
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// EdgeID identifies an edge.
+	EdgeID = graph.EdgeID
+	// Path is an alternating node/edge sequence (a walk).
+	Path = graph.Path
+	// Builder assembles graphs fluently.
+	Builder = graph.Builder
+	// Value is a property value (string, int, float, bool or NULL).
+	Value = value.Value
+	// Result is a set of joined match rows.
+	Result = eval.Result
+	// Row is one match of the whole graph pattern.
+	Row = eval.Row
+	// Bound is the value of one variable in a row.
+	Bound = eval.Bound
+	// Reduced is a reduced path binding (the §6 output object).
+	Reduced = binding.Reduced
+	// Limits bound the match search.
+	Limits = eval.Limits
+)
+
+// Binding kinds of result variables.
+const (
+	BoundNull  = eval.BoundNull
+	BoundNode  = eval.BoundNode
+	BoundEdge  = eval.BoundEdge
+	BoundGroup = eval.BoundGroup
+	BoundPath  = eval.BoundPath
+)
+
+// NewGraph returns an empty property graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewBuilder returns a fluent graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// Fig1 builds the paper's Figure 1 banking graph.
+func Fig1() *Graph { return dataset.Fig1() }
+
+// Str, Int, Float, Bool and Null construct property values.
+func Str(s string) Value { return value.Str(s) }
+
+// Int constructs an integer property value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Float constructs a float property value.
+func Float(f float64) Value { return value.Float(f) }
+
+// Bool constructs a boolean property value.
+func Bool(b bool) Value { return value.Bool(b) }
+
+// Null is the NULL property value.
+var Null = value.Null
+
+// Query is a compiled GPML statement, reusable across graphs and safe for
+// concurrent evaluation.
+type Query struct {
+	q       *core.Query
+	lims    Limits
+	edgeIso bool
+}
+
+// Option configures compilation or evaluation.
+type Option func(*options)
+
+type options struct {
+	gql     bool
+	lims    Limits
+	edgeIso bool
+}
+
+// GQLMode enables GQL host semantics: element references may be compared
+// with = and <> (§4.7). The default is the portable core (SQL/PGQ rules).
+func GQLMode() Option { return func(o *options) { o.gql = true } }
+
+// WithLimits overrides the default search limits.
+func WithLimits(l Limits) Option { return func(o *options) { o.lims = l } }
+
+// EdgeIsomorphic enables the edge-isomorphic match mode of the paper's
+// §7.1 language opportunities: all edges matched across the whole graph
+// pattern must be pairwise distinct.
+func EdgeIsomorphic() Option { return func(o *options) { o.edgeIso = true } }
+
+// Compile parses, normalizes, analyzes and plans a GPML MATCH statement.
+func Compile(src string, opts ...Option) (*Query, error) {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	q, err := core.Compile(src, core.Options{GQL: o.gql})
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso}, nil
+}
+
+// MustCompile is Compile that panics on error; for fixtures and examples.
+func MustCompile(src string, opts ...Option) *Query {
+	q, err := Compile(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Eval evaluates the query against a graph.
+func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
+	o := options{lims: q.lims, edgeIso: q.edgeIso}
+	for _, f := range opts {
+		f(&o)
+	}
+	return q.q.Eval(g, eval.Config{Limits: o.lims, EdgeIsomorphic: o.edgeIso})
+}
+
+// Columns returns the output column order (named variables by first
+// appearance, including path variables).
+func (q *Query) Columns() []string { return q.q.Columns() }
+
+// Source returns the original query text.
+func (q *Query) Source() string { return q.q.Source }
+
+// Normalized returns the §6.2 normalized form of the pattern, rendered
+// back to GPML syntax (anonymous variables hidden).
+func (q *Query) Normalized() string { return q.q.Normalized.String() }
+
+// Match is a convenience wrapper: compile and evaluate in one step.
+func Match(g *Graph, src string, opts ...Option) (*Result, error) {
+	q, err := Compile(src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(g, opts...)
+}

@@ -1,0 +1,65 @@
+package gpml
+
+import (
+	"gpml/internal/eval"
+	"gpml/internal/gql"
+	"gpml/internal/pgq"
+)
+
+// This file re-exports the two host-language substrates of Figure 9: the
+// SQL/PGQ tabular side (graph views over tables, GRAPH_TABLE) and the GQL
+// side (catalog, session, graph outputs).
+
+// SQL/PGQ types.
+type (
+	// Table is an in-memory relation.
+	Table = pgq.Table
+	// VertexTable maps a relation to nodes in a graph view.
+	VertexTable = pgq.VertexTable
+	// EdgeTable maps a relation to edges in a graph view.
+	EdgeTable = pgq.EdgeTable
+	// GraphDef is a property-graph view over tables (CREATE PROPERTY
+	// GRAPH).
+	GraphDef = pgq.GraphDef
+	// Column is one COLUMNS projection of GRAPH_TABLE.
+	Column = pgq.Column
+)
+
+// GQL types.
+type (
+	// Catalog is a named collection of graphs.
+	Catalog = gql.Catalog
+	// Session runs GQL statements against a catalog.
+	Session = gql.Session
+	// GraphView is the §6.6 graph-shaped query output.
+	GraphView = gql.GraphView
+)
+
+// NewTable creates an empty relation with the given columns.
+func NewTable(name string, columns ...string) *Table { return pgq.NewTable(name, columns...) }
+
+// ParseColumns parses a GRAPH_TABLE COLUMNS clause body, e.g.
+// "x.owner AS A, y.owner AS B".
+func ParseColumns(src string) ([]Column, error) { return pgq.ParseColumns(src) }
+
+// GraphTable is the SQL/PGQ GRAPH_TABLE operator: match a GPML pattern on
+// a graph and project each match to a table row.
+func GraphTable(g *Graph, match string, columns []Column) (*Table, error) {
+	return pgq.GraphTable(g, match, columns, eval.Config{})
+}
+
+// Tabular exports a graph to its Figure 2 tabular representation: one
+// relation per label combination.
+func Tabular(g *Graph) []*Table { return pgq.Tabular(g) }
+
+// NewCatalog returns an empty GQL catalog.
+func NewCatalog() *Catalog { return gql.NewCatalog() }
+
+// NewSession opens a GQL session over a catalog.
+func NewSession(c *Catalog) *Session { return gql.NewSession(c) }
+
+// BuildGraphView projects a result set to the induced annotated subgraph
+// (the GQL graph output of §6.6).
+func BuildGraphView(g *Graph, res *Result) (*GraphView, error) {
+	return gql.BuildGraphView(g, res)
+}

@@ -1,0 +1,341 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"gpml/internal/value"
+)
+
+// Expr is a value expression node usable in WHERE clauses (inline
+// prefilters and the final postfilter).
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpXor
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String spells the operator.
+func (o BinOp) String() string {
+	switch o {
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpXor:
+		return "XOR"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+
+// String renders the operation with minimal parentheses.
+func (b *Binary) String() string {
+	return fmt.Sprintf("%s %s %s", operand(b.L, prec(b)), b.Op, operand(b.R, prec(b)+1))
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (*Unary) expr() {}
+
+// String renders the operation.
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + operand(u.X, 7)
+	}
+	return "-" + operand(u.X, 7)
+}
+
+// VarRef references a variable (element, path, or group).
+type VarRef struct{ Name string }
+
+func (*VarRef) expr() {}
+
+// String returns the variable name.
+func (v *VarRef) String() string { return v.Name }
+
+// PropAccess is var.prop. Prop "*" denotes the pseudo-property of
+// COUNT(e.*) (the element itself, counted).
+type PropAccess struct {
+	Var  string
+	Prop string
+}
+
+func (*PropAccess) expr() {}
+
+// String renders var.prop.
+func (p *PropAccess) String() string { return p.Var + "." + p.Prop }
+
+// Literal is a constant value.
+type Literal struct{ Val value.Value }
+
+func (*Literal) expr() {}
+
+// String renders the literal.
+func (l *Literal) String() string { return l.Val.String() }
+
+// IsNull is "x IS [NOT] NULL".
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+func (*IsNull) expr() {}
+
+// String renders the predicate.
+func (p *IsNull) String() string {
+	if p.Negate {
+		return p.X.String() + " IS NOT NULL"
+	}
+	return p.X.String() + " IS NULL"
+}
+
+// IsDirected is "e IS [NOT] DIRECTED" (§4.7).
+type IsDirected struct {
+	Var    string
+	Negate bool
+}
+
+func (*IsDirected) expr() {}
+
+// String renders the predicate.
+func (p *IsDirected) String() string {
+	if p.Negate {
+		return p.Var + " IS NOT DIRECTED"
+	}
+	return p.Var + " IS DIRECTED"
+}
+
+// EndpointOf is "s IS [NOT] SOURCE OF e" / "d IS [NOT] DESTINATION OF e"
+// (§4.7).
+type EndpointOf struct {
+	NodeVar string
+	EdgeVar string
+	Dest    bool // false = SOURCE, true = DESTINATION
+	Negate  bool
+}
+
+func (*EndpointOf) expr() {}
+
+// String renders the predicate.
+func (p *EndpointOf) String() string {
+	role := "SOURCE"
+	if p.Dest {
+		role = "DESTINATION"
+	}
+	not := ""
+	if p.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s IS %s%s OF %s", p.NodeVar, not, role, p.EdgeVar)
+}
+
+// Same is SAME(p, q, …): all element references bound to the same element
+// (§4.7). References must be unconditional singletons.
+type Same struct{ Vars []string }
+
+func (*Same) expr() {}
+
+// String renders the predicate.
+func (s *Same) String() string { return "SAME(" + strings.Join(s.Vars, ", ") + ")" }
+
+// AllDifferent is ALL_DIFFERENT(p, q, …): pairwise distinct (§4.7).
+type AllDifferent struct{ Vars []string }
+
+func (*AllDifferent) expr() {}
+
+// String renders the predicate.
+func (a *AllDifferent) String() string {
+	return "ALL_DIFFERENT(" + strings.Join(a.Vars, ", ") + ")"
+}
+
+// Aggregate is COUNT/SUM/AVG/MIN/MAX/LISTAGG over a group variable
+// reference: COUNT(e), COUNT(e.*), COUNT(DISTINCT e), SUM(t.amount) (§4.4,
+// §5.3), LISTAGG(e, ', ') (§3). Arg is a *VarRef or *PropAccess; Sep is
+// the LISTAGG separator.
+type Aggregate struct {
+	Kind     value.AggKind
+	Distinct bool
+	Arg      Expr
+	Sep      string
+}
+
+func (*Aggregate) expr() {}
+
+// String renders the aggregate.
+func (a *Aggregate) String() string {
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	if a.Kind == value.AggListagg {
+		return fmt.Sprintf("%s(%s%s, %s)", a.Kind, d, a.Arg, value.Str(a.Sep))
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Kind, d, a.Arg)
+}
+
+// prec assigns printing precedence (higher binds tighter).
+func prec(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case OpOr:
+			return 1
+		case OpXor:
+			return 2
+		case OpAnd:
+			return 3
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			return 4
+		case OpAdd, OpSub:
+			return 5
+		case OpMul, OpDiv, OpMod:
+			return 6
+		}
+	case *Unary:
+		return 7
+	}
+	return 8
+}
+
+func operand(e Expr, ctx int) string {
+	s := e.String()
+	if prec(e) < ctx {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// WalkExpr visits e and all sub-expressions in preorder. The visitor may
+// return false to prune the subtree.
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Binary:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case *Unary:
+		WalkExpr(x.X, f)
+	case *IsNull:
+		WalkExpr(x.X, f)
+	case *Aggregate:
+		WalkExpr(x.Arg, f)
+	}
+}
+
+// ExprVars collects variables referenced by the expression, mapping each
+// name to true when at least one reference occurs inside an aggregate.
+func ExprVars(e Expr) map[string]bool {
+	out := map[string]bool{}
+	var walk func(Expr, bool)
+	walk = func(e Expr, inAgg bool) {
+		switch x := e.(type) {
+		case nil:
+		case *Binary:
+			walk(x.L, inAgg)
+			walk(x.R, inAgg)
+		case *Unary:
+			walk(x.X, inAgg)
+		case *IsNull:
+			walk(x.X, inAgg)
+		case *VarRef:
+			out[x.Name] = out[x.Name] || inAgg
+		case *PropAccess:
+			out[x.Var] = out[x.Var] || inAgg
+		case *IsDirected:
+			out[x.Var] = out[x.Var] || inAgg
+		case *EndpointOf:
+			out[x.NodeVar] = out[x.NodeVar] || inAgg
+			out[x.EdgeVar] = out[x.EdgeVar] || inAgg
+		case *Same:
+			for _, v := range x.Vars {
+				out[v] = out[v] || inAgg
+			}
+		case *AllDifferent:
+			for _, v := range x.Vars {
+				out[v] = out[v] || inAgg
+			}
+		case *Aggregate:
+			walk(x.Arg, true)
+		}
+	}
+	walk(e, false)
+	return out
+}
+
+// WalkPath visits the path expression tree in preorder.
+func WalkPath(e PathExpr, f func(PathExpr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Concat:
+		for _, el := range x.Elems {
+			WalkPath(el, f)
+		}
+	case *Union:
+		for _, br := range x.Branches {
+			WalkPath(br, f)
+		}
+	case *Paren:
+		WalkPath(x.Expr, f)
+	case *Quantified:
+		WalkPath(x.Inner, f)
+	}
+}

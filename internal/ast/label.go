@@ -1,0 +1,128 @@
+package ast
+
+// LabelExpr is a label expression (§4.1): single labels combined with
+// conjunction (&), disjunction (|), negation (!), grouping, and the
+// wildcard %. A nil LabelExpr imposes no constraint.
+type LabelExpr interface {
+	// Matches evaluates the expression against an element's label set.
+	Matches(labels []string) bool
+	String() string
+}
+
+// LabelName matches elements carrying the named label.
+type LabelName struct{ Name string }
+
+// Matches implements LabelExpr.
+func (l *LabelName) Matches(labels []string) bool {
+	for _, x := range labels {
+		if x == l.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the label name.
+func (l *LabelName) String() string { return l.Name }
+
+// LabelWildcard is "%": matches elements that have at least one label.
+// Consequently (:!%) matches elements with no labels, as in the paper's
+// example "pattern (:!%) matches nodes that have no labels".
+type LabelWildcard struct{}
+
+// Matches implements LabelExpr.
+func (*LabelWildcard) Matches(labels []string) bool { return len(labels) > 0 }
+
+// String returns "%".
+func (*LabelWildcard) String() string { return "%" }
+
+// LabelAnd is conjunction.
+type LabelAnd struct{ L, R LabelExpr }
+
+// Matches implements LabelExpr.
+func (a *LabelAnd) Matches(labels []string) bool {
+	return a.L.Matches(labels) && a.R.Matches(labels)
+}
+
+// String renders the conjunction.
+func (a *LabelAnd) String() string {
+	return labelOperand(a.L, 2) + "&" + labelOperand(a.R, 2)
+}
+
+// LabelOr is disjunction.
+type LabelOr struct{ L, R LabelExpr }
+
+// Matches implements LabelExpr.
+func (o *LabelOr) Matches(labels []string) bool {
+	return o.L.Matches(labels) || o.R.Matches(labels)
+}
+
+// String renders the disjunction.
+func (o *LabelOr) String() string {
+	return labelOperand(o.L, 1) + "|" + labelOperand(o.R, 1)
+}
+
+// LabelNot is negation.
+type LabelNot struct{ X LabelExpr }
+
+// Matches implements LabelExpr.
+func (n *LabelNot) Matches(labels []string) bool { return !n.X.Matches(labels) }
+
+// String renders the negation.
+func (n *LabelNot) String() string { return "!" + labelOperand(n.X, 3) }
+
+// labelPrec returns the binding strength of the expression's operator.
+func labelPrec(e LabelExpr) int {
+	switch e.(type) {
+	case *LabelOr:
+		return 1
+	case *LabelAnd:
+		return 2
+	case *LabelNot:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func labelOperand(e LabelExpr, ctx int) string {
+	s := e.String()
+	if labelPrec(e) < ctx {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// LabelNames collects the distinct label names mentioned by the expression.
+func LabelNames(e LabelExpr) []string {
+	set := map[string]struct{}{}
+	var walk func(LabelExpr)
+	walk = func(e LabelExpr) {
+		switch x := e.(type) {
+		case *LabelName:
+			set[x.Name] = struct{}{}
+		case *LabelAnd:
+			walk(x.L)
+			walk(x.R)
+		case *LabelOr:
+			walk(x.L)
+			walk(x.R)
+		case *LabelNot:
+			walk(x.X)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	// deterministic order
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

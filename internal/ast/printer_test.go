@@ -1,0 +1,126 @@
+package ast
+
+import (
+	"testing"
+
+	"gpml/internal/value"
+)
+
+// Expression printing with minimal parenthesization, exercised across
+// every node type and precedence boundary.
+func TestExprPrinting(t *testing.T) {
+	lit := func(i int64) Expr { return &Literal{Val: value.Int(i)} }
+	prop := func(v, p string) Expr { return &PropAccess{Var: v, Prop: p} }
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Binary{Op: OpAdd, L: lit(1), R: &Binary{Op: OpMul, L: lit(2), R: lit(3)}}, "1 + 2 * 3"},
+		{&Binary{Op: OpMul, L: &Binary{Op: OpAdd, L: lit(1), R: lit(2)}, R: lit(3)}, "(1 + 2) * 3"},
+		{&Binary{Op: OpSub, L: lit(1), R: &Binary{Op: OpSub, L: lit(2), R: lit(3)}}, "1 - (2 - 3)"},
+		{&Binary{Op: OpOr, L: &Binary{Op: OpAnd, L: lit(1), R: lit(2)}, R: lit(3)}, "1 AND 2 OR 3"},
+		{&Binary{Op: OpAnd, L: &Binary{Op: OpOr, L: lit(1), R: lit(2)}, R: lit(3)}, "(1 OR 2) AND 3"},
+		{&Binary{Op: OpXor, L: lit(1), R: lit(2)}, "1 XOR 2"},
+		{&Unary{Op: "NOT", X: &Binary{Op: OpEq, L: prop("x", "a"), R: lit(1)}}, "NOT (x.a = 1)"},
+		{&Unary{Op: "-", X: prop("x", "a")}, "-x.a"},
+		{&IsNull{X: prop("x", "a")}, "x.a IS NULL"},
+		{&IsNull{X: prop("x", "a"), Negate: true}, "x.a IS NOT NULL"},
+		{&IsDirected{Var: "e"}, "e IS DIRECTED"},
+		{&IsDirected{Var: "e", Negate: true}, "e IS NOT DIRECTED"},
+		{&EndpointOf{NodeVar: "s", EdgeVar: "e"}, "s IS SOURCE OF e"},
+		{&EndpointOf{NodeVar: "d", EdgeVar: "e", Dest: true, Negate: true}, "d IS NOT DESTINATION OF e"},
+		{&Same{Vars: []string{"p", "q"}}, "SAME(p, q)"},
+		{&AllDifferent{Vars: []string{"p", "q", "r"}}, "ALL_DIFFERENT(p, q, r)"},
+		{&Aggregate{Kind: value.AggCount, Arg: &VarRef{Name: "e"}}, "COUNT(e)"},
+		{&Aggregate{Kind: value.AggCount, Distinct: true, Arg: &VarRef{Name: "e"}}, "COUNT(DISTINCT e)"},
+		{&Aggregate{Kind: value.AggSum, Arg: prop("t", "amount")}, "SUM(t.amount)"},
+		{&Aggregate{Kind: value.AggListagg, Arg: &VarRef{Name: "e"}, Sep: ", "}, "LISTAGG(e, ', ')"},
+		{&Binary{Op: OpLe, L: prop("x", "a"), R: lit(2)}, "x.a <= 2"},
+		{&Binary{Op: OpGe, L: prop("x", "a"), R: lit(2)}, "x.a >= 2"},
+		{&Binary{Op: OpNe, L: prop("x", "a"), R: lit(2)}, "x.a <> 2"},
+		{&Binary{Op: OpLt, L: prop("x", "a"), R: lit(2)}, "x.a < 2"},
+		{&Binary{Op: OpGt, L: prop("x", "a"), R: lit(2)}, "x.a > 2"},
+		{&Binary{Op: OpDiv, L: lit(6), R: lit(2)}, "6 / 2"},
+		{&Binary{Op: OpMod, L: lit(6), R: lit(4)}, "6 % 4"},
+		{&Literal{Val: value.Str("it's")}, "'it''s'"},
+		{&VarRef{Name: "x"}, "x"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("printed %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBinOpStrings(t *testing.T) {
+	ops := map[BinOp]string{
+		OpAnd: "AND", OpOr: "OR", OpXor: "XOR",
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("BinOp(%d) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestMatchStmtPrinting(t *testing.T) {
+	stmt := &MatchStmt{
+		Patterns: []*PathPattern{
+			{Expr: &NodePattern{Var: "x", Label: &LabelName{Name: "Account"}}},
+			{Expr: &Concat{Elems: []PathExpr{
+				&NodePattern{Var: "x"},
+				&EdgePattern{Var: "t", Orientation: Right},
+				&NodePattern{Var: "y"},
+			}}},
+		},
+		Where: &Binary{Op: OpEq, L: &PropAccess{Var: "y", Prop: "owner"}, R: &Literal{Val: value.Str("Jay")}},
+	}
+	want := "MATCH (x:Account), (x)-[t]->(y) WHERE y.owner = 'Jay'"
+	if got := stmt.String(); got != want {
+		t.Errorf("printed %q, want %q", got, want)
+	}
+}
+
+func TestUnionPrinting(t *testing.T) {
+	u := &Union{
+		Branches: []PathExpr{
+			&NodePattern{Var: "c", Label: &LabelName{Name: "City"}},
+			&NodePattern{Var: "c", Label: &LabelName{Name: "Country"}},
+			&NodePattern{Var: "c", Label: &LabelName{Name: "IP"}},
+		},
+		Ops: []UnionOp{SetUnion, Multiset},
+	}
+	want := "(c:City) | (c:Country) |+| (c:IP)"
+	if got := u.String(); got != want {
+		t.Errorf("printed %q, want %q", got, want)
+	}
+}
+
+func TestParenPrinting(t *testing.T) {
+	p := &Paren{
+		Restrictor: Trail,
+		Expr:       &NodePattern{Var: "x"},
+		Where:      &Binary{Op: OpGt, L: &PropAccess{Var: "x", Prop: "a"}, R: &Literal{Val: value.Int(1)}},
+	}
+	if got := p.String(); got != "(TRAIL (x) WHERE x.a > 1)" {
+		t.Errorf("round paren: %q", got)
+	}
+	p.Square = true
+	if got := p.String(); got != "[TRAIL (x) WHERE x.a > 1]" {
+		t.Errorf("square paren: %q", got)
+	}
+}
+
+func TestNodePatternPrinting(t *testing.T) {
+	n := &NodePattern{Var: "x", Label: &LabelName{Name: "A"},
+		Where: &Binary{Op: OpEq, L: &PropAccess{Var: "x", Prop: "k"}, R: &Literal{Val: value.Int(1)}}}
+	if got := n.String(); got != "(x:A WHERE x.k = 1)" {
+		t.Errorf("node pattern: %q", got)
+	}
+	anon := &NodePattern{Var: AnonNodeVar(1)}
+	if got := anon.String(); got != "()" {
+		t.Errorf("anonymous node pattern prints empty: %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"testing"
+
+	"gpml/internal/dataset"
+	"gpml/internal/graph"
+)
+
+func TestCheapestPathSimple(t *testing.T) {
+	// Two routes a→c: direct expensive, two-hop cheap.
+	g, err := graph.NewBuilder().
+		Node("a", nil).Node("b", nil).Node("c", nil).
+		Edge("direct", "a", "c", []string{"T"}, "w", 10).
+		Edge("h1", "a", "b", []string{"T"}, "w", 2).
+		Edge("h2", "b", "c", []string{"T"}, "w", 3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cost, ok := CheapestPath(g, "a", "c", "T", "w")
+	if !ok {
+		t.Fatal("no path")
+	}
+	if cost != 5 || p.String() != "path(a,h1,b,h2,c)" {
+		t.Errorf("cheapest: %s cost %g", p, cost)
+	}
+	if err := p.ValidIn(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheapestPathOnFig1(t *testing.T) {
+	g := dataset.Fig1()
+	// Dave→Aretha: shortest by hops is t5,t2 (20M); the cheapest by amount
+	// is also t5,t2? Alternatives: t6,t8,t1,t2 = 4+9+8+10 = 31M. So t5,t2
+	// (10+10=20M) wins.
+	p, cost, ok := CheapestPath(g, "a6", "a2", "Transfer", "amount")
+	if !ok {
+		t.Fatal("no path")
+	}
+	if p.String() != "path(a6,t5,a3,t2,a2)" || cost != 20_000_000 {
+		t.Errorf("cheapest Dave→Aretha: %s cost %g", p, cost)
+	}
+	// Unreachable and trivial cases.
+	if _, _, ok := CheapestPath(g, "ip1", "a1", "Transfer", "amount"); ok {
+		t.Errorf("ip1 has no outgoing transfers")
+	}
+	if p, cost, ok := CheapestPath(g, "a1", "a1", "Transfer", "amount"); !ok || cost != 0 || p.Len() != 0 {
+		t.Errorf("trivial: %v %g %v", p, cost, ok)
+	}
+}
+
+func TestCheapestSkipsWeightlessEdges(t *testing.T) {
+	g, err := graph.NewBuilder().
+		Node("a", nil).Node("b", nil).
+		Edge("unweighted", "a", "b", []string{"T"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := CheapestPath(g, "a", "b", "T", "w"); ok {
+		t.Errorf("edges without the weight property must be skipped")
+	}
+}
+
+// Cheapest never exceeds (shortest-path hop count × max weight) and is
+// never cheaper than (hop count of its own path × min positive weight);
+// sanity on a random graph.
+func TestCheapestVsShortestSanity(t *testing.T) {
+	g := dataset.LaunderingRings(3, 5, 10, 9)
+	pShort, ok := ShortestPath(g, "a0", "a7", "Transfer")
+	if !ok {
+		t.Skip("a7 unreachable in this seed")
+	}
+	pCheap, cost, ok := CheapestPath(g, "a0", "a7", "Transfer", "amount")
+	if !ok {
+		t.Fatal("cheapest must exist when shortest does")
+	}
+	if pCheap.Len() < pShort.Len() {
+		t.Errorf("cheapest cannot have fewer hops than shortest: %d < %d", pCheap.Len(), pShort.Len())
+	}
+	if cost <= 0 {
+		t.Errorf("cost must be positive: %g", cost)
+	}
+	if err := pCheap.ValidIn(g); err != nil {
+		t.Fatal(err)
+	}
+}

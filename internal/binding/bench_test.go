@@ -1,0 +1,98 @@
+package binding
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"gpml/internal/graph"
+)
+
+// makeBindings builds n reduced bindings with d duplicate groups.
+func makeBindings(n, dupEvery int) []*Reduced {
+	out := make([]*Reduced, n)
+	for i := 0; i < n; i++ {
+		id := i
+		if dupEvery > 0 && i%dupEvery == 0 {
+			id = 0
+		}
+		nodeA := graph.NodeID(fmt.Sprintf("n%d", id))
+		nodeB := graph.NodeID(fmt.Sprintf("n%d", id+1))
+		edge := graph.EdgeID(fmt.Sprintf("e%d", id))
+		out[i] = &Reduced{
+			Cols: []ReducedCol{
+				{Var: "a", Kind: NodeElem, ID: string(nodeA)},
+				{Var: "e", Kind: EdgeElem, ID: string(edge)},
+				{Var: "b", Kind: NodeElem, ID: string(nodeB)},
+			},
+			Path: graph.Path{Nodes: []graph.NodeID{nodeA, nodeB}, Edges: []graph.EdgeID{edge}},
+		}
+	}
+	return out
+}
+
+// Ablation 2 (DESIGN.md §5): full string keys (the implementation) vs
+// 64-bit FNV hashing with no collision handling (the fast-but-unsound
+// alternative). The bench quantifies what the correctness of exact keys
+// costs.
+func BenchmarkAblation_DedupKey(b *testing.B) {
+	bindings := makeBindings(10_000, 7)
+	b.Run("exact_string_key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := Dedup(bindings); len(out) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("fnv64_hash_key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seen := make(map[uint64]struct{}, len(bindings))
+			kept := 0
+			for _, r := range bindings {
+				h := fnv.New64a()
+				h.Write([]byte(r.Key()))
+				k := h.Sum64()
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				kept++
+			}
+			if kept == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+func BenchmarkReduce(b *testing.B) {
+	pb := &PathBinding{
+		Entries: []Entry{
+			{Var: "a", Kind: NodeElem, ID: "a4"},
+			{Var: "b", Iters: []int{0}, Kind: EdgeElem, ID: "t4"},
+			{Var: "$n2", Iters: []int{0}, Kind: NodeElem, ID: "a6"},
+			{Var: "b", Iters: []int{1}, Kind: EdgeElem, ID: "t5"},
+			{Var: "a", Kind: NodeElem, ID: "a4"},
+		},
+		Path: graph.Path{
+			Nodes: []graph.NodeID{"a4", "a6", "a4"},
+			Edges: []graph.EdgeID{"t4", "t5"},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := pb.Reduce(); len(r.Cols) != 5 {
+			b.Fatal("bad reduce")
+		}
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	r := makeBindings(1, 0)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := r.Key(); len(k) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}

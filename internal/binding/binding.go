@@ -1,0 +1,259 @@
+// Package binding implements path bindings, the paper's central semantic
+// object (§6): a path binding is a sequence of elementary bindings, each a
+// pair of a variable and a graph element. Variables under quantifiers carry
+// iteration annotations (the paper's superscripts b¹, b², …). Reduction
+// strips annotations and merges anonymous variables; reduced bindings are
+// collected into a set (deduplication, §6.5), except that matches produced
+// by different branches of a multiset alternation |+| carry branch tags
+// that keep them distinct.
+package binding
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpml/internal/ast"
+	"gpml/internal/graph"
+)
+
+// ElemKind distinguishes node from edge bindings.
+type ElemKind uint8
+
+// Element kinds.
+const (
+	NodeElem ElemKind = iota
+	EdgeElem
+)
+
+// String names the kind.
+func (k ElemKind) String() string {
+	if k == NodeElem {
+		return "node"
+	}
+	return "edge"
+}
+
+// Ref identifies a bound graph element.
+type Ref struct {
+	Kind ElemKind
+	ID   string
+}
+
+// String renders the element id.
+func (r Ref) String() string { return r.ID }
+
+// Entry is one elementary binding: a (possibly annotated) variable paired
+// with a graph element.
+type Entry struct {
+	Var   string // variable name; anonymous variables start with '$'
+	Iters []int  // iteration indices of enclosing quantifiers, outermost first
+	Kind  ElemKind
+	ID    string
+}
+
+// DisplayVar renders the annotated variable (b1, b2, … for group entries;
+// □/− for anonymous ones, annotations kept).
+func (e Entry) DisplayVar() string {
+	name := ast.ReducedVar(e.Var)
+	if len(e.Iters) == 0 {
+		return name
+	}
+	parts := make([]string, len(e.Iters))
+	for i, it := range e.Iters {
+		parts[i] = strconv.Itoa(it + 1) // paper numbers iterations from 1
+	}
+	return name + strings.Join(parts, ".")
+}
+
+// Tag records which branch of a multiset alternation produced the match;
+// matches with different tag sequences never deduplicate (§4.5, §6.5).
+type Tag struct {
+	Union  int
+	Branch int
+}
+
+// PathBinding is the (annotated) result of matching one path pattern.
+type PathBinding struct {
+	Entries []Entry
+	Tags    []Tag
+	Path    graph.Path
+	PathVar string // "" when the pattern has no path variable
+}
+
+// Reduced is a reduced path binding (§6.5): annotations stripped, anonymous
+// variables merged to the markers □ and −.
+type Reduced struct {
+	Cols    []ReducedCol
+	Tags    []Tag
+	Path    graph.Path
+	PathVar string
+}
+
+// ReducedCol is one column of a reduced binding.
+type ReducedCol struct {
+	Var  string // reduced display name (anonymous merged to □ / −)
+	Kind ElemKind
+	ID   string
+}
+
+// Reduce strips annotations from the binding (§6.5).
+func (b *PathBinding) Reduce() *Reduced {
+	r := &Reduced{Tags: b.Tags, Path: b.Path, PathVar: b.PathVar}
+	r.Cols = make([]ReducedCol, len(b.Entries))
+	for i, e := range b.Entries {
+		r.Cols[i] = ReducedCol{Var: ast.ReducedVar(e.Var), Kind: e.Kind, ID: e.ID}
+	}
+	return r
+}
+
+// Key returns the deduplication identity of the reduced binding: the
+// reduced column sequence, the multiset branch tags, and the matched path.
+func (r *Reduced) Key() string {
+	var b strings.Builder
+	for _, c := range r.Cols {
+		b.WriteString(c.Var)
+		b.WriteByte('=')
+		b.WriteString(c.ID)
+		b.WriteByte(';')
+	}
+	b.WriteByte('#')
+	for _, t := range r.Tags {
+		fmt.Fprintf(&b, "%d.%d,", t.Union, t.Branch)
+	}
+	b.WriteByte('#')
+	b.WriteString(r.Path.Key())
+	return b.String()
+}
+
+// String renders the reduced binding as "var↦id" pairs.
+func (r *Reduced) String() string {
+	parts := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		parts[i] = c.Var + "↦" + c.ID
+	}
+	return strings.Join(parts, " ")
+}
+
+// HeaderRow and ValueRow render the two-row table presentation used
+// throughout §6.4 of the paper.
+func (r *Reduced) HeaderRow() []string {
+	out := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		out[i] = c.Var
+	}
+	return out
+}
+
+// ValueRow returns the element ids in column order.
+func (r *Reduced) ValueRow() []string {
+	out := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// Dedup collects reduced bindings into a set, keeping the first occurrence
+// of each key and preserving order (§6.5).
+func Dedup(in []*Reduced) []*Reduced {
+	seen := make(map[string]struct{}, len(in))
+	out := make([]*Reduced, 0, len(in))
+	for _, r := range in {
+		k := r.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Singleton returns the element bound to a singleton variable, scanning the
+// columns; ok is false when the variable is unbound (conditional singleton
+// that did not bind).
+func (r *Reduced) Singleton(v string) (Ref, bool) {
+	for _, c := range r.Cols {
+		if c.Var == v {
+			return Ref{Kind: c.Kind, ID: c.ID}, true
+		}
+	}
+	return Ref{}, false
+}
+
+// Group returns all elements bound to the variable in sequence order (the
+// group list used by aggregates, §4.4).
+func (r *Reduced) Group(v string) []Ref {
+	var out []Ref
+	for _, c := range r.Cols {
+		if c.Var == v {
+			out = append(out, Ref{Kind: c.Kind, ID: c.ID})
+		}
+	}
+	return out
+}
+
+// Vars lists the distinct non-anonymous variables in column order.
+func (r *Reduced) Vars() []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, c := range r.Cols {
+		if c.Var == "□" || c.Var == "−" {
+			continue
+		}
+		if _, ok := seen[c.Var]; ok {
+			continue
+		}
+		seen[c.Var] = struct{}{}
+		out = append(out, c.Var)
+	}
+	return out
+}
+
+// FormatTable renders reduced bindings as an aligned two-row-per-binding
+// text table (header row of variables, value row of elements), matching the
+// presentation of §6.4.
+func FormatTable(bindings []*Reduced) string {
+	var b strings.Builder
+	for i, r := range bindings {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		hdr := r.HeaderRow()
+		val := r.ValueRow()
+		widths := make([]int, len(hdr))
+		for j := range hdr {
+			widths[j] = max(len([]rune(hdr[j])), len([]rune(val[j])))
+		}
+		writeRow := func(cells []string) {
+			for j, c := range cells {
+				if j > 0 {
+					b.WriteString(" | ")
+				}
+				b.WriteString(c)
+				for pad := widths[j] - len([]rune(c)); pad > 0; pad-- {
+					b.WriteByte(' ')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(hdr)
+		writeRow(val)
+	}
+	return b.String()
+}
+
+// SortStable orders reduced bindings by their canonical key; used to make
+// non-deterministic selector choices reproducible and test output stable.
+func SortStable(in []*Reduced) {
+	sort.SliceStable(in, func(i, j int) bool {
+		// Shorter paths first, then lexicographic key: gives the intuitive
+		// "shortest, then canonical" order.
+		if in[i].Path.Len() != in[j].Path.Len() {
+			return in[i].Path.Len() < in[j].Path.Len()
+		}
+		return in[i].Key() < in[j].Key()
+	})
+}

@@ -1,0 +1,169 @@
+package binding
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpml/internal/graph"
+)
+
+func sample() *PathBinding {
+	return &PathBinding{
+		Entries: []Entry{
+			{Var: "a", Kind: NodeElem, ID: "a4"},
+			{Var: "b", Iters: []int{0}, Kind: EdgeElem, ID: "t4"},
+			{Var: "$n2", Iters: []int{0}, Kind: NodeElem, ID: "a6"},
+			{Var: "b", Iters: []int{1}, Kind: EdgeElem, ID: "t5"},
+			{Var: "a", Kind: NodeElem, ID: "a4"},
+			{Var: "$e1", Kind: EdgeElem, ID: "li4"},
+			{Var: "c", Kind: NodeElem, ID: "c2"},
+		},
+		Path: graph.Path{
+			Nodes: []graph.NodeID{"a4", "a6", "a4", "c2"},
+			Edges: []graph.EdgeID{"t4", "t5", "li4"},
+		},
+	}
+}
+
+func TestReduceStripsAnnotations(t *testing.T) {
+	r := sample().Reduce()
+	hdr := strings.Join(r.HeaderRow(), " ")
+	if hdr != "a b □ b a − c" {
+		t.Errorf("header: %q", hdr)
+	}
+	val := strings.Join(r.ValueRow(), " ")
+	if val != "a4 t4 a6 t5 a4 li4 c2" {
+		t.Errorf("values: %q", val)
+	}
+}
+
+func TestDisplayVarAnnotations(t *testing.T) {
+	e := Entry{Var: "b", Iters: []int{0}, Kind: EdgeElem, ID: "t4"}
+	if got := e.DisplayVar(); got != "b1" {
+		t.Errorf("iteration 0 displays as b1 (paper numbering): %q", got)
+	}
+	e = Entry{Var: "b", Iters: []int{2, 1}, Kind: EdgeElem, ID: "t4"}
+	if got := e.DisplayVar(); got != "b3.2" {
+		t.Errorf("nested annotation: %q", got)
+	}
+	e = Entry{Var: "$n1", Iters: []int{0}, Kind: NodeElem, ID: "x"}
+	if got := e.DisplayVar(); got != "□1" {
+		t.Errorf("anonymous annotated: %q", got)
+	}
+}
+
+func TestKeyDistinguishesTagsAndPaths(t *testing.T) {
+	a := sample().Reduce()
+	b := sample().Reduce()
+	if a.Key() != b.Key() {
+		t.Fatalf("identical bindings must share keys")
+	}
+	tagged := sample()
+	tagged.Tags = []Tag{{Union: 0, Branch: 1}}
+	if tagged.Reduce().Key() == a.Key() {
+		t.Errorf("multiset tags must distinguish keys (§4.5)")
+	}
+	other := sample()
+	other.Path.Edges[0] = "t9"
+	if other.Reduce().Key() == a.Key() {
+		t.Errorf("different paths must have different keys")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := sample().Reduce()
+	b := sample().Reduce()
+	c := sample()
+	c.Tags = []Tag{{0, 1}}
+	out := Dedup([]*Reduced{a, b, c.Reduce()})
+	if len(out) != 2 {
+		t.Errorf("dedup: want 2, got %d", len(out))
+	}
+	// Order preserved, first kept.
+	if out[0] != a {
+		t.Errorf("dedup must keep the first occurrence")
+	}
+}
+
+func TestSingletonGroupAccessors(t *testing.T) {
+	r := sample().Reduce()
+	if ref, ok := r.Singleton("a"); !ok || ref.ID != "a4" || ref.Kind != NodeElem {
+		t.Errorf("singleton a: %+v %v", ref, ok)
+	}
+	if _, ok := r.Singleton("zzz"); ok {
+		t.Errorf("missing singleton must report !ok")
+	}
+	g := r.Group("b")
+	if len(g) != 2 || g[0].ID != "t4" || g[1].ID != "t5" {
+		t.Errorf("group b: %+v", g)
+	}
+	vars := r.Vars()
+	if strings.Join(vars, ",") != "a,b,c" {
+		t.Errorf("vars: %v", vars)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]*Reduced{sample().Reduce()})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[1], "a4") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	long := sample().Reduce()
+	short := &Reduced{
+		Cols: []ReducedCol{{Var: "x", Kind: NodeElem, ID: "n1"}},
+		Path: graph.Path{Nodes: []graph.NodeID{"n1"}},
+	}
+	in := []*Reduced{long, short}
+	SortStable(in)
+	if in[0] != short {
+		t.Errorf("shorter paths sort first")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := sample().Reduce()
+	s := r.String()
+	if !strings.Contains(s, "a↦a4") || !strings.Contains(s, "−↦li4") {
+		t.Errorf("rendering: %s", s)
+	}
+	if NodeElem.String() != "node" || EdgeElem.String() != "edge" {
+		t.Errorf("kind strings wrong")
+	}
+}
+
+// Dedup is idempotent and order-preserving (property).
+func TestDedupIdempotentProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		var in []*Reduced
+		for _, id := range ids {
+			in = append(in, &Reduced{
+				Cols: []ReducedCol{{Var: "x", Kind: NodeElem, ID: string(rune('a' + id%5))}},
+				Path: graph.Path{Nodes: []graph.NodeID{graph.NodeID(rune('a' + id%5))}},
+			})
+		}
+		once := Dedup(in)
+		twice := Dedup(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, r := range once {
+			if seen[r.Key()] {
+				return false
+			}
+			seen[r.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

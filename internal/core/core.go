@@ -1,0 +1,61 @@
+// Package core orchestrates the full GPML pipeline of the paper's
+// execution model (§6): parse → normalize → static analysis/compile →
+// evaluate (lazy expansion, rigid-pattern matching, reduction,
+// deduplication, selectors) → join → postfilter.
+package core
+
+import (
+	"fmt"
+
+	"gpml/internal/ast"
+	"gpml/internal/eval"
+	"gpml/internal/graph"
+	"gpml/internal/normalize"
+	"gpml/internal/parser"
+	"gpml/internal/plan"
+)
+
+// Query is a compiled GPML statement, reusable across graphs.
+type Query struct {
+	Source     string
+	Parsed     *ast.MatchStmt
+	Normalized *ast.MatchStmt
+	Plan       *plan.Plan
+}
+
+// Options configures compilation.
+type Options struct {
+	// GQL enables GQL-host behaviour (element-reference equality with =);
+	// the default is the portable common core, which matches SQL/PGQ's
+	// restrictions (§4.7).
+	GQL bool
+}
+
+// Compile parses, normalizes and plans a GPML statement.
+func Compile(src string, opts Options) (*Query, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize.Normalize(stmt)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Analyze(norm, plan.Options{AllowElementEquality: opts.GQL})
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Source: src, Parsed: stmt, Normalized: norm, Plan: p}, nil
+}
+
+// Eval runs the query against a graph.
+func (q *Query) Eval(g *graph.Graph, cfg eval.Config) (*eval.Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return eval.EvalPlan(g, q.Plan, cfg)
+}
+
+// Columns returns the output column order (named variables by first
+// appearance, including path variables).
+func (q *Query) Columns() []string { return q.Plan.Columns }

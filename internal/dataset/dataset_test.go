@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"testing"
+
+	"gpml/internal/graph"
+	"gpml/internal/value"
+)
+
+// Figure 1 exactly: 14 nodes (6 accounts, 2 locations, 4 phones, 2 IPs)
+// and 22 edges (8 transfers, 6 isLocatedIn, 6 hasPhone, 2 signInWithIP).
+func TestFig1Shape(t *testing.T) {
+	g := Fig1()
+	if g.NumNodes() != 14 {
+		t.Errorf("nodes: %d, want 14", g.NumNodes())
+	}
+	if g.NumEdges() != 22 {
+		t.Errorf("edges: %d, want 22", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	g.Edges(func(e *graph.Edge) bool {
+		for _, l := range e.Labels {
+			counts[l]++
+		}
+		return true
+	})
+	want := map[string]int{"Transfer": 8, "isLocatedIn": 6, "hasPhone": 6, "signInWithIP": 2}
+	for l, n := range want {
+		if counts[l] != n {
+			t.Errorf("%s edges: %d, want %d", l, counts[l], n)
+		}
+	}
+}
+
+func TestFig1Owners(t *testing.T) {
+	g := Fig1()
+	owners := map[string]string{
+		"a1": "Scott", "a2": "Aretha", "a3": "Mike",
+		"a4": "Jay", "a5": "Charles", "a6": "Dave",
+	}
+	for id, owner := range owners {
+		n := g.Node(graph.NodeID(id))
+		if n == nil {
+			t.Fatalf("missing node %s", id)
+		}
+		if got := n.Prop("owner").Display(); got != owner {
+			t.Errorf("%s owner: %q, want %q", id, got, owner)
+		}
+	}
+	// Jay is the only blocked element in the graph.
+	blocked := 0
+	g.Nodes(func(n *graph.Node) bool {
+		if n.Prop("isBlocked").Display() == "yes" {
+			blocked++
+			if n.ID != "a4" {
+				t.Errorf("unexpected blocked node %s", n.ID)
+			}
+		}
+		return true
+	})
+	if blocked != 1 {
+		t.Errorf("blocked nodes: %d, want 1 (a4)", blocked)
+	}
+}
+
+// The §2 example path path(c1,li1,a1,t1,a3,hp3,p2) is valid in Fig 1.
+func TestFig1Section2ExamplePath(t *testing.T) {
+	p := graph.Path{
+		Nodes: []graph.NodeID{"c1", "a1", "a3", "p2"},
+		Edges: []graph.EdgeID{"li1", "t1", "hp3"},
+	}
+	if err := p.ValidIn(Fig1()); err != nil {
+		t.Fatalf("§2 example path invalid: %v", err)
+	}
+}
+
+func TestFig1TransferTopology(t *testing.T) {
+	g := Fig1()
+	wantEdges := map[string][2]string{
+		"t1": {"a1", "a3"}, "t2": {"a3", "a2"}, "t3": {"a2", "a4"},
+		"t4": {"a4", "a6"}, "t5": {"a6", "a3"}, "t6": {"a6", "a5"},
+		"t7": {"a3", "a5"}, "t8": {"a5", "a1"},
+	}
+	for id, ends := range wantEdges {
+		e := g.Edge(graph.EdgeID(id))
+		if e == nil {
+			t.Fatalf("missing edge %s", id)
+		}
+		if string(e.Source) != ends[0] || string(e.Target) != ends[1] {
+			t.Errorf("%s: %s→%s, want %s→%s", id, e.Source, e.Target, ends[0], ends[1])
+		}
+	}
+	// t6 is the only transfer with amount ≤ 5M (it fails §6's prefilter).
+	g.Edges(func(e *graph.Edge) bool {
+		if !e.HasLabel("Transfer") {
+			return true
+		}
+		amt, _ := e.Prop("amount").AsInt()
+		if (amt <= 5_000_000) != (e.ID == "t6") {
+			t.Errorf("amount invariant violated at %s (%d)", e.ID, amt)
+		}
+		return true
+	})
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Errorf("chain: %s", g.Stats())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 5 {
+		t.Errorf("cycle: %s", g.Stats())
+	}
+	// Every node has out-degree 1.
+	g.Nodes(func(n *graph.Node) bool {
+		out := 0
+		g.Incident(n.ID, func(e *graph.Edge) bool {
+			if e.Source == n.ID {
+				out++
+			}
+			return true
+		})
+		if out != 1 {
+			t.Errorf("node %s out-degree %d", n.ID, out)
+		}
+		return true
+	})
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Errorf("grid nodes: %d", g.NumNodes())
+	}
+	// Edges: rows*(cols-1) + (rows-1)*cols = 3*3 + 2*4 = 17.
+	if g.NumEdges() != 17 {
+		t.Errorf("grid edges: %d, want 17", g.NumEdges())
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	cfg := RandomConfig{Accounts: 50, AvgDegree: 2, Cities: 5, Phones: 10, BlockedFraction: 0.1, Seed: 42, UndirectedPhones: true}
+	a := Random(cfg)
+	b := Random(cfg)
+	if a.Stats() != b.Stats() {
+		t.Errorf("same seed must give identical graphs:\n%s\n%s", a.Stats(), b.Stats())
+	}
+	cfg.Seed = 43
+	c := Random(cfg)
+	// Different seeds virtually always differ in at least one edge
+	// endpoint; compare a cheap fingerprint.
+	fp := func(g *graph.Graph) string {
+		s := ""
+		g.Edges(func(e *graph.Edge) bool {
+			s += string(e.Source) + ">" + string(e.Target) + ";"
+			return true
+		})
+		return s
+	}
+	if fp(a) == fp(c) {
+		t.Errorf("different seeds should differ")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunderingRings(t *testing.T) {
+	g := LaunderingRings(4, 5, 10, 7)
+	if g.NumNodes() != 20 {
+		t.Errorf("nodes: %d", g.NumNodes())
+	}
+	if g.NumEdges() != 4*5+10 {
+		t.Errorf("edges: %d", g.NumEdges())
+	}
+	// One flagged account per ring.
+	blocked := 0
+	g.Nodes(func(n *graph.Node) bool {
+		if n.Prop("isBlocked").Display() == "yes" {
+			blocked++
+		}
+		return true
+	})
+	if blocked != 4 {
+		t.Errorf("blocked: %d, want 4", blocked)
+	}
+	if v := g.Node("a0").Prop("ring"); !value.Identical(v, value.Int(0)) {
+		t.Errorf("ring property: %v", v)
+	}
+}

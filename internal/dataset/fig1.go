@@ -1,0 +1,80 @@
+// Package dataset provides the paper's Figure 1 property graph and
+// deterministic synthetic graph generators used by the examples, tests and
+// the benchmark harness.
+package dataset
+
+import "gpml/internal/graph"
+
+// Fig1 builds the banking property graph of Figure 1 exactly: six Account
+// nodes, two location nodes (a Country and a City∧Country node), four Phone
+// nodes and two IP nodes, connected by eight Transfer edges, six
+// isLocatedIn edges, six undirected hasPhone edges and two signInWithIP
+// edges.
+//
+// Edge directions and property values follow the figure and the worked
+// examples in §§4–6: the transfer chain a1→a3→a2→a4→a6→{a3,a5}, a3→a5,
+// a5→a1; Jay's account a4 is the only blocked element; phone p1 connects
+// a1 and a5 and phone p2 connects a3 and a2 (the two "same phone" bindings
+// of §4.2); edge hp3 connects a3 and p2 (the §2 example path
+// path(c1,li1,a1,t1,a3,hp3,p2)); transfer t6 (a6→a5, 4M) is the only
+// transfer with amount ≤ 5M.
+func Fig1() *graph.Graph {
+	b := graph.NewBuilder()
+
+	// Accounts.
+	b.Node("a1", []string{"Account"}, "owner", "Scott", "isBlocked", "no")
+	b.Node("a2", []string{"Account"}, "owner", "Aretha", "isBlocked", "no")
+	b.Node("a3", []string{"Account"}, "owner", "Mike", "isBlocked", "no")
+	b.Node("a4", []string{"Account"}, "owner", "Jay", "isBlocked", "yes")
+	b.Node("a5", []string{"Account"}, "owner", "Charles", "isBlocked", "no")
+	b.Node("a6", []string{"Account"}, "owner", "Dave", "isBlocked", "no")
+
+	// Locations: c1 is a Country (Zembla); c2 is both City and Country
+	// (Ankh-Morpork) — the label combination that yields the CityCountry
+	// relation in the Figure 2 tabular representation.
+	b.Node("c1", []string{"Country"}, "name", "Zembla")
+	b.Node("c2", []string{"City", "Country"}, "name", "Ankh-Morpork")
+
+	// Phones and IPs.
+	b.Node("p1", []string{"Phone"}, "number", "111", "isBlocked", "no")
+	b.Node("p2", []string{"Phone"}, "number", "222", "isBlocked", "no")
+	b.Node("p3", []string{"Phone"}, "number", "333", "isBlocked", "no")
+	b.Node("p4", []string{"Phone"}, "number", "444", "isBlocked", "no")
+	b.Node("ip1", []string{"IP"}, "number", "123.111", "isBlocked", "no")
+	b.Node("ip2", []string{"IP"}, "number", "123.222", "isBlocked", "no")
+
+	// Transfers. Dates follow Fig 1's d/m/2020 sequence; amounts in units.
+	transfer := func(id, src, dst, date string, amount int64) {
+		b.Edge(id, src, dst, []string{"Transfer"}, "date", date, "amount", amount)
+	}
+	transfer("t1", "a1", "a3", "1/1/2020", 8_000_000)
+	transfer("t2", "a3", "a2", "2/1/2020", 10_000_000)
+	transfer("t3", "a2", "a4", "3/1/2020", 10_000_000)
+	transfer("t4", "a4", "a6", "4/1/2020", 10_000_000)
+	transfer("t5", "a6", "a3", "6/1/2020", 10_000_000)
+	transfer("t6", "a6", "a5", "7/1/2020", 4_000_000)
+	transfer("t7", "a3", "a5", "8/1/2020", 6_000_000)
+	transfer("t8", "a5", "a1", "9/1/2020", 9_000_000)
+
+	// Locations of accounts.
+	b.Edge("li1", "a1", "c1", []string{"isLocatedIn"})
+	b.Edge("li2", "a2", "c2", []string{"isLocatedIn"})
+	b.Edge("li3", "a3", "c1", []string{"isLocatedIn"})
+	b.Edge("li4", "a4", "c2", []string{"isLocatedIn"})
+	b.Edge("li5", "a5", "c1", []string{"isLocatedIn"})
+	b.Edge("li6", "a6", "c2", []string{"isLocatedIn"})
+
+	// Phones (undirected, as in the figure's ~[hasPhone]~ examples).
+	b.UndirectedEdge("hp1", "a1", "p1", []string{"hasPhone"})
+	b.UndirectedEdge("hp2", "a5", "p1", []string{"hasPhone"})
+	b.UndirectedEdge("hp3", "a3", "p2", []string{"hasPhone"})
+	b.UndirectedEdge("hp4", "a2", "p2", []string{"hasPhone"})
+	b.UndirectedEdge("hp5", "a6", "p3", []string{"hasPhone"})
+	b.UndirectedEdge("hp6", "a4", "p4", []string{"hasPhone"})
+
+	// Sign-ins with IP.
+	b.Edge("sip1", "a1", "ip1", []string{"signInWithIP"})
+	b.Edge("sip2", "a5", "ip2", []string{"signInWithIP"})
+
+	return b.MustBuild()
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"testing"
+
+	"gpml/internal/ast"
+	"gpml/internal/graph"
+)
+
+// Unit tests for the BFS admission policies (the per-state budgets that
+// make selector-bounded search finite while preserving exactly the matches
+// each Fig 8 selector can return).
+func TestAdmitPolicyAnyShortest(t *testing.T) {
+	p := admitPolicy{kind: ast.AnyShortest}
+	vi := &visitInfo{}
+	if !p.admit(vi, 3) {
+		t.Fatal("first arrival must be admitted")
+	}
+	for _, d := range []int{3, 4, 10} {
+		if p.admit(vi, d) {
+			t.Errorf("ANY SHORTEST admits exactly one arrival (depth %d leaked)", d)
+		}
+	}
+}
+
+func TestAdmitPolicyAllShortest(t *testing.T) {
+	p := admitPolicy{kind: ast.AllShortest}
+	vi := &visitInfo{}
+	if !p.admit(vi, 2) || !p.admit(vi, 2) || !p.admit(vi, 2) {
+		t.Fatal("ALL SHORTEST admits every arrival at the minimal depth")
+	}
+	if p.admit(vi, 3) {
+		t.Errorf("deeper arrivals must be pruned")
+	}
+}
+
+func TestAdmitPolicyKDepths(t *testing.T) {
+	p := admitPolicy{kind: ast.ShortestK, k: 2}
+	vi := &visitInfo{}
+	if !p.admit(vi, 1) || !p.admit(vi, 1) {
+		t.Fatal("arrivals within the first depth admitted")
+	}
+	if !p.admit(vi, 4) {
+		t.Fatal("second distinct depth admitted")
+	}
+	if !p.admit(vi, 4) {
+		t.Fatal("repeat of an admitted depth stays admitted")
+	}
+	if p.admit(vi, 9) {
+		t.Errorf("third distinct depth must be pruned for k=2")
+	}
+}
+
+// The BFS visited key includes the singleton environment: threads that
+// differ in an earlier binding are never collapsed at a shared later
+// state. Regression guard for the state-interchangeability argument.
+func TestBFSKeySeparatesEnvironments(t *testing.T) {
+	// Two branches from s bind m differently, then merge at a shared node
+	// before a long unbounded tail. A postfilter distinguishes the m
+	// bindings, so collapsing them at the merge would lose a result.
+	g, err := graph.NewBuilder().
+		Node("s", nil, "owner", "start").
+		Node("m1", nil).Node("m2", nil).
+		Node("shared", nil).
+		Node("z1", nil).Node("z2", nil).
+		Node("z", nil, "owner", "end").
+		Edge("e1", "s", "m1", nil).
+		Edge("e2", "s", "m2", nil).
+		Edge("f1", "m1", "shared", nil).
+		Edge("f2", "m2", "shared", nil).
+		Edge("g1", "shared", "z1", nil).
+		Edge("g2", "z1", "z2", nil).
+		Edge("g3", "z2", "z", nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := evalQuery(t, g, `
+		MATCH ALL SHORTEST (st WHERE st.owner='start')-[a]->(m)-[b]->(sh)
+		      -[c]->+(zz WHERE zz.owner='end')`)
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		m, _ := row.Get("m")
+		seen[string(m.Node)] = true
+	}
+	if !seen["m1"] || !seen["m2"] {
+		t.Errorf("both middle bindings must survive pruning, got %v", seen)
+	}
+}

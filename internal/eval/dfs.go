@@ -1,0 +1,571 @@
+package eval
+
+import (
+	"fmt"
+
+	"gpml/internal/ast"
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+	"gpml/internal/value"
+)
+
+// Limits bound the search to keep pathological queries from running away.
+type Limits struct {
+	// MaxMatches caps the number of raw matches enumerated per path
+	// pattern before reduction.
+	MaxMatches int
+	// MaxDepth caps the number of edges in a matched path.
+	MaxDepth int
+	// MaxThreads caps the number of admitted BFS search states.
+	MaxThreads int
+}
+
+// DefaultLimits are generous defaults suitable for the paper's workloads.
+var DefaultLimits = Limits{
+	MaxMatches: 1_000_000,
+	MaxDepth:   4096,
+	MaxThreads: 4_000_000,
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxMatches <= 0 {
+		l.MaxMatches = DefaultLimits.MaxMatches
+	}
+	if l.MaxDepth <= 0 {
+		l.MaxDepth = DefaultLimits.MaxDepth
+	}
+	if l.MaxThreads <= 0 {
+		l.MaxThreads = DefaultLimits.MaxThreads
+	}
+	return l
+}
+
+// LimitError reports an exceeded search limit.
+type LimitError struct {
+	What  string
+	Limit int
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("eval: %s limit (%d) exceeded; raise eval.Limits or restrict the pattern", e.What, e.Limit)
+}
+
+// iterFrame is the local scope of one quantifier iteration.
+type iterFrame struct {
+	qid        int
+	counterIdx int
+	startEdges int
+	locals     map[string]binding.Ref
+}
+
+// scopeState tracks one active restrictor scope (TRAIL/ACYCLIC/SIMPLE).
+type scopeState struct {
+	restrictor ast.Restrictor
+	inited     bool
+	firstNode  graph.NodeID
+	closed     bool // SIMPLE: the scope returned to its first node
+	usedEdges  map[graph.EdgeID]struct{}
+	usedNodes  map[graph.NodeID]struct{}
+}
+
+// dfs is the backtracking matcher. Every case of step restores all state it
+// mutated before returning.
+type dfs struct {
+	g      *graph.Graph
+	prog   *plan.Prog
+	limits Limits
+
+	pos     graph.NodeID
+	started bool
+
+	entries    []binding.Entry
+	posEntries []binding.Entry // node entries pending for the current position
+	tags       []binding.Tag
+	pathNodes  []graph.NodeID
+	pathEdges  []graph.EdgeID
+
+	counters []int
+	frames   []*iterFrame
+	scopes   []*scopeState
+
+	env    map[string]binding.Ref
+	groups map[string][]binding.Ref
+
+	pathVar string
+	matches int
+	emit    func(*binding.PathBinding) error
+}
+
+// runDFS enumerates every match of the program, invoking emit for each.
+func runDFS(g *graph.Graph, prog *plan.Prog, pathVar string, limits Limits, emit func(*binding.PathBinding) error) error {
+	m := &dfs{
+		g:       g,
+		prog:    prog,
+		limits:  limits.withDefaults(),
+		env:     map[string]binding.Ref{},
+		groups:  map[string][]binding.Ref{},
+		pathVar: pathVar,
+		emit:    emit,
+	}
+	return m.step(prog.Start)
+}
+
+// Resolver interface over the live machine state (used by prefilters).
+
+type dfsResolver struct{ m *dfs }
+
+func (r dfsResolver) Graph() *graph.Graph { return r.m.g }
+
+func (r dfsResolver) Elem(name string) (binding.Ref, bool) {
+	for i := len(r.m.frames) - 1; i >= 0; i-- {
+		if ref, ok := r.m.frames[i].locals[name]; ok {
+			return ref, true
+		}
+	}
+	ref, ok := r.m.env[name]
+	return ref, ok
+}
+
+func (r dfsResolver) Group(name string) ([]binding.Ref, bool) {
+	g, ok := r.m.groups[name]
+	return g, ok
+}
+
+// step executes the instruction at pc, exploring all continuations.
+func (m *dfs) step(pc int) error {
+	in := &m.prog.Instrs[pc]
+	switch in.Op {
+	case plan.OpNode:
+		return m.stepNode(in)
+	case plan.OpEdge:
+		return m.stepEdge(in)
+	case plan.OpSplit:
+		if err := m.step(in.Next); err != nil {
+			return err
+		}
+		return m.step(in.Alt)
+	case plan.OpLoopStart:
+		m.counters = append(m.counters, 0)
+		err := m.step(in.Next)
+		m.counters = m.counters[:len(m.counters)-1]
+		return err
+	case plan.OpLoopCheck:
+		c := m.counters[len(m.counters)-1]
+		if c < in.Min {
+			return m.step(in.Next) // must iterate
+		}
+		// Exit first (shorter matches first), then iterate further.
+		if err := m.step(in.Alt); err != nil {
+			return err
+		}
+		if in.Max < 0 || c < in.Max {
+			return m.step(in.Next)
+		}
+		return nil
+	case plan.OpIterStart:
+		f := &iterFrame{
+			qid:        in.QID,
+			counterIdx: len(m.counters) - 1,
+			startEdges: len(m.pathEdges),
+			locals:     map[string]binding.Ref{},
+		}
+		m.frames = append(m.frames, f)
+		err := m.step(in.Next)
+		m.frames = m.frames[:len(m.frames)-1]
+		return err
+	case plan.OpIterEnd:
+		f := m.frames[len(m.frames)-1]
+		m.frames = m.frames[:len(m.frames)-1]
+		ci := f.counterIdx
+		m.counters[ci]++
+		zeroWidth := len(m.pathEdges) == f.startEdges
+		var err error
+		if zeroWidth {
+			// A zero-width iteration cannot make progress; exit the loop
+			// once the minimum is satisfied (prevents infinite unrolling).
+			if m.counters[ci] >= in.Min {
+				err = m.step(in.Alt) // jump to loop end
+			}
+		} else {
+			err = m.step(in.Next) // back to the check
+		}
+		m.counters[ci]--
+		m.frames = append(m.frames, f)
+		return err
+	case plan.OpLoopEnd:
+		c := m.counters[len(m.counters)-1]
+		m.counters = m.counters[:len(m.counters)-1]
+		err := m.step(in.Next)
+		m.counters = append(m.counters, c)
+		return err
+	case plan.OpScopeStart:
+		s := &scopeState{
+			restrictor: in.Restrictor,
+			usedEdges:  map[graph.EdgeID]struct{}{},
+			usedNodes:  map[graph.NodeID]struct{}{},
+		}
+		if m.started {
+			s.init(m.pos)
+		}
+		m.scopes = append(m.scopes, s)
+		err := m.step(in.Next)
+		m.scopes = m.scopes[:len(m.scopes)-1]
+		return err
+	case plan.OpScopeEnd:
+		s := m.scopes[len(m.scopes)-1]
+		m.scopes = m.scopes[:len(m.scopes)-1]
+		err := m.step(in.Next)
+		m.scopes = append(m.scopes, s)
+		return err
+	case plan.OpWhere:
+		t, err := EvalPred(in.Where, dfsResolver{m})
+		if err != nil {
+			return err
+		}
+		if !t.IsTrue() {
+			return nil
+		}
+		return m.step(in.Next)
+	case plan.OpTag:
+		m.tags = append(m.tags, binding.Tag{Union: in.Union, Branch: in.Branch})
+		err := m.step(in.Next)
+		m.tags = m.tags[:len(m.tags)-1]
+		return err
+	case plan.OpAccept:
+		return m.accept()
+	default:
+		return fmt.Errorf("eval: unknown opcode %v", in.Op)
+	}
+}
+
+func (s *scopeState) init(first graph.NodeID) {
+	s.inited = true
+	s.firstNode = first
+	s.usedNodes[first] = struct{}{}
+}
+
+// stepNode matches a node pattern at the current position (or, when the
+// search has not started, at every node of the graph).
+func (m *dfs) stepNode(in *plan.Instr) error {
+	if !m.started {
+		var firstErr error
+		m.g.Nodes(func(n *graph.Node) bool {
+			m.started = true
+			m.pos = n.ID
+			m.pathNodes = append(m.pathNodes, n.ID)
+			if err := m.matchNodeHere(in, n); err != nil {
+				firstErr = err
+			}
+			m.pathNodes = m.pathNodes[:len(m.pathNodes)-1]
+			m.started = false
+			return firstErr == nil
+		})
+		return firstErr
+	}
+	n := m.g.Node(m.pos)
+	if n == nil {
+		return fmt.Errorf("eval: position %q vanished", m.pos)
+	}
+	return m.matchNodeHere(in, n)
+}
+
+// matchNodeHere checks labels, binds the variable (implicit equi-join),
+// applies the pending-entry suppression rule for anonymous node patterns at
+// an already-bound position (§6.3 clean-up), evaluates the inline WHERE and
+// continues.
+func (m *dfs) matchNodeHere(in *plan.Instr, n *graph.Node) error {
+	np := in.Node
+	if np.Label != nil && !np.Label.Matches(n.Labels) {
+		return nil
+	}
+	undoBind, ok := m.bindElem(np.Var, binding.NodeElem, string(n.ID))
+	if !ok {
+		return nil
+	}
+	savedPos := m.posEntries
+	m.pushPosEntry(np.Var, binding.NodeElem, string(n.ID))
+	var err error
+	if np.Where != nil {
+		var t value.Tri
+		t, err = EvalPred(np.Where, dfsResolver{m})
+		if err == nil && !t.IsTrue() {
+			m.posEntries = savedPos
+			undoBind()
+			return nil
+		}
+	}
+	if err == nil {
+		err = m.step(in.Next)
+	}
+	m.posEntries = savedPos
+	undoBind()
+	return err
+}
+
+// pushPosEntry implements the §6.3 clean-up operationally: at one path
+// position, named node patterns each contribute an entry; anonymous node
+// patterns contribute a single entry only when no other pattern binds the
+// position.
+func (m *dfs) pushPosEntry(varName string, kind binding.ElemKind, id string) {
+	entry := binding.Entry{Var: varName, Iters: m.iterAnnotation(), Kind: kind, ID: id}
+	if ast.IsAnonVar(varName) {
+		if len(m.posEntries) > 0 {
+			return // suppressed: another pattern already binds this position
+		}
+		m.posEntries = append([]binding.Entry(nil), entry)
+		return
+	}
+	// Named pattern: replace a pending anonymous entry, else append.
+	if len(m.posEntries) == 1 && ast.IsAnonVar(m.posEntries[0].Var) {
+		m.posEntries = []binding.Entry{entry}
+		return
+	}
+	next := make([]binding.Entry, len(m.posEntries)+1)
+	copy(next, m.posEntries)
+	next[len(m.posEntries)] = entry
+	m.posEntries = next
+}
+
+// iterAnnotation snapshots the iteration indices of the enclosing frames.
+func (m *dfs) iterAnnotation() []int {
+	if len(m.frames) == 0 {
+		return nil
+	}
+	out := make([]int, len(m.frames))
+	for i, f := range m.frames {
+		out[i] = m.counters[f.counterIdx]
+	}
+	return out
+}
+
+// bindElem binds a variable to an element with implicit equi-join
+// semantics. It returns an undo function and whether the binding is
+// consistent. Bindings inside a quantifier iteration go to the innermost
+// frame and accumulate in the variable's group list.
+func (m *dfs) bindElem(varName string, kind binding.ElemKind, id string) (func(), bool) {
+	ref := binding.Ref{Kind: kind, ID: id}
+	anon := ast.IsAnonVar(varName)
+	if len(m.frames) > 0 {
+		f := m.frames[len(m.frames)-1]
+		if prev, ok := f.locals[varName]; ok {
+			if prev == ref {
+				return func() {}, true
+			}
+			return nil, false
+		}
+		// A variable declared outside all quantifiers never appears as a
+		// declaration site inside one (static check), so no env lookup here.
+		f.locals[varName] = ref
+		if anon {
+			return func() { delete(f.locals, varName) }, true
+		}
+		m.groups[varName] = append(m.groups[varName], ref)
+		return func() {
+			delete(f.locals, varName)
+			m.groups[varName] = m.groups[varName][:len(m.groups[varName])-1]
+		}, true
+	}
+	if prev, ok := m.env[varName]; ok {
+		if prev == ref {
+			return func() {}, true
+		}
+		return nil, false
+	}
+	m.env[varName] = ref
+	return func() { delete(m.env, varName) }, true
+}
+
+// stepEdge traverses one edge from the current position in every admitted
+// orientation, applying restrictor pruning.
+func (m *dfs) stepEdge(in *plan.Instr) error {
+	if !m.started {
+		return fmt.Errorf("eval: edge pattern before any node pattern (normalization bug)")
+	}
+	if len(m.pathEdges) >= m.limits.MaxDepth {
+		return &LimitError{What: "path depth", Limit: m.limits.MaxDepth}
+	}
+	// A closed SIMPLE scope admits no further edges.
+	for _, s := range m.scopes {
+		if s.closed {
+			return nil
+		}
+	}
+	// Flush pending node entries: the position is now final.
+	savedEntries := len(m.entries)
+	savedPos := m.posEntries
+	m.entries = append(m.entries, m.posEntries...)
+	m.posEntries = nil
+
+	ep := in.Edge
+	var firstErr error
+	m.g.Incident(m.pos, func(e *graph.Edge) bool {
+		targets := m.traversals(e, ep.Orientation)
+		for _, tgt := range targets {
+			if err := m.traverse(in, e, tgt); err != nil {
+				firstErr = err
+				return false
+			}
+		}
+		return true
+	})
+
+	m.entries = m.entries[:savedEntries]
+	m.posEntries = savedPos
+	return firstErr
+}
+
+// traversals lists the target nodes reachable over edge e from the current
+// position under the given orientation. A directed self-loop admitted in
+// both directions yields two traversals with identical targets (the
+// duplicate reduces away downstream, as §4.2 specifies for "-" patterns
+// returning each edge "once for each direction").
+func (m *dfs) traversals(e *graph.Edge, o ast.Orientation) []graph.NodeID {
+	var out []graph.NodeID
+	if e.Direction == graph.Directed {
+		if e.Source == m.pos && o.AllowsRight() {
+			out = append(out, e.Target)
+		}
+		if e.Target == m.pos && o.AllowsLeft() {
+			out = append(out, e.Source)
+		}
+	} else if o.AllowsUndirected() {
+		out = append(out, e.Other(m.pos))
+	}
+	return out
+}
+
+// traverse applies one edge traversal: label check, restrictor checks and
+// updates, binding, inline WHERE, recursion — and undoes everything.
+func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error {
+	ep := in.Edge
+	if ep.Label != nil && !ep.Label.Matches(e.Labels) {
+		return nil
+	}
+
+	// Restrictor checks and updates across all active scopes.
+	type scopeUndo struct {
+		s           *scopeState
+		removeEdge  bool
+		removeNode  bool
+		clearClosed bool
+		uninit      bool
+	}
+	var undos []scopeUndo
+	undoScopes := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			if u.removeEdge {
+				delete(u.s.usedEdges, e.ID)
+			}
+			if u.removeNode {
+				delete(u.s.usedNodes, target)
+			}
+			if u.clearClosed {
+				u.s.closed = false
+			}
+			if u.uninit {
+				delete(u.s.usedNodes, u.s.firstNode)
+				u.s.firstNode = ""
+				u.s.inited = false
+			}
+		}
+	}
+	for _, s := range m.scopes {
+		undos = append(undos, scopeUndo{s: s})
+		u := &undos[len(undos)-1]
+		if !s.inited {
+			// Lazy initialization on the first edge within the scope (a
+			// path-level scope opens before the start node is chosen). It
+			// must be undone on backtrack: a different start node may be
+			// tried under the same scope object.
+			s.init(m.pos)
+			u.uninit = true
+		}
+		switch s.restrictor {
+		case ast.Trail:
+			if _, used := s.usedEdges[e.ID]; used {
+				undoScopes()
+				return nil
+			}
+			s.usedEdges[e.ID] = struct{}{}
+			u.removeEdge = true
+		case ast.Acyclic:
+			if _, used := s.usedNodes[target]; used {
+				undoScopes()
+				return nil
+			}
+			s.usedNodes[target] = struct{}{}
+			u.removeNode = true
+		case ast.Simple:
+			if _, used := s.usedNodes[target]; used {
+				if target != s.firstNode {
+					undoScopes()
+					return nil
+				}
+				s.closed = true
+				u.clearClosed = true
+			} else {
+				s.usedNodes[target] = struct{}{}
+				u.removeNode = true
+			}
+		}
+	}
+
+	undoBind, ok := m.bindElem(ep.Var, binding.EdgeElem, string(e.ID))
+	if !ok {
+		undoScopes()
+		return nil
+	}
+
+	// Commit movement.
+	prevPos := m.pos
+	m.pos = target
+	m.pathEdges = append(m.pathEdges, e.ID)
+	m.pathNodes = append(m.pathNodes, target)
+	savedEntries := len(m.entries)
+	m.entries = append(m.entries, binding.Entry{Var: ep.Var, Iters: m.iterAnnotation(), Kind: binding.EdgeElem, ID: string(e.ID)})
+	savedPosEntries := m.posEntries
+	m.posEntries = nil
+
+	var err error
+	passed := true
+	if ep.Where != nil {
+		var t value.Tri
+		t, err = EvalPred(ep.Where, dfsResolver{m})
+		passed = err == nil && t.IsTrue()
+	}
+	if err == nil && passed {
+		err = m.step(in.Next)
+	}
+
+	m.posEntries = savedPosEntries
+	m.entries = m.entries[:savedEntries]
+	m.pathNodes = m.pathNodes[:len(m.pathNodes)-1]
+	m.pathEdges = m.pathEdges[:len(m.pathEdges)-1]
+	m.pos = prevPos
+	undoBind()
+	undoScopes()
+	return err
+}
+
+// accept emits the completed path binding.
+func (m *dfs) accept() error {
+	m.matches++
+	if m.matches > m.limits.MaxMatches {
+		return &LimitError{What: "match count", Limit: m.limits.MaxMatches}
+	}
+	entries := make([]binding.Entry, 0, len(m.entries)+len(m.posEntries))
+	entries = append(entries, m.entries...)
+	entries = append(entries, m.posEntries...)
+	tags := append([]binding.Tag(nil), m.tags...)
+	nodes := append([]graph.NodeID(nil), m.pathNodes...)
+	edges := append([]graph.EdgeID(nil), m.pathEdges...)
+	return m.emit(&binding.PathBinding{
+		Entries: entries,
+		Tags:    tags,
+		Path:    graph.Path{Nodes: nodes, Edges: edges},
+		PathVar: m.pathVar,
+	})
+}

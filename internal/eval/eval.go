@@ -1,0 +1,405 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// Config tunes evaluation.
+type Config struct {
+	Limits Limits
+	// EdgeIsomorphic enables the edge-isomorphic match mode sketched as a
+	// language opportunity in §7.1: "all edges matched across all
+	// constituent path patterns in the graph pattern [must] differ from
+	// each other". Applied after the join and before the postfilter.
+	EdgeIsomorphic bool
+}
+
+// BoundKind discriminates what a result variable is bound to.
+type BoundKind uint8
+
+// Binding kinds in result rows.
+const (
+	BoundNull BoundKind = iota
+	BoundNode
+	BoundEdge
+	BoundGroup
+	BoundPath
+)
+
+// Bound is the value of one variable in a result row.
+type Bound struct {
+	Kind  BoundKind
+	Node  graph.NodeID
+	Edge  graph.EdgeID
+	Group []binding.Ref
+	Path  graph.Path
+}
+
+// String renders the binding for display.
+func (b Bound) String() string {
+	switch b.Kind {
+	case BoundNode:
+		return string(b.Node)
+	case BoundEdge:
+		return string(b.Edge)
+	case BoundGroup:
+		parts := make([]string, len(b.Group))
+		for i, r := range b.Group {
+			parts[i] = r.ID
+		}
+		out := "["
+		for i, p := range parts {
+			if i > 0 {
+				out += ","
+			}
+			out += p
+		}
+		return out + "]"
+	case BoundPath:
+		return b.Path.String()
+	default:
+		return "NULL"
+	}
+}
+
+// Row is one joined match of the whole graph pattern.
+type Row struct {
+	vars     map[string]Bound
+	Bindings []*binding.Reduced // one per path pattern, in pattern order
+}
+
+// Get returns the binding of a variable in this row.
+func (r *Row) Get(name string) (Bound, bool) {
+	b, ok := r.vars[name]
+	return b, ok
+}
+
+// Vars lists the bound variables of the row (unordered).
+func (r *Row) Vars() []string {
+	out := make([]string, 0, len(r.vars))
+	for v := range r.vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the output of evaluating a MATCH statement.
+type Result struct {
+	Columns []string
+	Rows    []*Row
+}
+
+// EvalPlan evaluates a compiled plan against a graph: each path pattern is
+// solved separately (§6.5 "Multiple patterns"), results are joined on
+// shared singleton variables, and the final WHERE postfilter is applied.
+func EvalPlan(g *graph.Graph, p *plan.Plan, cfg Config) (*Result, error) {
+	graphs := make([]*graph.Graph, len(p.Paths))
+	for i := range graphs {
+		graphs[i] = g
+	}
+	return EvalPlanOn(graphs, p, cfg)
+}
+
+// EvalPlanOn evaluates each path pattern of the plan against its own graph
+// (graphs[i] for pattern i) and joins the results — the "queries on
+// multiple graphs in a single concatenated MATCH" language opportunity of
+// §7.1. Shared singleton variables join across graphs by element
+// identifier, the natural reading when the graphs are views sharing keys
+// (e.g. two SQL/PGQ views over the same tables). Property lookups in the
+// postfilter resolve against the first graph whose pattern declares the
+// variable.
+func EvalPlanOn(graphs []*graph.Graph, p *plan.Plan, cfg Config) (*Result, error) {
+	if len(graphs) != len(p.Paths) {
+		return nil, fmt.Errorf("eval: %d graphs for %d path patterns", len(graphs), len(p.Paths))
+	}
+	perPattern := make([][]*binding.Reduced, len(p.Paths))
+	for i, pp := range p.Paths {
+		rs, err := MatchPattern(graphs[i], pp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		perPattern[i] = rs
+	}
+	varGraph := map[string]*graph.Graph{}
+	for i, pp := range p.Paths {
+		for _, v := range pp.Vars {
+			if _, ok := varGraph[v]; !ok {
+				varGraph[v] = graphs[i]
+			}
+		}
+	}
+	return joinAndFilter(graphs[0], varGraph, p, perPattern, cfg)
+}
+
+// MatchPattern runs the full single-pattern pipeline: enumerate (DFS or
+// BFS), reduce, deduplicate, then apply the selector — exactly the §6
+// stage order.
+func MatchPattern(g *graph.Graph, pp *plan.PathPlan, cfg Config) ([]*binding.Reduced, error) {
+	raw, err := Enumerate(g, pp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	reduced := make([]*binding.Reduced, len(raw))
+	for i, b := range raw {
+		reduced[i] = b.Reduce()
+	}
+	deduped := binding.Dedup(reduced)
+	selected := ApplySelector(pp.Pattern.Selector, deduped)
+	binding.SortStable(selected)
+	return selected, nil
+}
+
+// Enumerate produces the raw (annotated) path bindings of one pattern.
+func Enumerate(g *graph.Graph, pp *plan.PathPlan, cfg Config) ([]*binding.PathBinding, error) {
+	var out []*binding.PathBinding
+	collect := func(b *binding.PathBinding) error {
+		out = append(out, b)
+		return nil
+	}
+	var err error
+	switch pp.Mode {
+	case plan.ModeBFS:
+		err = runBFS(g, pp.Prog, pp.Pattern.PathVar, cfg.Limits, pp.Pattern.Selector, collect)
+	default:
+		err = runDFS(g, pp.Prog, pp.Pattern.PathVar, cfg.Limits, collect)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinAndFilter forms the cross product of per-pattern solutions, filtered
+// by implicit equi-joins on shared singleton variables and the final WHERE
+// clause (§6.5 "Multiple patterns").
+func joinAndFilter(g *graph.Graph, varGraph map[string]*graph.Graph, p *plan.Plan, perPattern [][]*binding.Reduced, cfg Config) (*Result, error) {
+	rows := []*Row{{vars: map[string]Bound{}}}
+	bound := map[string]bool{} // variables bound by already-joined patterns
+	for patIdx, solutions := range perPattern {
+		pp := p.Paths[patIdx]
+		// Hash join on the variables shared with the accumulated rows
+		// (statically guaranteed to be unconditional singletons, §4.6);
+		// falls back to a cross product when nothing is shared.
+		var shared []string
+		for _, v := range pp.Vars {
+			info := p.Var(v)
+			if info != nil && !info.Group && info.Kind != plan.VarPath && bound[v] {
+				shared = append(shared, v)
+			}
+		}
+		index := map[string][]*binding.Reduced{}
+		for _, sol := range solutions {
+			index[joinKeyOfSolution(sol, shared)] = append(index[joinKeyOfSolution(sol, shared)], sol)
+		}
+		var next []*Row
+		for _, row := range rows {
+			for _, sol := range index[joinKeyOfRow(row, shared)] {
+				merged, ok := mergeRow(p, pp, row, sol)
+				if !ok {
+					continue
+				}
+				next = append(next, merged)
+			}
+		}
+		rows = next
+		for _, v := range pp.Vars {
+			bound[v] = true
+		}
+		if pv := pp.Pattern.PathVar; pv != "" {
+			bound[pv] = true
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	if cfg.EdgeIsomorphic {
+		kept := rows[:0]
+		for _, row := range rows {
+			if rowEdgeIsomorphic(row) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	// Postfilter.
+	if p.Post != nil {
+		var kept []*Row
+		for _, row := range rows {
+			t, err := EvalPred(p.Post, rowResolver{g, varGraph, row})
+			if err != nil {
+				return nil, err
+			}
+			if t.IsTrue() {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	return &Result{Columns: p.Columns, Rows: rows}, nil
+}
+
+// joinKeyOfSolution builds the hash key of a pattern solution over the
+// shared join variables.
+func joinKeyOfSolution(sol *binding.Reduced, shared []string) string {
+	if len(shared) == 0 {
+		return ""
+	}
+	key := ""
+	for _, v := range shared {
+		ref, ok := sol.Singleton(v)
+		if !ok {
+			key += "?\x00"
+			continue
+		}
+		key += kindTag(ref.Kind) + ref.ID + "\x00"
+	}
+	return key
+}
+
+func kindTag(k binding.ElemKind) string {
+	if k == binding.NodeElem {
+		return "n"
+	}
+	return "e"
+}
+
+// joinKeyOfRow builds the matching probe key from an accumulated row.
+func joinKeyOfRow(row *Row, shared []string) string {
+	if len(shared) == 0 {
+		return ""
+	}
+	key := ""
+	for _, v := range shared {
+		b := row.vars[v]
+		switch b.Kind {
+		case BoundNode:
+			key += kindTag(binding.NodeElem) + string(b.Node) + "\x00"
+		case BoundEdge:
+			key += kindTag(binding.EdgeElem) + string(b.Edge) + "\x00"
+		default:
+			key += "?\x00"
+		}
+	}
+	return key
+}
+
+// mergeRow extends a partial row with one pattern solution, checking the
+// implicit equi-joins on shared unconditional singletons.
+func mergeRow(p *plan.Plan, pp *plan.PathPlan, row *Row, sol *binding.Reduced) (*Row, bool) {
+	vars := make(map[string]Bound, len(row.vars)+4)
+	for k, v := range row.vars {
+		vars[k] = v
+	}
+	for _, name := range pp.Vars {
+		info := p.Var(name)
+		if info == nil {
+			continue
+		}
+		var b Bound
+		switch {
+		case info.Kind == plan.VarPath:
+			continue // handled below via PathVar
+		case info.Group:
+			b = Bound{Kind: BoundGroup, Group: sol.Group(name)}
+		default:
+			ref, ok := sol.Singleton(name)
+			if !ok {
+				b = Bound{Kind: BoundNull} // conditional singleton, unbound
+			} else if ref.Kind == binding.NodeElem {
+				b = Bound{Kind: BoundNode, Node: graph.NodeID(ref.ID)}
+			} else {
+				b = Bound{Kind: BoundEdge, Edge: graph.EdgeID(ref.ID)}
+			}
+		}
+		if prev, exists := vars[name]; exists {
+			// Implicit equi-join across path patterns (static analysis
+			// guarantees these are unconditional singletons).
+			if prev.Kind != b.Kind || prev.Node != b.Node || prev.Edge != b.Edge {
+				return nil, false
+			}
+			continue
+		}
+		vars[name] = b
+	}
+	if pv := pp.Pattern.PathVar; pv != "" {
+		vars[pv] = Bound{Kind: BoundPath, Path: sol.Path}
+	}
+	bindings := make([]*binding.Reduced, len(row.Bindings)+1)
+	copy(bindings, row.Bindings)
+	bindings[len(row.Bindings)] = sol
+	return &Row{vars: vars, Bindings: bindings}, true
+}
+
+// rowEdgeIsomorphic reports whether every edge occurrence across the row's
+// path bindings is distinct (§7.1's edge-isomorphic match mode).
+func rowEdgeIsomorphic(row *Row) bool {
+	seen := map[string]struct{}{}
+	for _, rb := range row.Bindings {
+		for _, col := range rb.Cols {
+			if col.Kind != binding.EdgeElem {
+				continue
+			}
+			if _, dup := seen[col.ID]; dup {
+				return false
+			}
+			seen[col.ID] = struct{}{}
+		}
+	}
+	return true
+}
+
+// rowResolver evaluates the postfilter over a joined row. In multi-graph
+// evaluation (EvalPlanOn) varGraph routes property lookups to the graph
+// that declared each variable; Graph() returns the primary graph for
+// expressions that are not variable-specific.
+type rowResolver struct {
+	g        *graph.Graph
+	varGraph map[string]*graph.Graph
+	row      *Row
+}
+
+func (r rowResolver) Graph() *graph.Graph { return r.g }
+
+// GraphFor routes per-variable element lookups in multi-graph evaluation.
+func (r rowResolver) GraphFor(name string) *graph.Graph {
+	if r.varGraph == nil {
+		return r.g
+	}
+	if g, ok := r.varGraph[name]; ok {
+		return g
+	}
+	return r.g
+}
+
+func (r rowResolver) Elem(name string) (binding.Ref, bool) {
+	b, ok := r.row.vars[name]
+	if !ok {
+		return binding.Ref{}, false
+	}
+	switch b.Kind {
+	case BoundNode:
+		return binding.Ref{Kind: binding.NodeElem, ID: string(b.Node)}, true
+	case BoundEdge:
+		return binding.Ref{Kind: binding.EdgeElem, ID: string(b.Edge)}, true
+	default:
+		return binding.Ref{}, false
+	}
+}
+
+func (r rowResolver) Group(name string) ([]binding.Ref, bool) {
+	b, ok := r.row.vars[name]
+	if !ok || b.Kind != BoundGroup {
+		return nil, false
+	}
+	return b.Group, true
+}
+
+// RowResolver exposes a row as an expression resolver for host-language
+// projections (SQL/PGQ COLUMNS, GQL RETURN).
+func RowResolver(g *graph.Graph, row *Row) Resolver { return rowResolver{g: g, row: row} }

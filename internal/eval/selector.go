@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"sort"
+
+	"gpml/internal/ast"
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+)
+
+// ApplySelector implements Fig 8: it conceptually partitions the (already
+// reduced and deduplicated, §6) solution space on the path endpoints and
+// selects a finite subset from each partition. Non-deterministic selectors
+// (ANY …, SHORTEST k) are made reproducible by choosing in canonical order
+// (shortest first, then lexicographic binding key); the specification
+// explicitly permits any choice.
+func ApplySelector(sel ast.Selector, in []*binding.Reduced) []*binding.Reduced {
+	if sel.Kind == ast.NoSelector {
+		return in
+	}
+	type partition struct {
+		key   [2]graph.NodeID
+		items []*binding.Reduced
+	}
+	index := map[[2]graph.NodeID]int{}
+	var parts []*partition
+	for _, r := range in {
+		if len(r.Path.Nodes) == 0 {
+			continue
+		}
+		key := [2]graph.NodeID{r.Path.First(), r.Path.Last()}
+		i, ok := index[key]
+		if !ok {
+			i = len(parts)
+			index[key] = i
+			parts = append(parts, &partition{key: key})
+		}
+		parts[i].items = append(parts[i].items, r)
+	}
+	var out []*binding.Reduced
+	for _, p := range parts {
+		binding.SortStable(p.items)
+		out = append(out, selectFromPartition(sel, p.items)...)
+	}
+	return out
+}
+
+// selectFromPartition picks from one endpoint partition, already sorted by
+// (length, canonical key).
+func selectFromPartition(sel ast.Selector, items []*binding.Reduced) []*binding.Reduced {
+	switch sel.Kind {
+	case ast.AnyShortest, ast.AnyPath:
+		// ANY SHORTEST: one path of shortest length; ANY: one arbitrary
+		// path. Canonical order starts with a shortest path, satisfying
+		// both.
+		return items[:1]
+	case ast.AllShortest:
+		minLen := items[0].Path.Len()
+		end := sort.Search(len(items), func(i int) bool { return items[i].Path.Len() > minLen })
+		return items[:end]
+	case ast.AnyK, ast.ShortestK:
+		// SHORTEST k: the k shortest (ties broken arbitrarily); ANY k: any
+		// k paths. Canonical order satisfies both; fewer than k retains all
+		// (Fig 8).
+		if len(items) > sel.K {
+			return items[:sel.K]
+		}
+		return items
+	case ast.ShortestKGroup:
+		// Partition by endpoints, sort by length, group paths of equal
+		// length, keep the first k groups (deterministic).
+		var out []*binding.Reduced
+		groups := 0
+		prevLen := -1
+		for _, r := range items {
+			if r.Path.Len() != prevLen {
+				groups++
+				prevLen = r.Path.Len()
+				if groups > sel.K {
+					break
+				}
+			}
+			out = append(out, r)
+		}
+		return out
+	default:
+		return items
+	}
+}

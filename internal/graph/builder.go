@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpml/internal/value"
+)
+
+// Builder offers a fluent, panic-free way to assemble graphs in tests,
+// examples and generators. Errors are accumulated and returned by Build.
+type Builder struct {
+	g    *Graph
+	errs []error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{g: New()} }
+
+// Node adds a node with labels and alternating key/value property pairs.
+// Property values may be string, int, int64, float64, bool or value.Value.
+func (b *Builder) Node(id string, labels []string, kv ...any) *Builder {
+	props, err := kvProps(kv)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("node %q: %w", id, err))
+		return b
+	}
+	if err := b.g.AddNode(NodeID(id), labels, props); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Edge adds a directed edge.
+func (b *Builder) Edge(id, src, dst string, labels []string, kv ...any) *Builder {
+	props, err := kvProps(kv)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("edge %q: %w", id, err))
+		return b
+	}
+	if err := b.g.AddEdge(EdgeID(id), NodeID(src), NodeID(dst), labels, props); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// UndirectedEdge adds an undirected edge.
+func (b *Builder) UndirectedEdge(id, u, v string, labels []string, kv ...any) *Builder {
+	props, err := kvProps(kv)
+	if err != nil {
+		b.errs = append(b.errs, fmt.Errorf("edge %q: %w", id, err))
+		return b
+	}
+	if err := b.g.AddUndirectedEdge(EdgeID(id), NodeID(u), NodeID(v), labels, props); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Build returns the assembled graph or the first accumulated error.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build that panics on error; intended for fixtures.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func kvProps(kv []any) (map[string]value.Value, error) {
+	if len(kv) == 0 {
+		return nil, nil
+	}
+	if len(kv)%2 != 0 {
+		return nil, fmt.Errorf("odd number of key/value arguments")
+	}
+	props := make(map[string]value.Value, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			return nil, fmt.Errorf("property key %v is not a string", kv[i])
+		}
+		v, err := ToValue(kv[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		props[k] = v
+	}
+	return props, nil
+}
+
+// ToValue converts a Go value to a property value.
+func ToValue(x any) (value.Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return value.Null, nil
+	case value.Value:
+		return v, nil
+	case string:
+		return value.Str(v), nil
+	case int:
+		return value.Int(int64(v)), nil
+	case int64:
+		return value.Int(v), nil
+	case float64:
+		return value.Float(v), nil
+	case bool:
+		return value.Bool(v), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported property type %T", x)
+	}
+}
+
+// jsonGraph is the interchange schema for WriteJSON/ReadJSON.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID     string         `json:"id"`
+	Labels []string       `json:"labels,omitempty"`
+	Props  map[string]any `json:"props,omitempty"`
+}
+
+type jsonEdge struct {
+	ID         string         `json:"id"`
+	Source     string         `json:"source"`
+	Target     string         `json:"target"`
+	Undirected bool           `json:"undirected,omitempty"`
+	Labels     []string       `json:"labels,omitempty"`
+	Props      map[string]any `json:"props,omitempty"`
+}
+
+// WriteJSON serializes the graph for cmd/gpml interchange.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	var jg jsonGraph
+	g.Nodes(func(n *Node) bool {
+		jg.Nodes = append(jg.Nodes, jsonNode{ID: string(n.ID), Labels: n.Labels, Props: propsToJSON(n.Props)})
+		return true
+	})
+	g.Edges(func(e *Edge) bool {
+		jg.Edges = append(jg.Edges, jsonEdge{
+			ID: string(e.ID), Source: string(e.Source), Target: string(e.Target),
+			Undirected: e.Direction == Undirected, Labels: e.Labels, Props: propsToJSON(e.Props),
+		})
+		return true
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON parses a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	g := New()
+	for _, n := range jg.Nodes {
+		props, err := propsFromJSON(n.Props)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %q: %w", n.ID, err)
+		}
+		if err := g.AddNode(NodeID(n.ID), n.Labels, props); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range jg.Edges {
+		props, err := propsFromJSON(e.Props)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %q: %w", e.ID, err)
+		}
+		if e.Undirected {
+			err = g.AddUndirectedEdge(EdgeID(e.ID), NodeID(e.Source), NodeID(e.Target), e.Labels, props)
+		} else {
+			err = g.AddEdge(EdgeID(e.ID), NodeID(e.Source), NodeID(e.Target), e.Labels, props)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func propsToJSON(props map[string]value.Value) map[string]any {
+	if len(props) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(props))
+	for k, v := range props {
+		switch v.Kind() {
+		case value.KindString:
+			s, _ := v.AsString()
+			out[k] = s
+		case value.KindInt:
+			i, _ := v.AsInt()
+			out[k] = i
+		case value.KindFloat:
+			f, _ := v.AsFloat()
+			out[k] = f
+		case value.KindBool:
+			b, _ := v.AsBool()
+			out[k] = b
+		default:
+			out[k] = nil
+		}
+	}
+	return out
+}
+
+func propsFromJSON(props map[string]any) (map[string]value.Value, error) {
+	if len(props) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(props))
+	for k, raw := range props {
+		switch v := raw.(type) {
+		case string:
+			out[k] = value.Str(v)
+		case float64:
+			if v == float64(int64(v)) {
+				out[k] = value.Int(int64(v))
+			} else {
+				out[k] = value.Float(v)
+			}
+		case bool:
+			out[k] = value.Bool(v)
+		case nil:
+			out[k] = value.Null
+		default:
+			return nil, fmt.Errorf("unsupported JSON property type %T for %q", raw, k)
+		}
+	}
+	return out, nil
+}

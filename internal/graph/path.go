@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is an alternating sequence of nodes and edges that starts and ends
+// with a node, where consecutive nodes are connected by the edge between
+// them (Section 2 of the paper; the graph-theory term is "walk"). A path of
+// length zero is a single node.
+//
+// The paper writes paths as path(c1,li1,a1,t1,a3,hp3,p2); String renders
+// that form.
+type Path struct {
+	Nodes []NodeID // len(Nodes) == len(Edges)+1
+	Edges []EdgeID
+}
+
+// SingleNode returns the zero-length path at n.
+func SingleNode(n NodeID) Path { return Path{Nodes: []NodeID{n}} }
+
+// Len returns the number of edges in the path.
+func (p Path) Len() int { return len(p.Edges) }
+
+// First returns the first node; it panics on an empty (invalid) path.
+func (p Path) First() NodeID { return p.Nodes[0] }
+
+// Last returns the final node.
+func (p Path) Last() NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// Append returns a new path extended by edge e to node n. The receiver is
+// not modified (paths are persistent during search).
+func (p Path) Append(e EdgeID, n NodeID) Path {
+	nodes := make([]NodeID, len(p.Nodes)+1)
+	copy(nodes, p.Nodes)
+	nodes[len(p.Nodes)] = n
+	edges := make([]EdgeID, len(p.Edges)+1)
+	copy(edges, p.Edges)
+	edges[len(p.Edges)] = e
+	return Path{Nodes: nodes, Edges: edges}
+}
+
+// Concat joins two paths; q must start where p ends.
+func (p Path) Concat(q Path) (Path, error) {
+	if len(p.Nodes) == 0 {
+		return q, nil
+	}
+	if len(q.Nodes) == 0 {
+		return p, nil
+	}
+	if p.Last() != q.First() {
+		return Path{}, fmt.Errorf("graph: cannot concatenate path ending at %q with path starting at %q", p.Last(), q.First())
+	}
+	nodes := make([]NodeID, 0, len(p.Nodes)+len(q.Nodes)-1)
+	nodes = append(nodes, p.Nodes...)
+	nodes = append(nodes, q.Nodes[1:]...)
+	edges := make([]EdgeID, 0, len(p.Edges)+len(q.Edges))
+	edges = append(edges, p.Edges...)
+	edges = append(edges, q.Edges...)
+	return Path{Nodes: nodes, Edges: edges}, nil
+}
+
+// String renders the paper's path(n0,e1,n1,…) notation.
+func (p Path) String() string {
+	var b strings.Builder
+	b.WriteString("path(")
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString(",")
+			b.WriteString(string(p.Edges[i-1]))
+			b.WriteString(",")
+		}
+		b.WriteString(string(n))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// IsTrail reports whether no edge repeats (Fig 7: TRAIL).
+func (p Path) IsTrail() bool {
+	seen := make(map[EdgeID]struct{}, len(p.Edges))
+	for _, e := range p.Edges {
+		if _, ok := seen[e]; ok {
+			return false
+		}
+		seen[e] = struct{}{}
+	}
+	return true
+}
+
+// IsAcyclic reports whether no node repeats (Fig 7: ACYCLIC).
+func (p Path) IsAcyclic() bool {
+	seen := make(map[NodeID]struct{}, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if _, ok := seen[n]; ok {
+			return false
+		}
+		seen[n] = struct{}{}
+	}
+	return true
+}
+
+// IsSimple reports whether no node repeats except that the first and last
+// node may coincide (Fig 7: SIMPLE).
+func (p Path) IsSimple() bool {
+	if len(p.Nodes) == 0 {
+		return true
+	}
+	seen := make(map[NodeID]struct{}, len(p.Nodes))
+	interior := p.Nodes[:len(p.Nodes)-1]
+	for _, n := range interior {
+		if _, ok := seen[n]; ok {
+			return false
+		}
+		seen[n] = struct{}{}
+	}
+	last := p.Nodes[len(p.Nodes)-1]
+	if _, ok := seen[last]; ok {
+		return last == p.Nodes[0]
+	}
+	return true
+}
+
+// ValidIn reports whether the path is structurally valid in g: every
+// consecutive (node, edge, node) triple is connected by that edge.
+func (p Path) ValidIn(g *Graph) error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("graph: empty path")
+	}
+	if len(p.Nodes) != len(p.Edges)+1 {
+		return fmt.Errorf("graph: path has %d nodes and %d edges", len(p.Nodes), len(p.Edges))
+	}
+	for i, n := range p.Nodes {
+		if g.Node(n) == nil {
+			return fmt.Errorf("graph: path references unknown node %q", n)
+		}
+		if i == 0 {
+			continue
+		}
+		e := g.Edge(p.Edges[i-1])
+		if e == nil {
+			return fmt.Errorf("graph: path references unknown edge %q", p.Edges[i-1])
+		}
+		if !e.Connects(p.Nodes[i-1], n) {
+			return fmt.Errorf("graph: edge %q does not connect %q and %q", e.ID, p.Nodes[i-1], n)
+		}
+	}
+	return nil
+}
+
+// Key returns a canonical identity key for the path.
+func (p Path) Key() string {
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteByte('|')
+			b.WriteString(string(p.Edges[i-1]))
+			b.WriteByte('|')
+		}
+		b.WriteString(string(n))
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package graph
+
+// Reverse returns a copy of the graph with every directed edge's source
+// and target swapped; undirected edges and all labels/properties are
+// preserved. Useful for testing orientation semantics: matching <-[e]- on
+// g is equivalent to matching -[e]-> on Reverse(g).
+func Reverse(g *Graph) *Graph {
+	out := New()
+	g.Nodes(func(n *Node) bool {
+		if err := out.AddNode(n.ID, n.Labels, n.Props); err != nil {
+			panic(err) // fresh graph, same ids: unreachable
+		}
+		return true
+	})
+	g.Edges(func(e *Edge) bool {
+		var err error
+		if e.Direction == Directed {
+			err = out.AddEdge(e.ID, e.Target, e.Source, e.Labels, e.Props)
+		} else {
+			err = out.AddUndirectedEdge(e.ID, e.Source, e.Target, e.Labels, e.Props)
+		}
+		if err != nil {
+			panic(err)
+		}
+		return true
+	})
+	return out
+}
+
+// Induced returns the subgraph induced by the given node set: those nodes
+// and every edge whose both endpoints are included.
+func Induced(g *Graph, nodes map[NodeID]bool) *Graph {
+	out := New()
+	g.Nodes(func(n *Node) bool {
+		if nodes[n.ID] {
+			if err := out.AddNode(n.ID, n.Labels, n.Props); err != nil {
+				panic(err)
+			}
+		}
+		return true
+	})
+	g.Edges(func(e *Edge) bool {
+		if !nodes[e.Source] || !nodes[e.Target] {
+			return true
+		}
+		var err error
+		if e.Direction == Directed {
+			err = out.AddEdge(e.ID, e.Source, e.Target, e.Labels, e.Props)
+		} else {
+			err = out.AddUndirectedEdge(e.ID, e.Source, e.Target, e.Labels, e.Props)
+		}
+		if err != nil {
+			panic(err)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,170 @@
+// Package lexer tokenizes GPML query text.
+//
+// GPML's "ASCII art" pattern syntax reuses characters that also appear in
+// value expressions (<, >, -, ~, *, +, %, !). The lexer therefore emits
+// fine-grained tokens and leaves the assembly of edge patterns such as
+// <-[e]-> to the parser, which knows whether it is reading a pattern or an
+// expression. Only unambiguous multi-character operators are fused here:
+// <=, >=, <>, and the multiset-alternation operator |+|.
+package lexer
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	KEYWORD // canonical upper-case spelling in Text
+	STRING  // decoded payload in Text
+	INT     // int64 payload in Int
+	FLOAT   // float64 payload in Float
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	DOT      // .
+	COLON    // :
+	BAR      // |
+	MULTIBAR // |+|
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	NE       // <>
+	EQ       // =
+	MINUS    // -
+	PLUS     // +
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	TILDE    // ~
+	QUESTION // ?
+	BANG     // !
+	AMP      // &
+)
+
+// String names the token kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case IDENT:
+		return "identifier"
+	case KEYWORD:
+		return "keyword"
+	case STRING:
+		return "string literal"
+	case INT:
+		return "integer literal"
+	case FLOAT:
+		return "float literal"
+	case LPAREN:
+		return "'('"
+	case RPAREN:
+		return "')'"
+	case LBRACKET:
+		return "'['"
+	case RBRACKET:
+		return "']'"
+	case LBRACE:
+		return "'{'"
+	case RBRACE:
+		return "'}'"
+	case COMMA:
+		return "','"
+	case DOT:
+		return "'.'"
+	case COLON:
+		return "':'"
+	case BAR:
+		return "'|'"
+	case MULTIBAR:
+		return "'|+|'"
+	case LT:
+		return "'<'"
+	case GT:
+		return "'>'"
+	case LE:
+		return "'<='"
+	case GE:
+		return "'>='"
+	case NE:
+		return "'<>'"
+	case EQ:
+		return "'='"
+	case MINUS:
+		return "'-'"
+	case PLUS:
+		return "'+'"
+	case STAR:
+		return "'*'"
+	case SLASH:
+		return "'/'"
+	case PERCENT:
+		return "'%'"
+	case TILDE:
+		return "'~'"
+	case QUESTION:
+		return "'?'"
+	case BANG:
+		return "'!'"
+	case AMP:
+		return "'&'"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Token is a lexed token with its source position (1-based line/column).
+type Token struct {
+	Kind  Kind
+	Text  string // identifier text, keyword canonical form, or string payload
+	Int   int64
+	Float float64
+	Line  int
+	Col   int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case KEYWORD:
+		return fmt.Sprintf("keyword %s", t.Text)
+	case STRING:
+		return fmt.Sprintf("string '%s'", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Int)
+	case FLOAT:
+		return fmt.Sprintf("float %g", t.Float)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Keywords recognized by GPML (case-insensitive in source; canonicalized to
+// upper case). Identifiers matching these become KEYWORD tokens; the parser
+// may still accept some keywords as identifiers where unambiguous.
+var keywords = map[string]bool{
+	"MATCH": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "XOR": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "UNKNOWN": true,
+	"DIRECTED": true, "SOURCE": true, "DESTINATION": true, "OF": true,
+	"TRAIL": true, "ACYCLIC": true, "SIMPLE": true,
+	"ANY": true, "ALL": true, "SHORTEST": true, "GROUP": true,
+	"SAME": true, "ALL_DIFFERENT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true, "KEEP": true, "AS": true, "COLUMNS": true,
+	"LISTAGG": true,
+}
+
+// IsKeyword reports whether the upper-cased word is a reserved keyword.
+func IsKeyword(upper string) bool { return keywords[upper] }

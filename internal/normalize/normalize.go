@@ -1,0 +1,210 @@
+// Package normalize implements the normalization step of the paper's
+// execution model (§6.2):
+//
+//  1. Each sequence of node and edge patterns is made consistent: it must
+//     start and end with a node-providing element and alternate between
+//     node positions and edges; anonymous node patterns are inserted where
+//     needed (including around quantified bare edge patterns, §4.4).
+//  2. Syntactic sugar is expanded (the parser already canonicalizes *, +
+//     and {m,n}; this step canonicalizes structure).
+//  3. A fresh variable is introduced into each anonymous node and edge
+//     pattern (the paper's □ᵢ and −ᵢ; we spell them $nᵢ and $eᵢ).
+//
+// Additionally, unions with mixed | and |+| operators are rewritten into
+// left-nested unions with a uniform operator per node, so that multiset
+// branch identities (§4.5, §6.5) are well defined.
+//
+// Normalization never mutates its input; it returns a fresh tree.
+package normalize
+
+import (
+	"fmt"
+
+	"gpml/internal/ast"
+)
+
+// Normalize returns the normalized form of the statement.
+func Normalize(stmt *ast.MatchStmt) (*ast.MatchStmt, error) {
+	n := &normalizer{}
+	out := &ast.MatchStmt{Where: stmt.Where}
+	for _, pp := range stmt.Patterns {
+		expr, err := n.pathExpr(pp.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.Patterns = append(out.Patterns, &ast.PathPattern{
+			Selector:   pp.Selector,
+			Restrictor: pp.Restrictor,
+			PathVar:    pp.PathVar,
+			Expr:       expr,
+		})
+	}
+	return out, nil
+}
+
+type normalizer struct {
+	nextNode int
+	nextEdge int
+}
+
+func (n *normalizer) freshNode() string {
+	n.nextNode++
+	return ast.AnonNodeVar(n.nextNode)
+}
+
+func (n *normalizer) freshEdge() string {
+	n.nextEdge++
+	return ast.AnonEdgeVar(n.nextEdge)
+}
+
+// pathExpr normalizes a sequence context (top level, paren interior, union
+// branch): the result is always a *ast.Concat whose elements alternate
+// correctly and carry variables.
+func (n *normalizer) pathExpr(e ast.PathExpr) (ast.PathExpr, error) {
+	elems, err := n.sequence(e)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Concat{Elems: elems}, nil
+}
+
+// sequence flattens nested concatenations and normalizes each element,
+// inserting anonymous node patterns so that edge patterns are always
+// preceded and followed by a node-providing element.
+func (n *normalizer) sequence(e ast.PathExpr) ([]ast.PathExpr, error) {
+	var raw []ast.PathExpr
+	var flatten func(ast.PathExpr)
+	flatten = func(e ast.PathExpr) {
+		if c, ok := e.(*ast.Concat); ok {
+			for _, el := range c.Elems {
+				flatten(el)
+			}
+			return
+		}
+		raw = append(raw, e)
+	}
+	flatten(e)
+
+	var out []ast.PathExpr
+	prevIsEdge := true // forces a node before a leading edge
+	for _, el := range raw {
+		norm, err := n.element(el)
+		if err != nil {
+			return nil, err
+		}
+		if _, isEdge := norm.(*ast.EdgePattern); isEdge {
+			if prevIsEdge {
+				out = append(out, &ast.NodePattern{Var: n.freshNode()})
+			}
+			prevIsEdge = true
+		} else {
+			prevIsEdge = false
+		}
+		out = append(out, norm)
+	}
+	if prevIsEdge {
+		out = append(out, &ast.NodePattern{Var: n.freshNode()})
+	}
+	return out, nil
+}
+
+// element normalizes a single non-concat pattern element.
+func (n *normalizer) element(e ast.PathExpr) (ast.PathExpr, error) {
+	switch x := e.(type) {
+	case *ast.NodePattern:
+		out := *x
+		if out.Var == "" {
+			out.Var = n.freshNode()
+		}
+		return &out, nil
+	case *ast.EdgePattern:
+		out := *x
+		if out.Var == "" {
+			out.Var = n.freshEdge()
+		}
+		return &out, nil
+	case *ast.Paren:
+		inner, err := n.pathExpr(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Paren{Restrictor: x.Restrictor, Expr: inner, Where: x.Where, Square: x.Square}, nil
+	case *ast.Quantified:
+		inner := x.Inner
+		// §4.4: a quantifier on a bare edge pattern is understood by
+		// supplying anonymous node patterns to its left and right; wrap the
+		// edge in a parenthesized pattern so the sequence repair applies.
+		if _, isEdge := inner.(*ast.EdgePattern); isEdge {
+			inner = &ast.Paren{Expr: inner, Square: true}
+		}
+		normInner, err := n.element(inner)
+		if err != nil {
+			return nil, err
+		}
+		if _, isParen := normInner.(*ast.Paren); !isParen {
+			return nil, fmt.Errorf("normalize: quantifier applied to %T; only edge patterns and parenthesized path patterns may be quantified", x.Inner)
+		}
+		return &ast.Quantified{Inner: normInner, Min: x.Min, Max: x.Max, Question: x.Question}, nil
+	case *ast.Union:
+		return n.union(x)
+	case *ast.Concat:
+		// A nested concat outside a sequence context: normalize as its own
+		// sequence and wrap in an invisible paren grouping.
+		inner, err := n.pathExpr(x)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Paren{Expr: inner}, nil
+	default:
+		return nil, fmt.Errorf("normalize: unknown path expression %T", e)
+	}
+}
+
+// union normalizes an alternation. Mixed operators are folded into
+// left-nested binary unions so each Union node carries a single operator.
+func (n *normalizer) union(u *ast.Union) (ast.PathExpr, error) {
+	if len(u.Branches) == 1 {
+		return n.pathExpr(u.Branches[0])
+	}
+	uniform := true
+	for _, op := range u.Ops[1:] {
+		if op != u.Ops[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		out := &ast.Union{Ops: make([]ast.UnionOp, len(u.Ops))}
+		copy(out.Ops, u.Ops)
+		for _, br := range u.Branches {
+			nb, err := n.pathExpr(br)
+			if err != nil {
+				return nil, err
+			}
+			out.Branches = append(out.Branches, nb)
+		}
+		return out, nil
+	}
+	// Left-associative fold: ((b0 op0 b1) op1 b2) …
+	acc, err := n.pathExpr(u.Branches[0])
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range u.Ops {
+		right, err := n.pathExpr(u.Branches[i+1])
+		if err != nil {
+			return nil, err
+		}
+		acc = &ast.Union{Branches: []ast.PathExpr{wrapConcat(acc), right}, Ops: []ast.UnionOp{op}}
+	}
+	return acc, nil
+}
+
+// wrapConcat ensures a union branch is a sequence context (a nested union
+// becomes a single-element concat wrapping it).
+func wrapConcat(e ast.PathExpr) ast.PathExpr {
+	if _, ok := e.(*ast.Concat); ok {
+		return e
+	}
+	return &ast.Concat{Elems: []ast.PathExpr{e}}
+}

@@ -1,0 +1,268 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"gpml/internal/ast"
+	"gpml/internal/parser"
+)
+
+func norm(t *testing.T, src string) *ast.MatchStmt {
+	t.Helper()
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := Normalize(stmt)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return out
+}
+
+// checkShape verifies the §6.2 guarantees on a normalized tree: sequences
+// are concats whose edge patterns are surrounded by node-providing
+// elements, every element pattern carries a variable, and quantifiers wrap
+// parenthesized patterns.
+func checkShape(t *testing.T, e ast.PathExpr) {
+	t.Helper()
+	switch x := e.(type) {
+	case *ast.Concat:
+		prevEdge := true
+		for _, el := range x.Elems {
+			if _, isEdge := el.(*ast.EdgePattern); isEdge {
+				if prevEdge {
+					t.Errorf("edge pattern not preceded by a node-providing element in %s", x)
+				}
+				prevEdge = true
+			} else {
+				prevEdge = false
+			}
+			checkShape(t, el)
+		}
+		if prevEdge {
+			t.Errorf("sequence ends with an edge pattern: %s", x)
+		}
+	case *ast.NodePattern:
+		if x.Var == "" {
+			t.Errorf("anonymous node pattern survived normalization")
+		}
+	case *ast.EdgePattern:
+		if x.Var == "" {
+			t.Errorf("anonymous edge pattern survived normalization")
+		}
+	case *ast.Paren:
+		if _, ok := x.Expr.(*ast.Concat); !ok {
+			t.Errorf("paren interior is %T, want *ast.Concat", x.Expr)
+		}
+		checkShape(t, x.Expr)
+	case *ast.Quantified:
+		if _, ok := x.Inner.(*ast.Paren); !ok {
+			t.Errorf("quantifier inner is %T, want *ast.Paren", x.Inner)
+		}
+		checkShape(t, x.Inner)
+	case *ast.Union:
+		for i, op := range x.Ops {
+			if op != x.Ops[0] {
+				t.Errorf("mixed union operators survived at index %d", i)
+			}
+		}
+		for _, br := range x.Branches {
+			if _, ok := br.(*ast.Concat); !ok {
+				t.Errorf("union branch is %T, want *ast.Concat", br)
+			}
+			checkShape(t, br)
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	queries := []string{
+		`MATCH (x)`,
+		`MATCH -[e]->`,
+		`MATCH ~[e]~`,
+		`MATCH (a)-[e]->(b)`,
+		`MATCH (a)-[e]->-[f]->(b)`, // adjacent edges: anonymous node inserted
+		`MATCH ->{1,5}`,
+		`MATCH (a)-[:Transfer]->{2,5}(b)`,
+		`MATCH (a) [()-[t]->() WHERE t.amount>1]{2,5} (b)`,
+		`MATCH (c:City) | (c:Country)`,
+		`MATCH (a) | (b) |+| (c)`,
+		`MATCH (x)[->(y)]?`,
+		`MATCH TRAIL (a) [-[b:Transfer]->]+ (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]`,
+	}
+	for _, src := range queries {
+		stmt := norm(t, src)
+		for _, pp := range stmt.Patterns {
+			if _, ok := pp.Expr.(*ast.Concat); !ok {
+				t.Errorf("%s: top level is %T, want *ast.Concat", src, pp.Expr)
+			}
+			checkShape(t, pp.Expr)
+		}
+	}
+}
+
+func TestBareEdgeGetsAnonNodes(t *testing.T) {
+	stmt := norm(t, `MATCH -[e]->`)
+	c := stmt.Patterns[0].Expr.(*ast.Concat)
+	if len(c.Elems) != 3 {
+		t.Fatalf("want node,edge,node; got %d elements", len(c.Elems))
+	}
+	n1, ok1 := c.Elems[0].(*ast.NodePattern)
+	_, ok2 := c.Elems[1].(*ast.EdgePattern)
+	n2, ok3 := c.Elems[2].(*ast.NodePattern)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("wrong shapes: %T %T %T", c.Elems[0], c.Elems[1], c.Elems[2])
+	}
+	if !ast.IsAnonVar(n1.Var) || !ast.IsAnonVar(n2.Var) {
+		t.Errorf("inserted nodes must be anonymous: %q %q", n1.Var, n2.Var)
+	}
+	if n1.Var == n2.Var {
+		t.Errorf("anonymous variables must be fresh")
+	}
+}
+
+// §4.4: a quantifier on a bare edge pattern is understood by supplying
+// anonymous node patterns to its left and right.
+func TestQuantifiedBareEdgeWrapped(t *testing.T) {
+	stmt := norm(t, `MATCH (a)-[:Transfer]->{2,5}(b)`)
+	c := stmt.Patterns[0].Expr.(*ast.Concat)
+	q, ok := c.Elems[1].(*ast.Quantified)
+	if !ok {
+		t.Fatalf("middle element: %T", c.Elems[1])
+	}
+	par := q.Inner.(*ast.Paren)
+	inner := par.Expr.(*ast.Concat)
+	if len(inner.Elems) != 3 {
+		t.Fatalf("iteration body: want node,edge,node; got %d", len(inner.Elems))
+	}
+}
+
+// The paper's §6.2 worked normalization: the + becomes {1,}, the bare
+// edge is wrapped, and the union branches get leading anonymous nodes.
+func TestSection62RunningExample(t *testing.T) {
+	stmt := norm(t, `
+		MATCH TRAIL (a WHERE a.owner='Jay')
+		      [-[b:Transfer WHERE b.amount>5M]->]+
+		      (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]`)
+	c := stmt.Patterns[0].Expr.(*ast.Concat)
+	if len(c.Elems) != 4 {
+		t.Fatalf("top-level: want 4 elements (node, quant, node, union), got %d: %s", len(c.Elems), c)
+	}
+	q := c.Elems[1].(*ast.Quantified)
+	if q.Min != 1 || q.Max != -1 {
+		t.Errorf("+ must desugar to {1,}: {%d,%d}", q.Min, q.Max)
+	}
+	body := q.Inner.(*ast.Paren).Expr.(*ast.Concat)
+	if len(body.Elems) != 3 {
+		t.Fatalf("quantifier body: want 3, got %d", len(body.Elems))
+	}
+	// The bracketed alternation parses as a Paren around the Union.
+	u := c.Elems[3].(*ast.Paren).Expr.(*ast.Concat).Elems[0].(*ast.Union)
+	for _, br := range u.Branches {
+		bc := br.(*ast.Concat)
+		if len(bc.Elems) != 3 {
+			t.Fatalf("union branch: want node,edge,node; got %d: %s", len(bc.Elems), bc)
+		}
+		if n, ok := bc.Elems[0].(*ast.NodePattern); !ok || !ast.IsAnonVar(n.Var) {
+			t.Errorf("union branch must start with an anonymous node, got %s", bc.Elems[0])
+		}
+	}
+}
+
+func TestMixedUnionFolding(t *testing.T) {
+	stmt := norm(t, `MATCH (a) | (b) |+| (c)`)
+	u := stmt.Patterns[0].Expr.(*ast.Concat).Elems[0].(*ast.Union)
+	if len(u.Ops) != 1 || u.Ops[0] != ast.Multiset {
+		t.Fatalf("outer union should be the multiset fold: %+v", u.Ops)
+	}
+	left := u.Branches[0].(*ast.Concat).Elems[0].(*ast.Union)
+	if len(left.Ops) != 1 || left.Ops[0] != ast.SetUnion {
+		t.Errorf("inner union should be the set fold: %+v", left.Ops)
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	stmt, err := parser.Parse(`MATCH -[e]->`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stmt.String()
+	if _, err := Normalize(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if stmt.String() != before {
+		t.Errorf("input mutated:\n before %s\n after  %s", before, stmt.String())
+	}
+}
+
+func TestFreshVariableNumbering(t *testing.T) {
+	stmt := norm(t, `MATCH ()-[]->()-[]->()`)
+	seen := map[string]bool{}
+	ast.WalkPath(stmt.Patterns[0].Expr, func(e ast.PathExpr) bool {
+		switch x := e.(type) {
+		case *ast.NodePattern:
+			if seen[x.Var] {
+				t.Errorf("duplicate fresh variable %q", x.Var)
+			}
+			seen[x.Var] = true
+		case *ast.EdgePattern:
+			if seen[x.Var] {
+				t.Errorf("duplicate fresh variable %q", x.Var)
+			}
+			seen[x.Var] = true
+		}
+		return true
+	})
+	if len(seen) != 5 {
+		t.Errorf("want 5 fresh variables, got %d", len(seen))
+	}
+}
+
+func TestAnonymousReducedMarkers(t *testing.T) {
+	if got := ast.ReducedVar(ast.AnonNodeVar(3)); got != "□" {
+		t.Errorf("anon node reduces to □, got %q", got)
+	}
+	if got := ast.ReducedVar(ast.AnonEdgeVar(1)); got != "−" {
+		t.Errorf("anon edge reduces to −, got %q", got)
+	}
+	if got := ast.ReducedVar("x"); got != "x" {
+		t.Errorf("named variable unchanged, got %q", got)
+	}
+}
+
+func TestPrintedNormalFormParses(t *testing.T) {
+	// Normalized trees print without anonymous variables and re-parse.
+	stmt := norm(t, `MATCH (a)-[:Transfer]->{2,5}(b) WHERE a.owner = b.owner`)
+	printed := stmt.String()
+	if strings.Contains(printed, "$") {
+		t.Errorf("printed normal form leaks anonymous variables: %s", printed)
+	}
+	if _, err := parser.Parse(printed); err != nil {
+		t.Errorf("printed normal form does not re-parse: %s\n%v", printed, err)
+	}
+}
+
+// Normalization is shape-stable: normalizing an already-normalized
+// statement yields the same printed form (anonymous variables are
+// renumbered internally but never printed).
+func TestNormalizeShapeStable(t *testing.T) {
+	queries := []string{
+		`MATCH -[e]->`,
+		`MATCH (a)-[:Transfer]->{2,5}(b)`,
+		`MATCH TRAIL (a) [-[b:Transfer]->]+ (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]`,
+		`MATCH (x)[->(y)]?`,
+	}
+	for _, src := range queries {
+		once := norm(t, src)
+		twice, err := Normalize(once)
+		if err != nil {
+			t.Fatalf("re-normalize %q: %v", src, err)
+		}
+		if once.String() != twice.String() {
+			t.Errorf("normalization not shape-stable for %q:\n once  %s\n twice %s",
+				src, once, twice)
+		}
+	}
+}

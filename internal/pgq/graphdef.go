@@ -1,0 +1,136 @@
+package pgq
+
+import (
+	"fmt"
+
+	"gpml/internal/graph"
+	"gpml/internal/value"
+)
+
+// VertexTable maps a relation to graph nodes (the SQL/PGQ CREATE PROPERTY
+// GRAPH vertex-table clause): each row becomes one node whose identifier is
+// the key column value, labelled with Labels, carrying the listed property
+// columns (all non-key columns when nil).
+type VertexTable struct {
+	Table  *Table
+	Key    string
+	Labels []string
+	Props  []string // nil = all non-key columns
+}
+
+// EdgeTable maps a relation to graph edges: each row becomes one edge from
+// the node keyed by SourceKey to the node keyed by TargetKey.
+type EdgeTable struct {
+	Table      *Table
+	Key        string
+	SourceKey  string // column referencing the source node key
+	TargetKey  string // column referencing the target node key
+	Labels     []string
+	Props      []string
+	Undirected bool
+}
+
+// GraphDef is a property-graph view over tables (Figure 2 in reverse: the
+// tabular representation defines the graph).
+type GraphDef struct {
+	Name     string
+	Vertices []VertexTable
+	Edges    []EdgeTable
+}
+
+// Build materializes the property graph from the tabular definition.
+func (d *GraphDef) Build() (*graph.Graph, error) {
+	g := graph.New()
+	for _, vt := range d.Vertices {
+		if err := buildVertices(g, vt); err != nil {
+			return nil, fmt.Errorf("pgq: graph %s: %w", d.Name, err)
+		}
+	}
+	for _, et := range d.Edges {
+		if err := buildEdges(g, et); err != nil {
+			return nil, fmt.Errorf("pgq: graph %s: %w", d.Name, err)
+		}
+	}
+	return g, nil
+}
+
+func buildVertices(g *graph.Graph, vt VertexTable) error {
+	t := vt.Table
+	keyIdx := t.ColumnIndex(vt.Key)
+	if keyIdx < 0 {
+		return fmt.Errorf("vertex table %s: no key column %q", t.Name, vt.Key)
+	}
+	props := vt.Props
+	if props == nil {
+		for _, c := range t.Columns {
+			if c != vt.Key {
+				props = append(props, c)
+			}
+		}
+	}
+	for r, row := range t.Rows {
+		id := row[keyIdx]
+		if id.IsNull() {
+			return fmt.Errorf("vertex table %s row %d: NULL key", t.Name, r)
+		}
+		pv := make(map[string]value.Value, len(props))
+		for _, p := range props {
+			i := t.ColumnIndex(p)
+			if i < 0 {
+				return fmt.Errorf("vertex table %s: no property column %q", t.Name, p)
+			}
+			if !row[i].IsNull() {
+				pv[p] = row[i]
+			}
+		}
+		if err := g.AddNode(graph.NodeID(id.Display()), vt.Labels, pv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildEdges(g *graph.Graph, et EdgeTable) error {
+	t := et.Table
+	keyIdx := t.ColumnIndex(et.Key)
+	srcIdx := t.ColumnIndex(et.SourceKey)
+	dstIdx := t.ColumnIndex(et.TargetKey)
+	if keyIdx < 0 || srcIdx < 0 || dstIdx < 0 {
+		return fmt.Errorf("edge table %s: missing key/source/target column (%q, %q, %q)",
+			t.Name, et.Key, et.SourceKey, et.TargetKey)
+	}
+	props := et.Props
+	if props == nil {
+		for _, c := range t.Columns {
+			if c != et.Key && c != et.SourceKey && c != et.TargetKey {
+				props = append(props, c)
+			}
+		}
+	}
+	for r, row := range t.Rows {
+		id, src, dst := row[keyIdx], row[srcIdx], row[dstIdx]
+		if id.IsNull() || src.IsNull() || dst.IsNull() {
+			return fmt.Errorf("edge table %s row %d: NULL key or endpoint", t.Name, r)
+		}
+		pv := make(map[string]value.Value, len(props))
+		for _, p := range props {
+			i := t.ColumnIndex(p)
+			if i < 0 {
+				return fmt.Errorf("edge table %s: no property column %q", t.Name, p)
+			}
+			if !row[i].IsNull() {
+				pv[p] = row[i]
+			}
+		}
+		var err error
+		if et.Undirected {
+			err = g.AddUndirectedEdge(graph.EdgeID(id.Display()), graph.NodeID(src.Display()), graph.NodeID(dst.Display()), et.Labels, pv)
+		} else {
+			err = g.AddEdge(graph.EdgeID(id.Display()), graph.NodeID(src.Display()), graph.NodeID(dst.Display()), et.Labels, pv)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package pgq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpml/internal/dataset"
+	"gpml/internal/eval"
+	"gpml/internal/value"
+)
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	if err := tbl.Append(value.Int(1), value.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append(value.Int(1)); err == nil {
+		t.Errorf("arity mismatch must fail")
+	}
+	if tbl.NumRows() != 1 {
+		t.Errorf("rows: %d", tbl.NumRows())
+	}
+	v, err := tbl.Get(0, "b")
+	if err != nil || !value.Identical(v, value.Str("x")) {
+		t.Errorf("get: %v %v", v, err)
+	}
+	if _, err := tbl.Get(0, "zzz"); err == nil {
+		t.Errorf("missing column must fail")
+	}
+	if _, err := tbl.Get(5, "a"); err == nil {
+		t.Errorf("missing row must fail")
+	}
+	if tbl.ColumnIndex("a") != 0 || tbl.ColumnIndex("zzz") != -1 {
+		t.Errorf("column index wrong")
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "x") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestTableSortAndCSV(t *testing.T) {
+	tbl := NewTable("T", "id", "v")
+	tbl.MustAppend("b", 2).MustAppend("a", 1).MustAppend("c", nil)
+	tbl.SortRows("id")
+	if v, _ := tbl.Get(0, "id"); v.Display() != "a" {
+		t.Errorf("sort failed: %v", v)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("T", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 {
+		t.Fatalf("roundtrip rows: %d", back.NumRows())
+	}
+	if v, _ := back.Get(0, "v"); !value.Identical(v, value.Int(1)) {
+		t.Errorf("roundtrip int: %v", v)
+	}
+	if v, _ := back.Get(2, "v"); !v.IsNull() {
+		t.Errorf("roundtrip NULL: %v", v)
+	}
+	if _, err := ReadCSV("bad", strings.NewReader("")); err == nil {
+		t.Errorf("empty CSV must fail")
+	}
+}
+
+// Figure 2: the tabular representation of the Fig 1 graph has one relation
+// per label combination, including CityCountry for node c2.
+func TestFig2TabularExport(t *testing.T) {
+	tables := Tabular(dataset.Fig1())
+	names := make([]string, len(tables))
+	for i, tbl := range tables {
+		names[i] = tbl.Name
+	}
+	want := []string{"Account", "CityCountry", "Country", "IP", "Phone", "Transfer", "hasPhone", "isLocatedIn", "signInWithIP"}
+	got := strings.Join(names, ",")
+	if got != strings.Join(want, ",") {
+		t.Fatalf("relations:\n got  %s\n want %s", got, strings.Join(want, ","))
+	}
+
+	account := FindTable(tables, "Account")
+	if account.NumRows() != 6 {
+		t.Errorf("Account rows: %d", account.NumRows())
+	}
+	if v, _ := account.Get(0, "owner"); v.Display() != "Scott" {
+		t.Errorf("Account a1 owner: %v", v)
+	}
+	if v, _ := account.Get(0, "isBlocked"); v.Display() != "no" {
+		t.Errorf("Account a1 isBlocked: %v", v)
+	}
+
+	cc := FindTable(tables, "CityCountry")
+	if cc.NumRows() != 1 {
+		t.Fatalf("CityCountry rows: %d", cc.NumRows())
+	}
+	if v, _ := cc.Get(0, "name"); v.Display() != "Ankh-Morpork" {
+		t.Errorf("CityCountry name: %v", v)
+	}
+	country := FindTable(tables, "Country")
+	if country.NumRows() != 1 {
+		t.Errorf("Country rows: %d (only c1; c2 is in CityCountry)", country.NumRows())
+	}
+
+	transfer := FindTable(tables, "Transfer")
+	if transfer.NumRows() != 8 {
+		t.Errorf("Transfer rows: %d", transfer.NumRows())
+	}
+	if v, _ := transfer.Get(0, "src"); v.Display() != "a1" {
+		t.Errorf("t1 src: %v", v)
+	}
+	if v, _ := transfer.Get(0, "dst"); v.Display() != "a3" {
+		t.Errorf("t1 dst: %v", v)
+	}
+	if v, _ := transfer.Get(0, "amount"); !value.Identical(v, value.Int(8_000_000)) {
+		t.Errorf("t1 amount: %v", v)
+	}
+	sip := FindTable(tables, "signInWithIP")
+	if sip.NumRows() != 2 {
+		t.Errorf("signInWithIP rows: %d", sip.NumRows())
+	}
+	if FindTable(tables, "missing") != nil {
+		t.Errorf("FindTable(missing) must be nil")
+	}
+}
+
+func TestTabularName(t *testing.T) {
+	if TabularName([]string{"Country", "City"}) != "CityCountry" {
+		t.Errorf("label combination naming wrong")
+	}
+	if TabularName(nil) != "Unlabeled" {
+		t.Errorf("empty labels")
+	}
+}
+
+// The reverse direction: tables → property graph view → GPML match. This is
+// the Figure 2 schema reconstructed as a CREATE PROPERTY GRAPH definition.
+func TestGraphDefBuildAndMatch(t *testing.T) {
+	accounts := NewTable("Account", "ID", "owner", "isBlocked").
+		MustAppend("a1", "Scott", "no").
+		MustAppend("a2", "Aretha", "no").
+		MustAppend("a3", "Mike", "no")
+	transfers := NewTable("Transfer", "ID", "A_ID1", "A_ID2", "date", "amount").
+		MustAppend("t1", "a1", "a3", "1/1/2020", 8_000_000).
+		MustAppend("t2", "a3", "a2", "2/1/2020", 10_000_000)
+
+	def := &GraphDef{
+		Name: "bank",
+		Vertices: []VertexTable{
+			{Table: accounts, Key: "ID", Labels: []string{"Account"}},
+		},
+		Edges: []EdgeTable{
+			{Table: transfers, Key: "ID", SourceKey: "A_ID1", TargetKey: "A_ID2", Labels: []string{"Transfer"}},
+		},
+	}
+	g, err := def.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("view: %s", g.Stats())
+	}
+	cols, err := ParseColumns("x.owner AS A, y.owner AS B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GraphTable(g, `MATCH (x:Account)-[e:Transfer]->(y:Account)`, cols, eval.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.SortRows("A")
+	if out.NumRows() != 2 {
+		t.Fatalf("GRAPH_TABLE rows: %d", out.NumRows())
+	}
+	if a, _ := out.Get(1, "A"); a.Display() != "Scott" {
+		t.Errorf("row 1 A: %v", a)
+	}
+	if b, _ := out.Get(1, "B"); b.Display() != "Mike" {
+		t.Errorf("row 1 B: %v", b)
+	}
+}
+
+func TestGraphDefErrors(t *testing.T) {
+	bad := NewTable("V", "ID").MustAppend(value.Null)
+	def := &GraphDef{Vertices: []VertexTable{{Table: bad, Key: "ID"}}}
+	if _, err := def.Build(); err == nil {
+		t.Errorf("NULL key must fail")
+	}
+	def = &GraphDef{Vertices: []VertexTable{{Table: NewTable("V", "ID"), Key: "missing"}}}
+	if _, err := def.Build(); err == nil {
+		t.Errorf("missing key column must fail")
+	}
+	edges := NewTable("E", "ID", "S", "T").MustAppend("e1", "x", "y")
+	def = &GraphDef{Edges: []EdgeTable{{Table: edges, Key: "ID", SourceKey: "S", TargetKey: "T"}}}
+	if _, err := def.Build(); err == nil {
+		t.Errorf("dangling endpoints must fail")
+	}
+}
+
+// The §3 PGQL query: SELECT x.owner AS A, y.owner AS B ... on the Fig 4
+// pattern, expressed with GRAPH_TABLE over the Fig 1 graph.
+func TestSection3PGQLQuery(t *testing.T) {
+	cols, err := ParseColumns("x.owner AS A, y.owner AS B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GraphTable(dataset.Fig1(), `
+		MATCH (x:Account)-[:isLocatedIn]->(g:City)<-[:isLocatedIn]-(y:Account),
+		      TRAIL (x)-[e:Transfer]->+(y)
+		WHERE x.isBlocked='no' AND y.isBlocked='yes' AND g.name='Ankh-Morpork'`,
+		cols, eval.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for r := 0; r < out.NumRows(); r++ {
+		a, _ := out.Get(r, "A")
+		b, _ := out.Get(r, "B")
+		seen[a.Display()+"→"+b.Display()] = true
+	}
+	if !seen["Aretha→Jay"] || !seen["Dave→Jay"] || len(seen) != 2 {
+		t.Errorf("§3 query pairs: %v", seen)
+	}
+}
+
+// COUNT(e) over the group variable corresponds to PGQL's path length
+// aggregation (§3: "one can compute the length of the path using
+// COUNT(e)").
+func TestSection3PathLengthAggregate(t *testing.T) {
+	cols, err := ParseColumns("x.owner AS A, y.owner AS B, COUNT(e) AS len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GraphTable(dataset.Fig1(), `
+		MATCH ANY SHORTEST (x:Account WHERE x.owner='Dave')-[e:Transfer]->+
+		      (y:Account WHERE y.owner='Aretha')`,
+		cols, eval.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("rows: %d", out.NumRows())
+	}
+	if v, _ := out.Get(0, "len"); !value.Identical(v, value.Int(2)) {
+		t.Errorf("shortest Dave→Aretha length: %v, want 2", v)
+	}
+}
+
+func TestParseColumns(t *testing.T) {
+	cols, err := ParseColumns("x.owner, SUM(e.amount) AS total, x.a + 1 AS inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("cols: %d", len(cols))
+	}
+	if cols[0].As != "owner" || cols[1].As != "total" || cols[2].As != "inc" {
+		t.Errorf("aliases: %v %v %v", cols[0].As, cols[1].As, cols[2].As)
+	}
+	if _, err := ParseColumns(""); err == nil {
+		t.Errorf("empty must fail")
+	}
+	if _, err := ParseColumns("x.owner AS"); err == nil {
+		t.Errorf("dangling AS must fail")
+	}
+	if _, err := ParseColumns("f(a, b"); err == nil {
+		t.Errorf("unbalanced parens must fail")
+	}
+	if _, err := ParseColumns("SAME(a, b) AS s, x.y AS t"); err != nil {
+		t.Errorf("commas inside calls must split correctly: %v", err)
+	}
+}
+
+func TestGraphTableUnknownVariable(t *testing.T) {
+	cols, _ := ParseColumns("zzz.owner AS A")
+	if _, err := GraphTable(dataset.Fig1(), `MATCH (x:Account)`, cols, eval.Config{}); err == nil {
+		t.Errorf("projection of undeclared variable must fail")
+	}
+}

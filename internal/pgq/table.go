@@ -1,0 +1,250 @@
+// Package pgq implements the SQL/PGQ substrate of the paper (Figures 2 and
+// 9): an in-memory tabular store, property-graph views defined over node
+// and edge tables (the SQL/PGQ CREATE PROPERTY GRAPH facility), the
+// GRAPH_TABLE operator projecting GPML matches back to tables, and the
+// tabular export of a property graph (one relation per label combination,
+// as in Figure 2).
+package pgq
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpml/internal/value"
+)
+
+// Table is an ordered-column, row-oriented in-memory relation.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]value.Value
+
+	colIdx map[string]int
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, columns ...string) *Table {
+	t := &Table{Name: name, Columns: columns, colIdx: map[string]int{}}
+	for i, c := range columns {
+		t.colIdx[c] = i
+	}
+	return t
+}
+
+// Append adds a row; the value count must match the column count.
+func (t *Table) Append(vals ...value.Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("pgq: table %s has %d columns, got %d values", t.Name, len(t.Columns), len(vals))
+	}
+	row := make([]value.Value, len(vals))
+	copy(row, vals)
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustAppend is Append that panics on arity errors; for fixtures.
+func (t *Table) MustAppend(vals ...any) *Table {
+	row := make([]value.Value, len(vals))
+	for i, v := range vals {
+		row[i] = toValue(v)
+	}
+	if err := t.Append(row...); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func toValue(v any) value.Value {
+	switch x := v.(type) {
+	case nil:
+		return value.Null
+	case value.Value:
+		return x
+	case string:
+		return value.Str(x)
+	case int:
+		return value.Int(int64(x))
+	case int64:
+		return value.Int(x)
+	case float64:
+		return value.Float(x)
+	case bool:
+		return value.Bool(x)
+	default:
+		panic(fmt.Sprintf("pgq: unsupported value type %T", v))
+	}
+}
+
+// ColumnIndex returns the index of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if t.colIdx == nil {
+		t.colIdx = map[string]int{}
+		for i, c := range t.Columns {
+			t.colIdx[c] = i
+		}
+	}
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Get returns the value at (row, column name).
+func (t *Table) Get(row int, col string) (value.Value, error) {
+	i := t.ColumnIndex(col)
+	if i < 0 {
+		return value.Null, fmt.Errorf("pgq: table %s has no column %q", t.Name, col)
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return value.Null, fmt.Errorf("pgq: table %s has no row %d", t.Name, row)
+	}
+	return t.Rows[row][i], nil
+}
+
+// NumRows reports the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// String renders the table as aligned text (for examples and golden
+// output).
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.Display()
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Name != "" {
+		b.WriteString(t.Name)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(c)
+			for pad := widths[i] - len(c); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRows orders rows lexicographically by the given columns (all columns
+// when none given); used for deterministic golden output.
+func (t *Table) SortRows(cols ...string) {
+	idx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		if i := t.ColumnIndex(c); i >= 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		for i := range t.Columns {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		for _, i := range idx {
+			ka, kb := t.Rows[a][i].Key(), t.Rows[b][i].Key()
+			if ka != kb {
+				return ka < kb
+			}
+		}
+		return false
+	})
+}
+
+// WriteCSV serializes the table (header row first). NULLs serialize as
+// empty cells. Note that ReadCSV infers types, so a string that looks
+// numeric ("007") round-trips as an integer; build tables programmatically
+// when exact types matter.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.Display()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table with type inference: integers, floats, booleans
+// and NULL (empty) are detected, everything else is a string.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("pgq: reading CSV for %s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("pgq: CSV for %s has no header", name)
+	}
+	t := NewTable(name, recs[0]...)
+	for _, rec := range recs[1:] {
+		row := make([]value.Value, len(rec))
+		for i, cell := range rec {
+			row[i] = inferValue(cell)
+		}
+		if err := t.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func inferValue(cell string) value.Value {
+	if cell == "" {
+		return value.Null
+	}
+	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return value.Int(i)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return value.Float(f)
+	}
+	switch cell {
+	case "true", "TRUE", "True":
+		return value.Bool(true)
+	case "false", "FALSE", "False":
+		return value.Bool(false)
+	}
+	return value.Str(cell)
+}

@@ -1,0 +1,121 @@
+package pgq
+
+import (
+	"sort"
+
+	"gpml/internal/graph"
+	"gpml/internal/parser"
+	"gpml/internal/value"
+
+	"gpml/internal/ast"
+)
+
+// parseExpr wraps the GPML expression parser for COLUMNS clauses.
+func parseExpr(src string) (ast.Expr, error) { return parser.ParseExpr(src) }
+
+// Tabular exports a property graph to its tabular representation (Figure
+// 2): one relation per label combination appearing on some node or edge.
+// Node relations have an ID column plus the union of property names of
+// their members; edge relations additionally carry src and dst columns (the
+// paper's A_ID1/A_ID2-style reference columns carry the referenced table
+// names, which a graph alone does not record; src/dst preserve the shape).
+// Columns and rows are ordered deterministically.
+func Tabular(g *graph.Graph) []*Table {
+	type group struct {
+		name   string
+		isEdge bool
+		props  map[string]struct{}
+		nodes  []*graph.Node
+		edges  []*graph.Edge
+	}
+	groups := map[string]*group{}
+	get := func(labels []string, isEdge bool) *group {
+		// Node relations sort before edge relations, each group
+		// alphabetically (the Figure 2 presentation order).
+		name := TabularName(labels)
+		key := "n:" + name
+		if isEdge {
+			key = "z:" + name
+		}
+		gr, ok := groups[key]
+		if !ok {
+			gr = &group{name: name, isEdge: isEdge, props: map[string]struct{}{}}
+			groups[key] = gr
+		}
+		return gr
+	}
+	g.Nodes(func(n *graph.Node) bool {
+		gr := get(n.Labels, false)
+		gr.nodes = append(gr.nodes, n)
+		for p := range n.Props {
+			gr.props[p] = struct{}{}
+		}
+		return true
+	})
+	g.Edges(func(e *graph.Edge) bool {
+		gr := get(e.Labels, true)
+		gr.edges = append(gr.edges, e)
+		for p := range e.Props {
+			gr.props[p] = struct{}{}
+		}
+		return true
+	})
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []*Table
+	for _, k := range keys {
+		gr := groups[k]
+		props := make([]string, 0, len(gr.props))
+		for p := range gr.props {
+			props = append(props, p)
+		}
+		sort.Strings(props)
+		if gr.isEdge {
+			cols := append([]string{"ID", "src", "dst"}, props...)
+			t := NewTable(gr.name, cols...)
+			for _, e := range gr.edges {
+				row := make([]value.Value, 0, len(cols))
+				row = append(row, value.Str(string(e.ID)), value.Str(string(e.Source)), value.Str(string(e.Target)))
+				for _, p := range props {
+					row = append(row, e.Prop(p))
+				}
+				if err := t.Append(row...); err != nil {
+					panic(err) // arity is constructed above; unreachable
+				}
+			}
+			t.SortRows("ID")
+			out = append(out, t)
+		} else {
+			cols := append([]string{"ID"}, props...)
+			t := NewTable(gr.name, cols...)
+			for _, n := range gr.nodes {
+				row := make([]value.Value, 0, len(cols))
+				row = append(row, value.Str(string(n.ID)))
+				for _, p := range props {
+					row = append(row, n.Prop(p))
+				}
+				if err := t.Append(row...); err != nil {
+					panic(err)
+				}
+			}
+			t.SortRows("ID")
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FindTable returns the table with the given name from a Tabular export.
+func FindTable(tables []*Table, name string) *Table {
+	for _, t := range tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}

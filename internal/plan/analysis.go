@@ -1,0 +1,475 @@
+package plan
+
+import (
+	"fmt"
+
+	"gpml/internal/ast"
+)
+
+// VarKind classifies variables.
+type VarKind uint8
+
+// Variable kinds.
+const (
+	VarNode VarKind = iota
+	VarEdge
+	VarPath
+)
+
+// String names the kind.
+func (k VarKind) String() string {
+	switch k {
+	case VarNode:
+		return "node"
+	case VarEdge:
+		return "edge"
+	default:
+		return "path"
+	}
+}
+
+// VarInfo is the static description of a variable (§4.4, §4.6): whether it
+// is a group variable (declared under a quantifier), a conditional
+// singleton (declared under ? or in only some union branches), and where it
+// is declared.
+type VarInfo struct {
+	Name        string
+	Kind        VarKind
+	Anon        bool
+	Group       bool  // declared under at least one quantifier
+	Conditional bool  // singleton that may remain unbound
+	QuantChain  []int // ids of enclosing quantifiers at the declaration
+	Patterns    map[int]bool
+	DeclOrder   int
+}
+
+// Mode selects the evaluation strategy for a path pattern.
+type Mode uint8
+
+// Evaluation modes.
+const (
+	// ModeDFS enumerates matches by depth-first search with restrictor
+	// pruning; used whenever every unbounded quantifier is bounded by a
+	// restrictor (or no unbounded quantifier exists).
+	ModeDFS Mode = iota
+	// ModeBFS runs the level-synchronous product search used when
+	// finiteness of the output is guaranteed only by a selector.
+	ModeBFS
+)
+
+// Options configures host-language differences.
+type Options struct {
+	// AllowElementEquality permits p = q on element references (GQL).
+	// SQL/PGQ must use SAME/ALL_DIFFERENT instead (§4.7).
+	AllowElementEquality bool
+}
+
+// PathPlan is the compiled form of one top-level path pattern.
+type PathPlan struct {
+	Index        int
+	Pattern      *ast.PathPattern
+	Prog         *Prog
+	Mode         Mode
+	HasUnbounded bool
+	// Vars declared by this pattern (non-anonymous), in declaration order.
+	Vars []string
+}
+
+// Plan is the compiled form of a MATCH statement.
+type Plan struct {
+	Stmt    *ast.MatchStmt // normalized
+	Paths   []*PathPlan
+	Post    ast.Expr
+	Vars    map[string]*VarInfo
+	Columns []string // output column order: first-appearance of named vars
+}
+
+// Var returns the info for a variable, or nil.
+func (p *Plan) Var(name string) *VarInfo { return p.Vars[name] }
+
+// exprSite is a WHERE clause together with its static context.
+type exprSite struct {
+	expr       ast.Expr
+	chain      []int // enclosing quantifier ids
+	post       bool  // true for the final WHERE (postfilter)
+	patternIdx int
+}
+
+// analyzer walks one normalized statement.
+type analyzer struct {
+	opts  Options
+	vars  map[string]*VarInfo
+	order int
+
+	// per-pattern state
+	patIdx     int
+	quants     map[*ast.Quantified]int
+	unions     map[*ast.Union]int
+	quantByID  map[int]*ast.Quantified
+	underRestr map[int]bool // quantifier id -> inside a restrictor scope
+	sites      []exprSite
+	patVars    []string
+}
+
+// Analyze validates the normalized statement and compiles each path
+// pattern. The statement must already be normalized.
+func Analyze(stmt *ast.MatchStmt, opts Options) (*Plan, error) {
+	a := &analyzer{opts: opts, vars: map[string]*VarInfo{}}
+	plan := &Plan{Stmt: stmt, Post: stmt.Where, Vars: a.vars}
+
+	for i, pp := range stmt.Patterns {
+		a.patIdx = i
+		a.quants = map[*ast.Quantified]int{}
+		a.unions = map[*ast.Union]int{}
+		a.quantByID = map[int]*ast.Quantified{}
+		a.underRestr = map[int]bool{}
+		a.sites = a.sites[:0]
+		a.patVars = nil
+
+		if pp.PathVar != "" {
+			if err := a.declare(pp.PathVar, VarPath, nil, false); err != nil {
+				return nil, err
+			}
+		}
+		if err := a.walk(pp.Expr, nil, pp.Restrictor != ast.NoRestrictor, false); err != nil {
+			return nil, err
+		}
+		a.markConditionals(pp.Expr)
+
+		// Reference checks for every prefilter site in this pattern.
+		for _, site := range a.sites {
+			if err := a.checkExpr(site.expr, site, true); err != nil {
+				return nil, err
+			}
+		}
+
+		prog := compileProg(pp, a.quants, a.unions)
+		prog.PrefilterGroups = a.prefilterGroups()
+
+		mode, hasUnbounded, err := a.decideMode(pp)
+		if err != nil {
+			return nil, err
+		}
+		plan.Paths = append(plan.Paths, &PathPlan{
+			Index:        i,
+			Pattern:      pp,
+			Prog:         prog,
+			Mode:         mode,
+			HasUnbounded: hasUnbounded,
+			Vars:         a.patVars,
+		})
+	}
+
+	// Postfilter checks (may reference variables of any pattern).
+	if stmt.Where != nil {
+		site := exprSite{expr: stmt.Where, post: true, patternIdx: -1}
+		if err := a.checkExpr(stmt.Where, site, true); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := a.checkJoins(stmt); err != nil {
+		return nil, err
+	}
+
+	plan.Columns = a.columns()
+	return plan, nil
+}
+
+// declare records a variable declaration site.
+func (a *analyzer) declare(name string, kind VarKind, chain []int, anon bool) error {
+	info, ok := a.vars[name]
+	if !ok {
+		info = &VarInfo{
+			Name:       name,
+			Kind:       kind,
+			Anon:       anon,
+			Group:      len(chain) > 0,
+			QuantChain: append([]int(nil), chain...),
+			Patterns:   map[int]bool{a.patIdx: true},
+			DeclOrder:  a.order,
+		}
+		a.order++
+		a.vars[name] = info
+		if !anon {
+			a.patVars = append(a.patVars, name)
+		}
+		return nil
+	}
+	if info.Kind != kind {
+		return fmt.Errorf("plan: variable %q is used as both a %s variable and a %s variable", name, info.Kind, kind)
+	}
+	if kind == VarPath {
+		return fmt.Errorf("plan: path variable %q declared more than once", name)
+	}
+	if !info.Patterns[a.patIdx] {
+		// Declared in another top-level pattern: an implicit equi-join.
+		info.Patterns[a.patIdx] = true
+		if len(chain) > 0 || info.Group {
+			return fmt.Errorf("plan: group variable %q cannot be shared between path patterns", name)
+		}
+		if !anon {
+			a.patVars = append(a.patVars, name)
+		}
+		return nil
+	}
+	if !equalChain(info.QuantChain, chain) {
+		return fmt.Errorf("plan: variable %q is declared at different quantifier scopes; a variable cannot be both a group variable and a singleton", name)
+	}
+	return nil
+}
+
+func equalChain(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// walk records declarations, quantifier/union ids and WHERE sites.
+// chain is the enclosing quantifier ids; restr reports whether a restrictor
+// scope (paren or path-level) encloses the position.
+func (a *analyzer) walk(e ast.PathExpr, chain []int, restr bool, underQuestion bool) error {
+	switch x := e.(type) {
+	case *ast.Concat:
+		for _, el := range x.Elems {
+			if err := a.walk(el, chain, restr, underQuestion); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.NodePattern:
+		if err := a.declare(x.Var, VarNode, chain, ast.IsAnonVar(x.Var)); err != nil {
+			return err
+		}
+		if x.Where != nil {
+			a.sites = append(a.sites, exprSite{expr: x.Where, chain: append([]int(nil), chain...), patternIdx: a.patIdx})
+		}
+		return nil
+	case *ast.EdgePattern:
+		if err := a.declare(x.Var, VarEdge, chain, ast.IsAnonVar(x.Var)); err != nil {
+			return err
+		}
+		if x.Where != nil {
+			a.sites = append(a.sites, exprSite{expr: x.Where, chain: append([]int(nil), chain...), patternIdx: a.patIdx})
+		}
+		return nil
+	case *ast.Paren:
+		r := restr || x.Restrictor != ast.NoRestrictor
+		if err := a.walk(x.Expr, chain, r, underQuestion); err != nil {
+			return err
+		}
+		if x.Where != nil {
+			a.sites = append(a.sites, exprSite{expr: x.Where, chain: append([]int(nil), chain...), patternIdx: a.patIdx})
+		}
+		return nil
+	case *ast.Quantified:
+		if x.Question {
+			// ? introduces no group scope (§4.6).
+			return a.walk(x.Inner, chain, restr, true)
+		}
+		id := len(a.quants)
+		a.quants[x] = id
+		a.quantByID[id] = x
+		a.underRestr[id] = restr
+		return a.walk(x.Inner, append(chain, id), restr, underQuestion)
+	case *ast.Union:
+		a.unions[x] = len(a.unions)
+		for _, br := range x.Branches {
+			if err := a.walk(br, chain, restr, underQuestion); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("plan: unknown path expression %T", e)
+	}
+}
+
+// markConditionals computes which singleton variables are conditional:
+// those not guaranteed to bind in every match of the pattern (§4.6).
+func (a *analyzer) markConditionals(e ast.PathExpr) {
+	definite := definiteVars(e)
+	all := map[string]struct{}{}
+	collectDecls(e, all)
+	for name := range all {
+		info := a.vars[name]
+		if info == nil || info.Group || info.Anon {
+			continue
+		}
+		if _, ok := definite[name]; !ok {
+			info.Conditional = true
+		}
+	}
+}
+
+// definiteVars returns the variables guaranteed to be bound by every match
+// of e.
+func definiteVars(e ast.PathExpr) map[string]struct{} {
+	out := map[string]struct{}{}
+	switch x := e.(type) {
+	case *ast.Concat:
+		for _, el := range x.Elems {
+			for v := range definiteVars(el) {
+				out[v] = struct{}{}
+			}
+		}
+	case *ast.NodePattern:
+		out[x.Var] = struct{}{}
+	case *ast.EdgePattern:
+		out[x.Var] = struct{}{}
+	case *ast.Paren:
+		return definiteVars(x.Expr)
+	case *ast.Quantified:
+		if x.Min >= 1 && !x.Question {
+			return definiteVars(x.Inner)
+		}
+		if x.Question || x.Min == 0 {
+			return out // nothing guaranteed
+		}
+	case *ast.Union:
+		if len(x.Branches) == 0 {
+			return out
+		}
+		out = definiteVars(x.Branches[0])
+		for _, br := range x.Branches[1:] {
+			next := definiteVars(br)
+			for v := range out {
+				if _, ok := next[v]; !ok {
+					delete(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func collectDecls(e ast.PathExpr, out map[string]struct{}) {
+	ast.WalkPath(e, func(pe ast.PathExpr) bool {
+		switch x := pe.(type) {
+		case *ast.NodePattern:
+			out[x.Var] = struct{}{}
+		case *ast.EdgePattern:
+			out[x.Var] = struct{}{}
+		}
+		return true
+	})
+}
+
+// prefilterGroups collects group variables referenced by prefilters.
+func (a *analyzer) prefilterGroups() map[string]bool {
+	out := map[string]bool{}
+	for _, site := range a.sites {
+		for name := range ast.ExprVars(site.expr) {
+			info := a.vars[name]
+			if info != nil && info.Group && !isPrefix(info.QuantChain, site.chain) {
+				out[name] = true
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// isPrefix reports whether decl is a prefix of ref: the declaration's
+// quantifier chain encloses the reference, i.e. no quantifier separates
+// reference from declaration (the "crossing" criterion of §4.4).
+func isPrefix(decl, ref []int) bool {
+	if len(decl) > len(ref) {
+		return false
+	}
+	for i := range decl {
+		if decl[i] != ref[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decideMode enforces the §5 termination rule and picks the engine mode.
+func (a *analyzer) decideMode(pp *ast.PathPattern) (Mode, bool, error) {
+	hasUnbounded := false
+	needBFS := false
+	for id, q := range a.quantByID {
+		if !q.Unbounded() {
+			continue
+		}
+		hasUnbounded = true
+		if a.underRestr[id] {
+			continue // bounded by a restrictor: DFS handles it
+		}
+		if pp.Selector.Kind == ast.NoSelector {
+			return 0, false, fmt.Errorf(
+				"plan: the unbounded quantifier %s is not in the scope of a restrictor or selector; the query may not terminate (paper §5). Add TRAIL/ACYCLIC/SIMPLE or a selector such as ANY SHORTEST",
+				q)
+		}
+		needBFS = true
+	}
+	if !needBFS {
+		return ModeDFS, hasUnbounded, nil
+	}
+	// BFS mode cannot track restrictor scopes soundly; the combination of a
+	// selector-bounded unbounded quantifier with a restrictor elsewhere in
+	// the same pattern is rejected (documented deviation, DESIGN.md §6).
+	hasRestrictor := pp.Restrictor != ast.NoRestrictor
+	ast.WalkPath(pp.Expr, func(pe ast.PathExpr) bool {
+		if p, ok := pe.(*ast.Paren); ok && p.Restrictor != ast.NoRestrictor {
+			hasRestrictor = true
+		}
+		return true
+	})
+	if hasRestrictor {
+		return 0, false, fmt.Errorf("plan: unsupported combination: a selector-bounded unbounded quantifier together with a restrictor in the same path pattern; bound the quantifier with the restrictor or remove it")
+	}
+	return ModeBFS, hasUnbounded, nil
+}
+
+// columns determines the output column order (named variables by first
+// appearance).
+func (a *analyzer) columns() []string {
+	type nv struct {
+		name  string
+		order int
+	}
+	var named []nv
+	for name, info := range a.vars {
+		if info.Anon {
+			continue
+		}
+		named = append(named, nv{name, info.DeclOrder})
+	}
+	for i := 1; i < len(named); i++ {
+		for j := i; j > 0 && named[j].order < named[j-1].order; j-- {
+			named[j], named[j-1] = named[j-1], named[j]
+		}
+	}
+	out := make([]string, len(named))
+	for i, n := range named {
+		out[i] = n.name
+	}
+	return out
+}
+
+// checkJoins applies the cross-pattern rules: implicit equi-joins across
+// path patterns must be on unconditional singletons (§4.6).
+func (a *analyzer) checkJoins(stmt *ast.MatchStmt) error {
+	for name, info := range a.vars {
+		if len(info.Patterns) < 2 {
+			continue
+		}
+		if info.Conditional {
+			return fmt.Errorf("plan: implicit equi-join on conditional singleton %q is not allowed (paper §4.6)", name)
+		}
+		if info.Group {
+			return fmt.Errorf("plan: group variable %q cannot join path patterns", name)
+		}
+	}
+	return nil
+}
