@@ -503,6 +503,69 @@ func BenchmarkAblation_JoinOrder(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Store backends: the map graph vs the CSR snapshot, label-indexed seeding
+// and parallel evaluation. The noise graph buries the Account seeds under
+// City/Phone nodes, so the CSR's label index skips most of the node scan;
+// the map backend must still filter every node.
+// ---------------------------------------------------------------------------
+
+func storeBenchGraph() *gpml.Graph {
+	return dataset.Random(dataset.RandomConfig{
+		Accounts: 400, AvgDegree: 2, Cities: 3000, Phones: 3000,
+		BlockedFraction: 0.05, Seed: 17, UndirectedPhones: true,
+	})
+}
+
+func BenchmarkStore_LabeledSeed(b *testing.B) {
+	g := storeBenchGraph()
+	snap := gpml.Snapshot(g)
+	q := gpml.MustCompile(`MATCH (a:Account WHERE a.isBlocked='yes')-[t:Transfer]->(y:Account)`)
+	rows := mustEval(b, g, `MATCH (a:Account WHERE a.isBlocked='yes')-[t:Transfer]->(y:Account)`)
+	run := func(b *testing.B, opts ...gpml.Option) {
+		for i := 0; i < b.N; i++ {
+			res, err := q.Eval(g, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != rows {
+				b.Fatalf("got %d rows, want %d", len(res.Rows), rows)
+			}
+		}
+	}
+	b.Run("map", func(b *testing.B) { run(b) })
+	b.Run("csr", func(b *testing.B) { run(b, gpml.WithStore(snap)) })
+	b.Run("csr_parallel4", func(b *testing.B) { run(b, gpml.WithStore(snap), gpml.WithParallelism(4)) })
+}
+
+// The representative labeled-seed shape: a TRAIL reachability query
+// between flagged accounts.
+func BenchmarkStore_TransferReach(b *testing.B) {
+	g := dataset.LaunderingRings(16, 5, 24, 9)
+	snap := gpml.Snapshot(g)
+	q := gpml.MustCompile(`MATCH TRAIL (a:Account WHERE a.isBlocked='yes')-[t:Transfer]->+(z:Account WHERE z.isBlocked='yes')`)
+	run := func(b *testing.B, opts ...gpml.Option) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Eval(g, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("map", func(b *testing.B) { run(b) })
+	b.Run("csr", func(b *testing.B) { run(b, gpml.WithStore(snap)) })
+	b.Run("csr_parallel4", func(b *testing.B) { run(b, gpml.WithStore(snap), gpml.WithParallelism(4)) })
+}
+
+func BenchmarkStore_Snapshot(b *testing.B) {
+	g := storeBenchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := gpml.Snapshot(g); s.NumNodes() != g.NumNodes() {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
 // Compilation throughput across representative query shapes.
 func BenchmarkCompile(b *testing.B) {
 	queries := map[string]string{

@@ -235,6 +235,39 @@ func experiments() []experiment {
 			got := fmt.Sprintf("engine %d, baseline %d, shortest len %d", len(res.Rows), len(base), bp.Len())
 			return got, len(res.Rows) == len(base) && bp.Len() == 2
 		}},
+		{"S1", "Store backends", "map, CSR and CSR-parallel agree on every workload query", func() (string, bool) {
+			g := dataset.Random(dataset.RandomConfig{
+				Accounts: 200, AvgDegree: 2, Cities: 12, Phones: 30,
+				BlockedFraction: 0.1, Seed: 11, UndirectedPhones: true,
+			})
+			snap := gpml.Snapshot(g)
+			queries := []string{
+				`MATCH (x:Account WHERE x.isBlocked='yes')-[t:Transfer]->(y:Account)`,
+				`MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)~[:hasPhone]~(p)`,
+				`MATCH ANY SHORTEST p = (a:Account WHERE a.owner='owner0')-[:Transfer]->+(z:City)`,
+			}
+			checked := 0
+			for _, src := range queries {
+				q := gpml.MustCompile(src)
+				seq, err := q.Eval(g)
+				if err != nil {
+					panic(err)
+				}
+				csr, err := q.Eval(nil, gpml.WithStore(snap))
+				if err != nil {
+					panic(err)
+				}
+				par, err := q.Eval(nil, gpml.WithStore(snap), gpml.WithParallelism(4))
+				if err != nil {
+					panic(err)
+				}
+				if gpml.FormatResult(seq) != gpml.FormatResult(csr) || gpml.FormatResult(csr) != gpml.FormatResult(par) {
+					return fmt.Sprintf("backends diverge on %s", src), false
+				}
+				checked++
+			}
+			return fmt.Sprintf("%d queries identical across 3 backends", checked), checked == len(queries)
+		}},
 	}
 }
 

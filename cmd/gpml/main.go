@@ -28,6 +28,8 @@ func main() {
 		bindings   = flag.Bool("bindings", false, "print reduced path binding tables (§6.4 presentation)")
 		normalized = flag.Bool("normalized", false, "print the normalized pattern before results")
 		maxMatches = flag.Int("max-matches", 0, "cap on raw matches per pattern (0 = default)")
+		csr        = flag.Bool("csr", false, "evaluate on an immutable CSR snapshot of the graph")
+		parallel   = flag.Int("parallel", 0, "evaluation workers over seed nodes (<2 = sequential)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,13 @@ func main() {
 	if *maxMatches > 0 {
 		opts = append(opts, gpml.WithLimits(gpml.Limits{MaxMatches: *maxMatches}))
 	}
+	var evalOpts []gpml.Option
+	if *csr {
+		evalOpts = append(evalOpts, gpml.WithStore(gpml.Snapshot(g)))
+	}
+	if *parallel > 1 {
+		evalOpts = append(evalOpts, gpml.WithParallelism(*parallel))
+	}
 	q, err := gpml.Compile(query, opts...)
 	if err != nil {
 		fatal(err)
@@ -63,7 +72,7 @@ func main() {
 	if *normalized {
 		fmt.Println("normalized:", q.Normalized())
 	}
-	res, err := q.Eval(g)
+	res, err := q.Eval(g, evalOpts...)
 	if err != nil {
 		fatal(err)
 	}

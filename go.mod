@@ -1,0 +1,3 @@
+module gpml
+
+go 1.21

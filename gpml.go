@@ -31,6 +31,8 @@
 package gpml
 
 import (
+	"fmt"
+
 	"gpml/internal/binding"
 	"gpml/internal/core"
 	"gpml/internal/dataset"
@@ -42,8 +44,18 @@ import (
 // Re-exported data model types. These are aliases, so values flow freely
 // between the public API and the internal packages.
 type (
-	// Graph is a property graph (Definition 2.1).
+	// Graph is a property graph (Definition 2.1), the mutable map-backed
+	// Store implementation.
 	Graph = graph.Graph
+	// Store is the abstract graph backend the evaluator runs against.
+	// *Graph and *CSR both implement it; custom backends plug in the same
+	// way via WithStore or EvalStore.
+	Store = graph.Store
+	// CSR is an immutable compressed-sparse-row snapshot of a Graph with a
+	// label → nodes inverted index and precomputed cardinality statistics.
+	CSR = graph.CSR
+	// StoreStats summarizes a store's per-label cardinalities.
+	StoreStats = graph.StoreStats
 	// Node is a graph node with labels and properties.
 	Node = graph.Node
 	// Edge is a directed or undirected graph edge.
@@ -82,6 +94,12 @@ const (
 // NewGraph returns an empty property graph.
 func NewGraph() *Graph { return graph.New() }
 
+// Snapshot builds an immutable CSR snapshot of a graph: int-indexed
+// adjacency, a label-indexed seed path for MATCH, and precomputed label
+// statistics. Snapshots are safe for any number of concurrent readers;
+// take a fresh one after mutating the source graph.
+func Snapshot(g *Graph) *CSR { return graph.Snapshot(g) }
+
 // NewBuilder returns a fluent graph builder.
 func NewBuilder() *Builder { return graph.NewBuilder() }
 
@@ -106,18 +124,22 @@ var Null = value.Null
 // Query is a compiled GPML statement, reusable across graphs and safe for
 // concurrent evaluation.
 type Query struct {
-	q       *core.Query
-	lims    Limits
-	edgeIso bool
+	q        *core.Query
+	lims     Limits
+	edgeIso  bool
+	store    Store
+	parallel int
 }
 
 // Option configures compilation or evaluation.
 type Option func(*options)
 
 type options struct {
-	gql     bool
-	lims    Limits
-	edgeIso bool
+	gql      bool
+	lims     Limits
+	edgeIso  bool
+	store    Store
+	parallel int
 }
 
 // GQLMode enables GQL host semantics: element references may be compared
@@ -132,6 +154,23 @@ func WithLimits(l Limits) Option { return func(o *options) { o.lims = l } }
 // pattern must be pairwise distinct.
 func EdgeIsomorphic() Option { return func(o *options) { o.edgeIso = true } }
 
+// WithStore evaluates against the given store instead of the *Graph
+// argument of Eval/Match (which may then be nil). Pair it with Snapshot to
+// run queries on the CSR backend:
+//
+//	snap := gpml.Snapshot(g)
+//	res, err := q.Eval(nil, gpml.WithStore(snap))
+//
+// Passed at Compile time it only provides a default target: a non-nil
+// graph handed to Eval still wins, so compiled queries stay reusable
+// across graphs.
+func WithStore(s Store) Option { return func(o *options) { o.store = s } }
+
+// WithParallelism evaluates each path pattern with n workers over the
+// seed nodes. Results are merged in seed order, so output is identical to
+// sequential evaluation; values below 2 keep evaluation sequential.
+func WithParallelism(n int) Option { return func(o *options) { o.parallel = n } }
+
 // Compile parses, normalizes, analyzes and plans a GPML MATCH statement.
 func Compile(src string, opts ...Option) (*Query, error) {
 	var o options
@@ -142,7 +181,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -154,13 +193,32 @@ func MustCompile(src string, opts ...Option) *Query {
 	return q
 }
 
-// Eval evaluates the query against a graph.
+// Eval evaluates the query against a graph. The evaluation target is
+// resolved in precedence order: a WithStore option passed to Eval wins,
+// then a non-nil graph argument, then a store fixed at Compile time — so
+// an explicitly passed graph is never silently shadowed by a store the
+// query was compiled with.
 func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
-	o := options{lims: q.lims, edgeIso: q.edgeIso}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel}
 	for _, f := range opts {
 		f(&o)
 	}
-	return q.q.Eval(g, eval.Config{Limits: o.lims, EdgeIsomorphic: o.edgeIso})
+	s := o.store
+	if s == nil && g != nil {
+		s = g
+	}
+	if s == nil {
+		s = q.store
+	}
+	if s == nil {
+		return nil, fmt.Errorf("gpml: nil graph (pass a graph or WithStore)")
+	}
+	return q.q.Eval(s, eval.Config{Limits: o.lims, EdgeIsomorphic: o.edgeIso, Parallelism: o.parallel})
+}
+
+// EvalStore evaluates the query against any Store implementation.
+func (q *Query) EvalStore(s Store, opts ...Option) (*Result, error) {
+	return q.Eval(nil, append([]Option{WithStore(s)}, opts...)...)
 }
 
 // Columns returns the output column order (named variables by first

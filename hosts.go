@@ -43,14 +43,14 @@ func NewTable(name string, columns ...string) *Table { return pgq.NewTable(name,
 func ParseColumns(src string) ([]Column, error) { return pgq.ParseColumns(src) }
 
 // GraphTable is the SQL/PGQ GRAPH_TABLE operator: match a GPML pattern on
-// a graph and project each match to a table row.
-func GraphTable(g *Graph, match string, columns []Column) (*Table, error) {
+// a graph store and project each match to a table row.
+func GraphTable(g Store, match string, columns []Column) (*Table, error) {
 	return pgq.GraphTable(g, match, columns, eval.Config{})
 }
 
-// Tabular exports a graph to its Figure 2 tabular representation: one
-// relation per label combination.
-func Tabular(g *Graph) []*Table { return pgq.Tabular(g) }
+// Tabular exports a graph store to its Figure 2 tabular representation:
+// one relation per label combination.
+func Tabular(g Store) []*Table { return pgq.Tabular(g) }
 
 // NewCatalog returns an empty GQL catalog.
 func NewCatalog() *Catalog { return gql.NewCatalog() }
@@ -60,6 +60,6 @@ func NewSession(c *Catalog) *Session { return gql.NewSession(c) }
 
 // BuildGraphView projects a result set to the induced annotated subgraph
 // (the GQL graph output of §6.6).
-func BuildGraphView(g *Graph, res *Result) (*GraphView, error) {
+func BuildGraphView(g Store, res *Result) (*GraphView, error) {
 	return gql.BuildGraphView(g, res)
 }

@@ -83,12 +83,16 @@ type PathBinding struct {
 }
 
 // Reduced is a reduced path binding (§6.5): annotations stripped, anonymous
-// variables merged to the markers □ and −.
+// variables merged to the markers □ and −. A Reduced is immutable once
+// built; Key memoizes its deduplication identity (it is compared O(n log n)
+// times during sorting).
 type Reduced struct {
 	Cols    []ReducedCol
 	Tags    []Tag
 	Path    graph.Path
 	PathVar string
+
+	key string // memoized Key; "" = not yet computed
 }
 
 // ReducedCol is one column of a reduced binding.
@@ -110,7 +114,15 @@ func (b *PathBinding) Reduce() *Reduced {
 
 // Key returns the deduplication identity of the reduced binding: the
 // reduced column sequence, the multiset branch tags, and the matched path.
+// The result is memoized; callers must not mutate the binding afterwards.
 func (r *Reduced) Key() string {
+	if r.key == "" {
+		r.key = r.computeKey()
+	}
+	return r.key
+}
+
+func (r *Reduced) computeKey() string {
 	var b strings.Builder
 	for _, c := range r.Cols {
 		b.WriteString(c.Var)

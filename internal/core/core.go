@@ -48,12 +48,13 @@ func Compile(src string, opts Options) (*Query, error) {
 	return &Query{Source: src, Parsed: stmt, Normalized: norm, Plan: p}, nil
 }
 
-// Eval runs the query against a graph.
-func (q *Query) Eval(g *graph.Graph, cfg eval.Config) (*eval.Result, error) {
-	if g == nil {
+// Eval runs the query against a graph store (the map-backed *graph.Graph,
+// a CSR snapshot, or any other Store implementation).
+func (q *Query) Eval(s graph.Store, cfg eval.Config) (*eval.Result, error) {
+	if s == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
-	return eval.EvalPlan(g, q.Plan, cfg)
+	return eval.EvalPlan(s, q.Plan, cfg)
 }
 
 // Columns returns the output column order (named variables by first

@@ -99,17 +99,17 @@ type thread struct {
 }
 
 type bfs struct {
-	g      *graph.Graph
+	g      graph.Store
 	prog   *plan.Prog
 	limits Limits
+	bud    *budget
+	seed   graph.NodeID
 
 	policy  admitPolicy
 	visited map[string]*visitInfo
 	queue   []thread
-	admits  int
 
 	pathVar string
-	matches int
 	emit    func(*binding.PathBinding) error
 }
 
@@ -151,22 +151,26 @@ func (p admitPolicy) admit(vi *visitInfo, depth int) bool {
 	}
 }
 
-// runBFS evaluates the program under the given selector.
-func runBFS(g *graph.Graph, prog *plan.Prog, pathVar string, limits Limits, sel ast.Selector, emit func(*binding.PathBinding) error) error {
+// runBFS evaluates the program under the given selector, anchored at the
+// seed node. Admission keys include the start node, so per-seed searches
+// admit exactly the threads the old whole-graph search did; limits are
+// shared across seed runs through the budget.
+func runBFS(s graph.Store, prog *plan.Prog, pathVar string, limits Limits, sel ast.Selector, seed graph.NodeID, bud *budget, emit func(*binding.PathBinding) error) error {
 	if sel.Kind == ast.NoSelector {
 		return fmt.Errorf("eval: BFS mode requires a selector (planner bug)")
 	}
 	b := &bfs{
-		g:       g,
+		g:       s,
 		prog:    prog,
 		limits:  limits.withDefaults(),
+		bud:     bud,
+		seed:    seed,
 		policy:  admitPolicy{kind: sel.Kind, k: sel.K},
 		visited: map[string]*visitInfo{},
 		pathVar: pathVar,
 		emit:    emit,
 	}
-	seed := thread{pc: prog.Start}
-	if err := b.closure(seed); err != nil {
+	if err := b.closure(thread{pc: prog.Start}); err != nil {
 		return err
 	}
 	for i := 0; i < len(b.queue); i++ {
@@ -189,9 +193,8 @@ func (b *bfs) park(t thread) error {
 	if !b.policy.admit(vi, t.depth) {
 		return nil
 	}
-	b.admits++
-	if b.admits > b.limits.MaxThreads {
-		return &LimitError{What: "search state", Limit: b.limits.MaxThreads}
+	if err := b.bud.addThread(); err != nil {
+		return err
 	}
 	b.queue = append(b.queue, t)
 	return nil
@@ -266,7 +269,7 @@ type bfsResolver struct {
 	t *thread
 }
 
-func (r bfsResolver) Graph() *graph.Graph { return r.b.g }
+func (r bfsResolver) Graph() graph.Store { return r.b.g }
 
 func (r bfsResolver) Elem(name string) (binding.Ref, bool) {
 	for f := r.t.frames; f != nil; f = f.prev {
@@ -394,19 +397,15 @@ func (b *bfs) closure(t thread) error {
 
 func (b *bfs) closureNode(t thread, in *plan.Instr) error {
 	if !t.started {
-		var firstErr error
-		b.g.Nodes(func(n *graph.Node) bool {
-			t2 := t
-			t2.started = true
-			t2.pos = n.ID
-			t2.first = n.ID
-			if err := b.matchNode(t2, in, n); err != nil {
-				firstErr = err
-				return false
-			}
-			return true
-		})
-		return firstErr
+		n := b.g.Node(b.seed)
+		if n == nil {
+			return nil
+		}
+		t2 := t
+		t2.started = true
+		t2.pos = n.ID
+		t2.first = n.ID
+		return b.matchNode(t2, in, n)
 	}
 	n := b.g.Node(t.pos)
 	if n == nil {
@@ -579,9 +578,8 @@ func (b *bfs) traverse(base thread, in *plan.Instr, e *graph.Edge, target graph.
 
 // accept materializes a completed thread into a path binding.
 func (b *bfs) accept(t thread) error {
-	b.matches++
-	if b.matches > b.limits.MaxMatches {
-		return &LimitError{What: "match count", Limit: b.limits.MaxMatches}
+	if err := b.bud.addMatch(); err != nil {
+		return err
 	}
 	final := appendEntries(t.entries, t.pending)
 	count := 0

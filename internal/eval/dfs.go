@@ -71,11 +71,14 @@ type scopeState struct {
 }
 
 // dfs is the backtracking matcher. Every case of step restores all state it
-// mutated before returning.
+// mutated before returning. One machine explores every match anchored at a
+// single seed node; Enumerate runs one machine per seed.
 type dfs struct {
-	g      *graph.Graph
+	g      graph.Store
 	prog   *plan.Prog
 	limits Limits
+	bud    *budget
+	seed   graph.NodeID
 
 	pos     graph.NodeID
 	started bool
@@ -94,29 +97,37 @@ type dfs struct {
 	groups map[string][]binding.Ref
 
 	pathVar string
-	matches int
 	emit    func(*binding.PathBinding) error
 }
 
-// runDFS enumerates every match of the program, invoking emit for each.
-func runDFS(g *graph.Graph, prog *plan.Prog, pathVar string, limits Limits, emit func(*binding.PathBinding) error) error {
-	m := &dfs{
-		g:       g,
+// newDFS builds a reusable matcher. Every run restores all machine state
+// by backtracking, so one machine serves any number of sequential seed
+// runs; limits accounting is shared across runs through the budget.
+func newDFS(s graph.Store, prog *plan.Prog, pathVar string, limits Limits, bud *budget, emit func(*binding.PathBinding) error) *dfs {
+	return &dfs{
+		g:       s,
 		prog:    prog,
 		limits:  limits.withDefaults(),
+		bud:     bud,
 		env:     map[string]binding.Ref{},
 		groups:  map[string][]binding.Ref{},
 		pathVar: pathVar,
 		emit:    emit,
 	}
-	return m.step(prog.Start)
+}
+
+// run enumerates every match of the program anchored at the seed node,
+// invoking emit for each.
+func (m *dfs) run(seed graph.NodeID) error {
+	m.seed = seed
+	return m.step(m.prog.Start)
 }
 
 // Resolver interface over the live machine state (used by prefilters).
 
 type dfsResolver struct{ m *dfs }
 
-func (r dfsResolver) Graph() *graph.Graph { return r.m.g }
+func (r dfsResolver) Graph() graph.Store { return r.m.g }
 
 func (r dfsResolver) Elem(name string) (binding.Ref, bool) {
 	for i := len(r.m.frames) - 1; i >= 0; i-- {
@@ -247,22 +258,21 @@ func (s *scopeState) init(first graph.NodeID) {
 }
 
 // stepNode matches a node pattern at the current position (or, when the
-// search has not started, at every node of the graph).
+// search has not started, at the machine's seed node — Enumerate runs one
+// machine per candidate start node).
 func (m *dfs) stepNode(in *plan.Instr) error {
 	if !m.started {
-		var firstErr error
-		m.g.Nodes(func(n *graph.Node) bool {
-			m.started = true
-			m.pos = n.ID
-			m.pathNodes = append(m.pathNodes, n.ID)
-			if err := m.matchNodeHere(in, n); err != nil {
-				firstErr = err
-			}
-			m.pathNodes = m.pathNodes[:len(m.pathNodes)-1]
-			m.started = false
-			return firstErr == nil
-		})
-		return firstErr
+		n := m.g.Node(m.seed)
+		if n == nil {
+			return nil
+		}
+		m.started = true
+		m.pos = n.ID
+		m.pathNodes = append(m.pathNodes, n.ID)
+		err := m.matchNodeHere(in, n)
+		m.pathNodes = m.pathNodes[:len(m.pathNodes)-1]
+		m.started = false
+		return err
 	}
 	n := m.g.Node(m.pos)
 	if n == nil {
@@ -552,9 +562,8 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 
 // accept emits the completed path binding.
 func (m *dfs) accept() error {
-	m.matches++
-	if m.matches > m.limits.MaxMatches {
-		return &LimitError{What: "match count", Limit: m.limits.MaxMatches}
+	if err := m.bud.addMatch(); err != nil {
+		return err
 	}
 	entries := make([]binding.Entry, 0, len(m.entries)+len(m.posEntries))
 	entries = append(entries, m.entries...)

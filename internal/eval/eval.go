@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gpml/internal/binding"
 	"gpml/internal/graph"
@@ -17,6 +18,11 @@ type Config struct {
 	// constituent path patterns in the graph pattern [must] differ from
 	// each other". Applied after the join and before the postfilter.
 	EdgeIsomorphic bool
+	// Parallelism is the number of workers enumerating a path pattern's
+	// matches (seed nodes are distributed over the workers and the results
+	// merged back in seed order, so output is identical to sequential
+	// evaluation). Values below 2 evaluate sequentially.
+	Parallelism int
 }
 
 // BoundKind discriminates what a result variable is bound to.
@@ -52,14 +58,7 @@ func (b Bound) String() string {
 		for i, r := range b.Group {
 			parts[i] = r.ID
 		}
-		out := "["
-		for i, p := range parts {
-			if i > 0 {
-				out += ","
-			}
-			out += p
-		}
-		return out + "]"
+		return "[" + strings.Join(parts, ",") + "]"
 	case BoundPath:
 		return b.Path.String()
 	default:
@@ -95,53 +94,53 @@ type Result struct {
 	Rows    []*Row
 }
 
-// EvalPlan evaluates a compiled plan against a graph: each path pattern is
+// EvalPlan evaluates a compiled plan against a store: each path pattern is
 // solved separately (§6.5 "Multiple patterns"), results are joined on
 // shared singleton variables, and the final WHERE postfilter is applied.
-func EvalPlan(g *graph.Graph, p *plan.Plan, cfg Config) (*Result, error) {
-	graphs := make([]*graph.Graph, len(p.Paths))
-	for i := range graphs {
-		graphs[i] = g
+func EvalPlan(s graph.Store, p *plan.Plan, cfg Config) (*Result, error) {
+	stores := make([]graph.Store, len(p.Paths))
+	for i := range stores {
+		stores[i] = s
 	}
-	return EvalPlanOn(graphs, p, cfg)
+	return EvalPlanOn(stores, p, cfg)
 }
 
-// EvalPlanOn evaluates each path pattern of the plan against its own graph
-// (graphs[i] for pattern i) and joins the results — the "queries on
+// EvalPlanOn evaluates each path pattern of the plan against its own store
+// (stores[i] for pattern i) and joins the results — the "queries on
 // multiple graphs in a single concatenated MATCH" language opportunity of
 // §7.1. Shared singleton variables join across graphs by element
 // identifier, the natural reading when the graphs are views sharing keys
 // (e.g. two SQL/PGQ views over the same tables). Property lookups in the
-// postfilter resolve against the first graph whose pattern declares the
+// postfilter resolve against the first store whose pattern declares the
 // variable.
-func EvalPlanOn(graphs []*graph.Graph, p *plan.Plan, cfg Config) (*Result, error) {
-	if len(graphs) != len(p.Paths) {
-		return nil, fmt.Errorf("eval: %d graphs for %d path patterns", len(graphs), len(p.Paths))
+func EvalPlanOn(stores []graph.Store, p *plan.Plan, cfg Config) (*Result, error) {
+	if len(stores) != len(p.Paths) {
+		return nil, fmt.Errorf("eval: %d graphs for %d path patterns", len(stores), len(p.Paths))
 	}
 	perPattern := make([][]*binding.Reduced, len(p.Paths))
 	for i, pp := range p.Paths {
-		rs, err := MatchPattern(graphs[i], pp, cfg)
+		rs, err := MatchPattern(stores[i], pp, cfg)
 		if err != nil {
 			return nil, err
 		}
 		perPattern[i] = rs
 	}
-	varGraph := map[string]*graph.Graph{}
+	varGraph := map[string]graph.Store{}
 	for i, pp := range p.Paths {
 		for _, v := range pp.Vars {
 			if _, ok := varGraph[v]; !ok {
-				varGraph[v] = graphs[i]
+				varGraph[v] = stores[i]
 			}
 		}
 	}
-	return joinAndFilter(graphs[0], varGraph, p, perPattern, cfg)
+	return joinAndFilter(stores[0], varGraph, p, perPattern, cfg)
 }
 
 // MatchPattern runs the full single-pattern pipeline: enumerate (DFS or
 // BFS), reduce, deduplicate, then apply the selector — exactly the §6
 // stage order.
-func MatchPattern(g *graph.Graph, pp *plan.PathPlan, cfg Config) ([]*binding.Reduced, error) {
-	raw, err := Enumerate(g, pp, cfg)
+func MatchPattern(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.Reduced, error) {
+	raw, err := Enumerate(s, pp, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -155,30 +154,75 @@ func MatchPattern(g *graph.Graph, pp *plan.PathPlan, cfg Config) ([]*binding.Red
 	return selected, nil
 }
 
-// Enumerate produces the raw (annotated) path bindings of one pattern.
-func Enumerate(g *graph.Graph, pp *plan.PathPlan, cfg Config) ([]*binding.PathBinding, error) {
+// Enumerate produces the raw (annotated) path bindings of one pattern. It
+// seeds one engine run per candidate start node — from the store's label
+// index when the plan proved a seed label, a full scan otherwise — and,
+// with cfg.Parallelism > 1, distributes the seed runs over a worker pool
+// (see parallel.go). Search limits are shared across all seed runs.
+func Enumerate(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.PathBinding, error) {
+	bud := newBudget(cfg.Limits.withDefaults())
+	if cfg.Parallelism > 1 {
+		if seeds := seedNodes(s, pp); len(seeds) > 1 {
+			return enumerateParallel(s, pp, cfg, bud, seeds)
+		}
+	}
 	var out []*binding.PathBinding
-	collect := func(b *binding.PathBinding) error {
+	run := seedRunner(s, pp, cfg.Limits, bud, func(b *binding.PathBinding) error {
 		out = append(out, b)
 		return nil
-	}
+	})
 	var err error
-	switch pp.Mode {
-	case plan.ModeBFS:
-		err = runBFS(g, pp.Prog, pp.Pattern.PathVar, cfg.Limits, pp.Pattern.Selector, collect)
-	default:
-		err = runDFS(g, pp.Prog, pp.Pattern.PathVar, cfg.Limits, collect)
-	}
+	forEachSeed(s, pp, func(id graph.NodeID) bool {
+		err = run(id)
+		return err == nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// forEachSeed streams the candidate start nodes in iteration order. When
+// the plan proved seed labels, the cheapest one (by the store's label
+// counts) restricts the candidates; the engines re-check the full node
+// pattern at each seed, so any sound label works.
+func forEachSeed(s graph.Store, pp *plan.PathPlan, f func(graph.NodeID) bool) {
+	if label, ok := graph.CheapestNodeLabel(s, pp.SeedLabels); ok {
+		s.NodesWithLabel(label, func(n *graph.Node) bool { return f(n.ID) })
+		return
+	}
+	s.Nodes(func(n *graph.Node) bool { return f(n.ID) })
+}
+
+// seedNodes materializes the candidate seeds, for distribution over the
+// parallel worker pool.
+func seedNodes(s graph.Store, pp *plan.PathPlan) []graph.NodeID {
+	var out []graph.NodeID
+	forEachSeed(s, pp, func(id graph.NodeID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// seedRunner returns a function running one engine pass per seed node.
+// DFS reuses a single backtracking machine across runs; BFS builds a
+// fresh level-synchronous search per seed (its visited map and queue are
+// per-seed anyway, since admission keys include the start node).
+func seedRunner(s graph.Store, pp *plan.PathPlan, lims Limits, bud *budget, emit func(*binding.PathBinding) error) func(graph.NodeID) error {
+	if pp.Mode == plan.ModeBFS {
+		return func(seed graph.NodeID) error {
+			return runBFS(s, pp.Prog, pp.Pattern.PathVar, lims, pp.Pattern.Selector, seed, bud, emit)
+		}
+	}
+	m := newDFS(s, pp.Prog, pp.Pattern.PathVar, lims, bud, emit)
+	return m.run
+}
+
 // joinAndFilter forms the cross product of per-pattern solutions, filtered
 // by implicit equi-joins on shared singleton variables and the final WHERE
 // clause (§6.5 "Multiple patterns").
-func joinAndFilter(g *graph.Graph, varGraph map[string]*graph.Graph, p *plan.Plan, perPattern [][]*binding.Reduced, cfg Config) (*Result, error) {
+func joinAndFilter(g graph.Store, varGraph map[string]graph.Store, p *plan.Plan, perPattern [][]*binding.Reduced, cfg Config) (*Result, error) {
 	rows := []*Row{{vars: map[string]Bound{}}}
 	bound := map[string]bool{} // variables bound by already-joined patterns
 	for patIdx, solutions := range perPattern {
@@ -355,19 +399,19 @@ func rowEdgeIsomorphic(row *Row) bool {
 }
 
 // rowResolver evaluates the postfilter over a joined row. In multi-graph
-// evaluation (EvalPlanOn) varGraph routes property lookups to the graph
-// that declared each variable; Graph() returns the primary graph for
+// evaluation (EvalPlanOn) varGraph routes property lookups to the store
+// that declared each variable; Graph() returns the primary store for
 // expressions that are not variable-specific.
 type rowResolver struct {
-	g        *graph.Graph
-	varGraph map[string]*graph.Graph
+	g        graph.Store
+	varGraph map[string]graph.Store
 	row      *Row
 }
 
-func (r rowResolver) Graph() *graph.Graph { return r.g }
+func (r rowResolver) Graph() graph.Store { return r.g }
 
 // GraphFor routes per-variable element lookups in multi-graph evaluation.
-func (r rowResolver) GraphFor(name string) *graph.Graph {
+func (r rowResolver) GraphFor(name string) graph.Store {
 	if r.varGraph == nil {
 		return r.g
 	}
@@ -402,4 +446,4 @@ func (r rowResolver) Group(name string) ([]binding.Ref, bool) {
 
 // RowResolver exposes a row as an expression resolver for host-language
 // projections (SQL/PGQ COLUMNS, GQL RETURN).
-func RowResolver(g *graph.Graph, row *Row) Resolver { return rowResolver{g: g, row: row} }
+func RowResolver(g graph.Store, row *Row) Resolver { return rowResolver{g: g, row: row} }

@@ -17,9 +17,11 @@ import (
 
 // Resolver supplies variable bindings to the expression evaluator. Unbound
 // singletons resolve to NULL (conditional singletons that did not bind,
-// §4.6); group lookups return the elements accumulated so far.
+// §4.6); group lookups return the elements accumulated so far. Element and
+// property lookups go through the abstract graph.Store, so expressions
+// evaluate identically over any backend.
 type Resolver interface {
-	Graph() *graph.Graph
+	Graph() graph.Store
 	// Elem resolves a singleton (or iteration-local) element binding.
 	Elem(name string) (binding.Ref, bool)
 	// Group resolves the accumulated group list for a variable.
@@ -28,13 +30,13 @@ type Resolver interface {
 
 // graphRouter is optionally implemented by resolvers that evaluate over
 // multiple graphs (the §7.1 multi-graph MATCH opportunity): it returns the
-// graph that declared a variable.
+// store that declared a variable.
 type graphRouter interface {
-	GraphFor(name string) *graph.Graph
+	GraphFor(name string) graph.Store
 }
 
-// graphOf picks the graph for a variable's element lookups.
-func graphOf(r Resolver, name string) *graph.Graph {
+// graphOf picks the store for a variable's element lookups.
+func graphOf(r Resolver, name string) graph.Store {
 	if gr, ok := r.(graphRouter); ok {
 		if g := gr.GraphFor(name); g != nil {
 			return g
@@ -405,7 +407,7 @@ func distinctValues(vals []value.Value) []value.Value {
 }
 
 // propOf reads a property from a bound element.
-func propOf(g *graph.Graph, ref binding.Ref, prop string) value.Value {
+func propOf(g graph.Store, ref binding.Ref, prop string) value.Value {
 	switch ref.Kind {
 	case binding.NodeElem:
 		if n := g.Node(graph.NodeID(ref.ID)); n != nil {

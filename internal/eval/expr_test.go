@@ -18,7 +18,7 @@ type mapResolver struct {
 	groups map[string][]binding.Ref
 }
 
-func (r mapResolver) Graph() *graph.Graph { return r.g }
+func (r mapResolver) Graph() graph.Store { return r.g }
 
 func (r mapResolver) Elem(name string) (binding.Ref, bool) {
 	ref, ok := r.elems[name]

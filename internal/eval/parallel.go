@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// budget enforces the search limits across every seed run of one
+// Enumerate call, sequential or parallel. The counters are atomic so
+// concurrent workers share one global budget, exactly like the single
+// global engine did before seeds were split out.
+type budget struct {
+	maxMatches int64
+	maxThreads int64
+	matches    atomic.Int64
+	threads    atomic.Int64
+}
+
+func newBudget(lims Limits) *budget {
+	return &budget{
+		maxMatches: int64(lims.MaxMatches),
+		maxThreads: int64(lims.MaxThreads),
+	}
+}
+
+// addMatch accounts one emitted match; it errors when the global match
+// budget is exhausted.
+func (b *budget) addMatch() error {
+	if b.matches.Add(1) > b.maxMatches {
+		return &LimitError{What: "match count", Limit: int(b.maxMatches)}
+	}
+	return nil
+}
+
+// addThread accounts one admitted BFS search state.
+func (b *budget) addThread() error {
+	if b.threads.Add(1) > b.maxThreads {
+		return &LimitError{What: "search state", Limit: int(b.maxThreads)}
+	}
+	return nil
+}
+
+// enumerateParallel distributes the seed runs over cfg.Parallelism workers
+// and merges the per-seed outputs back in seed order, making the result
+// byte-identical to sequential evaluation. Workers claim seeds dynamically
+// (atomic counter) so skewed seeds don't idle the pool.
+func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget, seeds []graph.NodeID) ([]*binding.PathBinding, error) {
+	workers := cfg.Parallelism
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	perSeed := make([][]*binding.PathBinding, len(seeds))
+	errs := make([]error, len(seeds))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []*binding.PathBinding
+			run := seedRunner(s, pp, cfg.Limits, bud, func(b *binding.PathBinding) error {
+				out = append(out, b)
+				return nil
+			})
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) || failed.Load() {
+					return
+				}
+				out = nil
+				if err := run(seeds[i]); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				perSeed[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, part := range perSeed {
+		total += len(part)
+	}
+	merged := make([]*binding.PathBinding, 0, total)
+	for _, part := range perSeed {
+		merged = append(merged, part...)
+	}
+	return merged, nil
+}

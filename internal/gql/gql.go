@@ -19,17 +19,18 @@ import (
 
 // Catalog is a named collection of property graphs.
 type Catalog struct {
-	graphs map[string]*graph.Graph
+	graphs map[string]graph.Store
 	order  []string
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{graphs: map[string]*graph.Graph{}}
+	return &Catalog{graphs: map[string]graph.Store{}}
 }
 
-// Register adds a graph under a name.
-func (c *Catalog) Register(name string, g *graph.Graph) error {
+// Register adds a graph store under a name. Any backend works: the
+// mutable map graph, a CSR snapshot, or a custom Store implementation.
+func (c *Catalog) Register(name string, g graph.Store) error {
 	if _, ok := c.graphs[name]; ok {
 		return fmt.Errorf("gql: graph %q already registered", name)
 	}
@@ -39,7 +40,7 @@ func (c *Catalog) Register(name string, g *graph.Graph) error {
 }
 
 // Graph resolves a name.
-func (c *Catalog) Graph(name string) (*graph.Graph, error) {
+func (c *Catalog) Graph(name string) (graph.Store, error) {
 	g, ok := c.graphs[name]
 	if !ok {
 		return nil, fmt.Errorf("gql: no graph named %q in catalog", name)
@@ -70,7 +71,7 @@ func (s *Session) Use(name string) error {
 }
 
 // CurrentGraph returns the session's current graph.
-func (s *Session) CurrentGraph() (*graph.Graph, error) {
+func (s *Session) CurrentGraph() (graph.Store, error) {
 	if s.current == "" {
 		return nil, fmt.Errorf("gql: no current graph; call Use first")
 	}
@@ -106,7 +107,7 @@ func (s *Session) MatchAcross(src string, graphNames []string) (*eval.Result, er
 	if len(graphNames) != len(q.Plan.Paths) {
 		return nil, fmt.Errorf("gql: %d graph names for %d path patterns", len(graphNames), len(q.Plan.Paths))
 	}
-	graphs := make([]*graph.Graph, len(graphNames))
+	graphs := make([]graph.Store, len(graphNames))
 	for i, name := range graphNames {
 		g, err := s.catalog.Graph(name)
 		if err != nil {
@@ -157,7 +158,7 @@ func (s *Session) MatchGraph(src string) (*GraphView, error) {
 }
 
 // BuildGraphView projects a result set to the induced annotated subgraph.
-func BuildGraphView(g *graph.Graph, res *eval.Result) (*GraphView, error) {
+func BuildGraphView(g graph.Store, res *eval.Result) (*GraphView, error) {
 	ann := map[string]map[string]struct{}{}
 	nodes := map[graph.NodeID]struct{}{}
 	edges := map[graph.EdgeID]struct{}{}

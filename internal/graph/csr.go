@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSR is an immutable compressed-sparse-row snapshot of a property graph.
+// Nodes and edges live in dense arrays in insertion order, incident edges
+// in one contiguous arena indexed by per-node offsets, and a label → nodes
+// inverted index answers NodesWithLabel without scanning. Cardinality
+// statistics are precomputed at snapshot time.
+//
+// A CSR is safe for any number of concurrent readers and never changes;
+// take a fresh Snapshot after mutating the source graph.
+type CSR struct {
+	nodes []Node
+	edges []Edge
+
+	nodeIdx map[NodeID]int32
+	edgeIdx map[EdgeID]int32
+
+	// incidence in CSR form: edges incident to node i are
+	// incEdge[incOff[i]:incOff[i+1]], in insertion order.
+	incOff  []int32
+	incEdge []int32
+
+	// labelNodes maps a label to the indices of nodes carrying it, in
+	// insertion order.
+	labelNodes map[string][]int32
+
+	stats StoreStats
+}
+
+// Snapshot builds a CSR snapshot of g. The snapshot copies node and edge
+// records (labels and property maps are shared structurally with the
+// source graph, which must not be mutated concurrently with the build).
+func Snapshot(g *Graph) *CSR {
+	c := &CSR{
+		nodes:      make([]Node, 0, g.NumNodes()),
+		edges:      make([]Edge, 0, g.NumEdges()),
+		nodeIdx:    make(map[NodeID]int32, g.NumNodes()),
+		edgeIdx:    make(map[EdgeID]int32, g.NumEdges()),
+		labelNodes: map[string][]int32{},
+		stats: StoreStats{
+			Nodes:      g.NumNodes(),
+			Edges:      g.NumEdges(),
+			NodeLabels: map[string]int{},
+			EdgeLabels: map[string]int{},
+		},
+	}
+	g.Nodes(func(n *Node) bool {
+		i := int32(len(c.nodes))
+		c.nodes = append(c.nodes, *n)
+		c.nodeIdx[n.ID] = i
+		for _, l := range n.Labels {
+			c.labelNodes[l] = append(c.labelNodes[l], i)
+			c.stats.NodeLabels[l]++
+		}
+		return true
+	})
+	g.Edges(func(e *Edge) bool {
+		c.edgeIdx[e.ID] = int32(len(c.edges))
+		c.edges = append(c.edges, *e)
+		for _, l := range e.Labels {
+			c.stats.EdgeLabels[l]++
+		}
+		return true
+	})
+
+	// Count degrees, then lay out the incidence arena. A self-loop is
+	// incident once, matching the map backend's Incident contract.
+	deg := make([]int32, len(c.nodes))
+	for i := range c.edges {
+		e := &c.edges[i]
+		deg[c.nodeIdx[e.Source]]++
+		if e.Source != e.Target {
+			deg[c.nodeIdx[e.Target]]++
+		}
+	}
+	c.incOff = make([]int32, len(c.nodes)+1)
+	for i, d := range deg {
+		c.incOff[i+1] = c.incOff[i] + d
+	}
+	c.incEdge = make([]int32, c.incOff[len(c.nodes)])
+	fill := append([]int32(nil), c.incOff[:len(c.nodes)]...)
+	for i := range c.edges {
+		e := &c.edges[i]
+		si := c.nodeIdx[e.Source]
+		c.incEdge[fill[si]] = int32(i)
+		fill[si]++
+		if e.Source != e.Target {
+			ti := c.nodeIdx[e.Target]
+			c.incEdge[fill[ti]] = int32(i)
+			fill[ti]++
+		}
+	}
+	return c
+}
+
+// Node returns the node with the given id, or nil.
+func (c *CSR) Node(id NodeID) *Node {
+	i, ok := c.nodeIdx[id]
+	if !ok {
+		return nil
+	}
+	return &c.nodes[i]
+}
+
+// Edge returns the edge with the given id, or nil.
+func (c *CSR) Edge(id EdgeID) *Edge {
+	i, ok := c.edgeIdx[id]
+	if !ok {
+		return nil
+	}
+	return &c.edges[i]
+}
+
+// NumNodes reports |N|.
+func (c *CSR) NumNodes() int { return len(c.nodes) }
+
+// NumEdges reports |E|.
+func (c *CSR) NumEdges() int { return len(c.edges) }
+
+// Nodes iterates nodes in insertion order.
+func (c *CSR) Nodes(f func(*Node) bool) {
+	for i := range c.nodes {
+		if !f(&c.nodes[i]) {
+			return
+		}
+	}
+}
+
+// Edges iterates edges in insertion order.
+func (c *CSR) Edges(f func(*Edge) bool) {
+	for i := range c.edges {
+		if !f(&c.edges[i]) {
+			return
+		}
+	}
+}
+
+// Incident iterates the edges touching n in insertion order.
+func (c *CSR) Incident(n NodeID, f func(*Edge) bool) {
+	i, ok := c.nodeIdx[n]
+	if !ok {
+		return
+	}
+	for _, ei := range c.incEdge[c.incOff[i]:c.incOff[i+1]] {
+		if !f(&c.edges[ei]) {
+			return
+		}
+	}
+}
+
+// Degree reports the number of edges incident to n.
+func (c *CSR) Degree(n NodeID) int {
+	i, ok := c.nodeIdx[n]
+	if !ok {
+		return 0
+	}
+	return int(c.incOff[i+1] - c.incOff[i])
+}
+
+// NodesWithLabel iterates the nodes carrying the label from the inverted
+// index, in insertion order.
+func (c *CSR) NodesWithLabel(label string, f func(*Node) bool) {
+	for _, i := range c.labelNodes[label] {
+		if !f(&c.nodes[i]) {
+			return
+		}
+	}
+}
+
+// CountNodesWithLabel answers from the inverted index in O(1).
+func (c *CSR) CountNodesWithLabel(label string) int { return len(c.labelNodes[label]) }
+
+// LabelStats returns the precomputed cardinality statistics.
+func (c *CSR) LabelStats() StoreStats { return c.stats }
+
+// Stats summarizes the snapshot, mirroring Graph.Stats.
+func (c *CSR) Stats() string {
+	directed, undirected := 0, 0
+	for i := range c.edges {
+		if c.edges[i].Direction == Directed {
+			directed++
+		} else {
+			undirected++
+		}
+	}
+	labels := map[string]int{}
+	for l, n := range c.stats.NodeLabels {
+		labels[l] += n
+	}
+	for l, n := range c.stats.EdgeLabels {
+		labels[l] += n
+	}
+	return fmt.Sprintf("csr nodes=%d edges=%d (directed=%d undirected=%d) labels=%s",
+		len(c.nodes), len(c.edges), directed, undirected, strings.Join(sortedLabels(labels), ","))
+}

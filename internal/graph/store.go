@@ -1,0 +1,145 @@
+package graph
+
+import "sort"
+
+// Store is the abstract graph the evaluator runs against: the paper's
+// G = (N, E, ρ, λ, π) reduced to the operations pattern matching needs.
+// Implementations must be safe for concurrent readers; the evaluator never
+// mutates a Store.
+//
+// Two implementations ship with the package: the mutable map-based *Graph
+// and the immutable CSR snapshot built by Snapshot. Further backends
+// (sharded, disk-resident, relational views) only need to satisfy this
+// interface to plug into the whole pipeline.
+type Store interface {
+	// Node returns the node with the given id, or nil.
+	Node(id NodeID) *Node
+	// Edge returns the edge with the given id, or nil.
+	Edge(id EdgeID) *Edge
+	// NumNodes reports |N|.
+	NumNodes() int
+	// NumEdges reports |E|.
+	NumEdges() int
+	// Nodes iterates nodes in insertion order; f returns false to stop.
+	Nodes(f func(*Node) bool)
+	// Edges iterates edges in insertion order; f returns false to stop.
+	Edges(f func(*Edge) bool)
+	// Incident iterates the edges touching n in insertion order (directed
+	// in either orientation, and undirected); a self-loop is visited once.
+	Incident(n NodeID, f func(*Edge) bool)
+	// Degree reports the number of incident edges of n (self-loops count
+	// once), without iterating them.
+	Degree(n NodeID) int
+	// NodesWithLabel iterates the nodes carrying the label, in insertion
+	// order. It must visit exactly the nodes a full Nodes scan filtered by
+	// HasLabel(label) would.
+	NodesWithLabel(label string, f func(*Node) bool)
+	// CountNodesWithLabel reports how many nodes carry the label, for
+	// seed selection (cheaper than LabelStats when only a few labels are
+	// of interest).
+	CountNodesWithLabel(label string) int
+	// LabelStats reports element cardinalities per label, for cost
+	// estimates and reporting.
+	LabelStats() StoreStats
+}
+
+// StoreStats summarizes a store's cardinalities. Implementations may
+// precompute it (CSR) or derive it on demand (map backend).
+type StoreStats struct {
+	Nodes int
+	Edges int
+	// NodeLabels counts nodes per label; EdgeLabels counts edges per label.
+	// An element with k labels contributes to k counters.
+	NodeLabels map[string]int
+	EdgeLabels map[string]int
+}
+
+// NodeLabelCount returns the number of nodes carrying the label.
+func (s StoreStats) NodeLabelCount(label string) int { return s.NodeLabels[label] }
+
+// CheapestNodeLabel picks the label with the fewest nodes among the
+// candidates, for seeding evaluation from the smallest candidate set. All
+// candidate labels are required (conjunctive), so any of them is a sound
+// seed set; the smallest is the cheapest.
+func CheapestNodeLabel(s Store, candidates []string) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	best := candidates[0]
+	if len(candidates) == 1 {
+		return best, true // nothing to compare; skip the count
+	}
+	bestCount := s.CountNodesWithLabel(best)
+	for _, l := range candidates[1:] {
+		if c := s.CountNodesWithLabel(l); c < bestCount {
+			best, bestCount = l, c
+		}
+	}
+	return best, true
+}
+
+// Degree reports the number of edges incident to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.incident[n]) }
+
+// NodesWithLabel iterates the nodes carrying the label in insertion order.
+// The map backend has no label index, so this is a filtered scan; the CSR
+// snapshot answers it from its inverted index.
+func (g *Graph) NodesWithLabel(label string, f func(*Node) bool) {
+	for _, id := range g.nodeOrder {
+		n := g.nodes[id]
+		if n.HasLabel(label) && !f(n) {
+			return
+		}
+	}
+}
+
+// CountNodesWithLabel counts the nodes carrying the label (a scan on the
+// map backend; allocation-free).
+func (g *Graph) CountNodesWithLabel(label string) int {
+	count := 0
+	for _, id := range g.nodeOrder {
+		if g.nodes[id].HasLabel(label) {
+			count++
+		}
+	}
+	return count
+}
+
+// LabelStats computes cardinality statistics with a full scan. The result
+// is not cached: the graph is mutable, and queries may run concurrently
+// with each other.
+func (g *Graph) LabelStats() StoreStats {
+	s := StoreStats{
+		Nodes:      len(g.nodeOrder),
+		Edges:      len(g.edgeOrder),
+		NodeLabels: map[string]int{},
+		EdgeLabels: map[string]int{},
+	}
+	for _, id := range g.nodeOrder {
+		for _, l := range g.nodes[id].Labels {
+			s.NodeLabels[l]++
+		}
+	}
+	for _, id := range g.edgeOrder {
+		for _, l := range g.edges[id].Labels {
+			s.EdgeLabels[l]++
+		}
+	}
+	return s
+}
+
+// statically assert that both backends satisfy the interface.
+var (
+	_ Store = (*Graph)(nil)
+	_ Store = (*CSR)(nil)
+)
+
+// sortedLabels returns the map's keys sorted, for deterministic rendering.
+func sortedLabels(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -108,7 +108,7 @@ func splitAs(part string) (string, string, error) {
 // GraphTable is the SQL/PGQ GRAPH_TABLE operator: it matches a GPML
 // pattern on the graph and projects each match to a table row (Figure 9's
 // SQL/PGQ output path).
-func GraphTable(g *graph.Graph, match string, columns []Column, cfg eval.Config) (*Table, error) {
+func GraphTable(g graph.Store, match string, columns []Column, cfg eval.Config) (*Table, error) {
 	q, err := core.Compile(match, core.Options{GQL: false})
 	if err != nil {
 		return nil, err
@@ -117,7 +117,7 @@ func GraphTable(g *graph.Graph, match string, columns []Column, cfg eval.Config)
 }
 
 // GraphTableQuery runs GRAPH_TABLE with a precompiled query.
-func GraphTableQuery(g *graph.Graph, q *core.Query, columns []Column, cfg eval.Config) (*Table, error) {
+func GraphTableQuery(g graph.Store, q *core.Query, columns []Column, cfg eval.Config) (*Table, error) {
 	for _, c := range columns {
 		for name := range ast.ExprVars(c.Expr) {
 			if q.Plan.Var(name) == nil {

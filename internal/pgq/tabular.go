@@ -20,7 +20,7 @@ func parseExpr(src string) (ast.Expr, error) { return parser.ParseExpr(src) }
 // paper's A_ID1/A_ID2-style reference columns carry the referenced table
 // names, which a graph alone does not record; src/dst preserve the shape).
 // Columns and rows are ordered deterministically.
-func Tabular(g *graph.Graph) []*Table {
+func Tabular(g graph.Store) []*Table {
 	type group struct {
 		name   string
 		isEdge bool

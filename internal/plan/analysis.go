@@ -73,6 +73,10 @@ type PathPlan struct {
 	HasUnbounded bool
 	// Vars declared by this pattern (non-anonymous), in declaration order.
 	Vars []string
+	// SeedLabels are labels every match's first node provably carries
+	// (sorted; empty when none could be proven). The evaluator seeds from
+	// the store's cheapest label index instead of a full node scan.
+	SeedLabels []string
 }
 
 // Plan is the compiled form of a MATCH statement.
@@ -157,6 +161,7 @@ func Analyze(stmt *ast.MatchStmt, opts Options) (*Plan, error) {
 			Mode:         mode,
 			HasUnbounded: hasUnbounded,
 			Vars:         a.patVars,
+			SeedLabels:   seedLabels(pp.Expr),
 		})
 	}
 

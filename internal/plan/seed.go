@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"sort"
+
+	"gpml/internal/ast"
+)
+
+// Seed-label analysis: labels every match's first node must carry. The
+// evaluator starts every match at the pattern's first node position; when
+// that position provably requires a label, evaluation can seed from the
+// store's NodesWithLabel index instead of scanning all nodes, and the
+// store's cardinality statistics pick the cheapest such label at run time.
+
+// seedLabels computes the required labels of a pattern's first node. The
+// result is sound but not complete: every returned label is carried by the
+// first node of every match, and an empty result means no label could be
+// proven (evaluation falls back to a full scan).
+func seedLabels(e ast.PathExpr) []string {
+	set, _ := seedConstraint(e)
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seedConstraint walks the leading elements of e. It returns the implied
+// label set of the first node position and whether the walk consumed an
+// edge (after which later elements no longer constrain the first node).
+// Consecutive node patterns before the first edge all bind the same
+// position, so their implied labels accumulate.
+func seedConstraint(e ast.PathExpr) (map[string]struct{}, bool) {
+	switch x := e.(type) {
+	case *ast.Concat:
+		acc := map[string]struct{}{}
+		for _, el := range x.Elems {
+			labels, moved := seedConstraint(el)
+			for l := range labels {
+				acc[l] = struct{}{}
+			}
+			if moved {
+				return acc, true
+			}
+		}
+		return acc, false
+	case *ast.NodePattern:
+		return impliedLabels(x.Label), false
+	case *ast.EdgePattern:
+		return nil, true
+	case *ast.Paren:
+		return seedConstraint(x.Expr)
+	case *ast.Quantified:
+		if x.Question || x.Min == 0 {
+			// The body may be skipped entirely: it proves nothing about the
+			// first node, and the position may or may not have moved. Treat
+			// it as moved so later elements are not misattributed to the
+			// first position.
+			return nil, true
+		}
+		return seedConstraint(x.Inner)
+	case *ast.Union:
+		if len(x.Branches) == 0 {
+			return nil, true
+		}
+		// A label is required only when every branch requires it. If any
+		// branch consumes an edge, stop accumulating afterwards.
+		acc, moved := seedConstraint(x.Branches[0])
+		for _, br := range x.Branches[1:] {
+			labels, m := seedConstraint(br)
+			for l := range acc {
+				if _, ok := labels[l]; !ok {
+					delete(acc, l)
+				}
+			}
+			moved = moved || m
+		}
+		return acc, moved
+	default:
+		return nil, true
+	}
+}
+
+// impliedLabels returns the labels every element matching the expression
+// must carry: a plain name implies itself, a conjunction implies both
+// sides' labels, a disjunction implies the labels common to all
+// alternatives, and negation/wildcard imply nothing.
+func impliedLabels(e ast.LabelExpr) map[string]struct{} {
+	switch x := e.(type) {
+	case *ast.LabelName:
+		return map[string]struct{}{x.Name: {}}
+	case *ast.LabelAnd:
+		out := impliedLabels(x.L)
+		for l := range impliedLabels(x.R) {
+			out[l] = struct{}{}
+		}
+		return out
+	case *ast.LabelOr:
+		out := impliedLabels(x.L)
+		right := impliedLabels(x.R)
+		for l := range out {
+			if _, ok := right[l]; !ok {
+				delete(out, l)
+			}
+		}
+		return out
+	default: // nil, wildcard, negation
+		return nil
+	}
+}

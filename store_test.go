@@ -1,0 +1,192 @@
+package gpml_test
+
+import (
+	"sync"
+	"testing"
+
+	"gpml"
+	"gpml/internal/dataset"
+)
+
+// conformanceQueries is the cross-backend battery: every query must return
+// byte-identical formatted results on the map backend, the CSR snapshot,
+// and parallel evaluation over either. The set covers labeled and
+// unlabeled seeds, the edge orientations over undirected multi-edges and
+// self-loops, quantifiers with group aggregates, restrictors, selectors,
+// unions, multi-pattern joins and postfilters.
+var conformanceQueries = []string{
+	`MATCH (x:Account WHERE x.isBlocked='yes')`,
+	`MATCH (x)`,
+	`MATCH (x:Loop)-[e]->(x)`,
+	`MATCH (x)~[e]~(y)`,
+	`MATCH (x)-[e]-(y)`,
+	`MATCH (x:Account)-[e:Transfer]->(y:Account)`,
+	`MATCH (a:Account)-[t:Transfer]->{1,3}(z:Account)`,
+	`MATCH TRAIL (a:Account)-[t:Transfer]->+(z:Account WHERE z.isBlocked='yes')`,
+	`MATCH ACYCLIC (a:Account)-[t:Transfer]->*(z)`,
+	`MATCH ANY SHORTEST p = (a WHERE a.owner='owner0')-[:Transfer]->+(z:Account WHERE z.isBlocked='yes')`,
+	`MATCH ALL SHORTEST p = (a:Account)-[:Transfer]->+(z WHERE z.isBlocked='yes')`,
+	`MATCH SHORTEST 2 p = (a WHERE a.owner='owner0')-[:Transfer]->+(z:Account)`,
+	`MATCH (a:Account)-[:Transfer]->(m) [~[:hasPhone]~(p:Phone)]?`,
+	`MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)~[:hasPhone]~(p)`,
+	`MATCH (x:Account)-[t:Transfer]->(y), (y)-[u:Transfer]->(z) WHERE x.isBlocked='no'`,
+	`MATCH (a:Account) [()-[t:Transfer]->()]{2,3} (c:Account) WHERE SUM(t.amount) > 4M`,
+	`MATCH (x:Vip&Account)-[e]->(y)`,
+	`MATCH (x:Phone|City)~[e]~(y)`,
+	`MATCH (a:Account)-[e:Transfer]->(b) | (a:Account)~[e:hasPhone]~(b)`,
+}
+
+// conformanceGraph mixes the synthetic banking shape with the structural
+// corner cases: undirected multi-edges, directed and undirected
+// self-loops, multi-labels.
+func conformanceGraph(t *testing.T) *gpml.Graph {
+	t.Helper()
+	b := gpml.NewBuilder()
+	owners := []string{"owner0", "owner1", "owner2", "owner3", "owner4"}
+	for i, o := range owners {
+		blocked := "no"
+		if i == 2 {
+			blocked = "yes"
+		}
+		labels := []string{"Account"}
+		if i == 0 {
+			labels = []string{"Account", "Vip"}
+		}
+		b.Node(o[len(o)-6:]+"_n", nil) // unlabeled filler node
+		b.Node("a"+string(rune('0'+i)), labels, "owner", o, "isBlocked", blocked)
+	}
+	b.Node("loop", []string{"Loop", "Account"}, "owner", "looper", "isBlocked", "no")
+	b.Node("p0", []string{"Phone"}, "number", "000")
+	b.Node("c0", []string{"City"}, "name", "Ankh-Morpork")
+	amounts := []int64{2_000_000, 3_000_000, 8_000_000, 5_000_000, 9_000_000}
+	for i, amt := range amounts {
+		src := "a" + string(rune('0'+i))
+		dst := "a" + string(rune('0'+(i+1)%5))
+		b.Edge("t"+string(rune('0'+i)), src, dst, []string{"Transfer"}, "amount", amt)
+	}
+	b.Edge("t5", "a1", "a3", []string{"Transfer"}, "amount", int64(7_000_000))
+	b.Edge("t6", "a1", "a3", []string{"Transfer"}, "amount", int64(1_000_000)) // directed multi-edge
+	b.Edge("tl", "loop", "loop", []string{"Transfer"}, "amount", int64(4_000_000))
+	b.UndirectedEdge("h0", "a0", "p0", []string{"hasPhone"})
+	b.UndirectedEdge("h1", "a1", "p0", []string{"hasPhone"})
+	b.UndirectedEdge("h2", "a1", "p0", []string{"hasPhone"}) // undirected multi-edge
+	b.UndirectedEdge("hl", "p0", "p0", []string{"hasPhone"}) // undirected self-loop
+	b.UndirectedEdge("n0", "a0", "c0", []string{"near"})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestStoreQueryConformance runs the battery on both backends, sequential
+// and parallel, and demands byte-identical output everywhere.
+func TestStoreQueryConformance(t *testing.T) {
+	for _, g := range []*gpml.Graph{conformanceGraph(t), dataset.Fig1()} {
+		snap := gpml.Snapshot(g)
+		for _, src := range conformanceQueries {
+			q, err := gpml.Compile(src)
+			if err != nil {
+				t.Fatalf("compile %s: %v", src, err)
+			}
+			ref, err := q.Eval(g)
+			if err != nil {
+				t.Fatalf("map eval %s: %v", src, err)
+			}
+			want := gpml.FormatResult(ref) + "|" + gpml.FormatBindings(ref)
+			check := func(name string, opts ...gpml.Option) {
+				res, err := q.Eval(g, opts...)
+				if err != nil {
+					t.Fatalf("%s eval %s: %v", name, src, err)
+				}
+				if got := gpml.FormatResult(res) + "|" + gpml.FormatBindings(res); got != want {
+					t.Errorf("%s diverges on %s:\n got  %q\n want %q", name, src, got, want)
+				}
+			}
+			check("csr", gpml.WithStore(snap))
+			check("map-parallel", gpml.WithParallelism(4))
+			check("csr-parallel", gpml.WithStore(snap), gpml.WithParallelism(4))
+			check("csr-parallel-many", gpml.WithStore(snap), gpml.WithParallelism(16))
+		}
+	}
+}
+
+// TestParallelRace hammers one shared CSR snapshot from many goroutines,
+// each running parallel evaluations; run with -race (the CI does).
+func TestParallelRace(t *testing.T) {
+	g := dataset.Random(dataset.RandomConfig{
+		Accounts: 120, AvgDegree: 2, Cities: 8, Phones: 16,
+		BlockedFraction: 0.1, Seed: 5, UndirectedPhones: true,
+	})
+	snap := gpml.Snapshot(g)
+	queries := []*gpml.Query{
+		gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked='yes')-[t:Transfer]->(y:Account)`),
+		gpml.MustCompile(`MATCH ANY SHORTEST p = (a:Account WHERE a.owner='owner0')-[:Transfer]->+(z:Account WHERE z.isBlocked='yes')`),
+		gpml.MustCompile(`MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)`),
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := q.Eval(nil, gpml.WithStore(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = gpml.FormatResult(res)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i, q := range queries {
+					res, err := q.Eval(nil, gpml.WithStore(snap), gpml.WithParallelism(1+(w+round)%5))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if gpml.FormatResult(res) != want[i] {
+						t.Errorf("worker %d: parallel result diverges on query %d", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestWithStoreAPI covers the option plumbing: nil graph without a store
+// errors; EvalStore and Match accept stores.
+func TestWithStoreAPI(t *testing.T) {
+	g := dataset.Fig1()
+	q := gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked='yes')`)
+	if _, err := q.Eval(nil); err == nil {
+		t.Error("nil graph without WithStore must error")
+	}
+	snap := gpml.Snapshot(g)
+	res, err := q.EvalStore(snap)
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("EvalStore: %v rows=%d", err, len(res.Rows))
+	}
+	// Compile-time options persist into evaluation.
+	q2, err := gpml.Compile(`MATCH (x:Account WHERE x.isBlocked='yes')`,
+		gpml.WithStore(snap), gpml.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = q2.Eval(nil)
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("compile-time store: %v rows=%d", err, len(res.Rows))
+	}
+	// A graph passed explicitly to Eval beats the compile-time store.
+	empty := gpml.NewGraph()
+	res, err = q2.Eval(empty)
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("explicit graph must win over compile-time store: %v rows=%d", err, len(res.Rows))
+	}
+	// An eval-time WithStore beats the explicit graph.
+	res, err = q2.Eval(empty, gpml.WithStore(snap))
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("eval-time store must win over the graph argument: %v rows=%d", err, len(res.Rows))
+	}
+}
