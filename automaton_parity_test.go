@@ -1,0 +1,82 @@
+package gpml_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpml"
+)
+
+// The automaton engine must be invisible in results: every conformance
+// query returns byte-identical formatted output with the engine enabled
+// (the default) and disabled, on the map backend, the CSR snapshot, and
+// under parallel evaluation. This is the acceptance gate for the
+// product-graph engine: it may only change how matches are found, never
+// which matches are found or how they are presented.
+func TestAutomatonConformanceParity(t *testing.T) {
+	g := conformanceGraph(t)
+	snap := gpml.Snapshot(g)
+	automatonUsed := 0
+	for _, src := range conformanceQueries {
+		q, err := gpml.Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if lines := q.Explain(); len(lines) > 0 && strings.Contains(lines[0], "engine=automaton") {
+			automatonUsed++
+		}
+		for _, mode := range []struct {
+			name string
+			opts []gpml.Option
+		}{
+			{"map", nil},
+			{"csr", []gpml.Option{gpml.WithStore(snap)}},
+			{"csr-parallel", []gpml.Option{gpml.WithStore(snap), gpml.WithParallelism(4)}},
+		} {
+			auto, err := q.Eval(g, mode.opts...)
+			if err != nil {
+				t.Fatalf("%s %q: %v", mode.name, src, err)
+			}
+			enum, err := q.Eval(g, append([]gpml.Option{gpml.NoAutomaton()}, mode.opts...)...)
+			if err != nil {
+				t.Fatalf("%s %q (no automaton): %v", mode.name, src, err)
+			}
+			if gpml.FormatResult(auto) != gpml.FormatResult(enum) {
+				t.Errorf("%s %q: automaton output diverges\nwith:\n%s\nwithout:\n%s",
+					mode.name, src, gpml.FormatResult(auto), gpml.FormatResult(enum))
+			}
+		}
+	}
+	if automatonUsed == 0 {
+		t.Errorf("no conformance query selected the automaton engine; the parity suite is vacuous")
+	}
+}
+
+// The paper's Figure 1 walkthrough queries agree across engines too, and
+// Explain reports a sensible engine for each.
+func TestAutomatonFig1Parity(t *testing.T) {
+	g := gpml.Fig1()
+	queries := []string{
+		`MATCH ALL SHORTEST p = (a WHERE a.owner='Dave')-[t:Transfer]->+(b WHERE b.owner='Aretha')`,
+		`MATCH ANY SHORTEST p = (a WHERE a.owner='Dave')-[t:Transfer]->{1,4}(b)`,
+		`MATCH ALL SHORTEST p = (a:Account)-[t:Transfer]->+(b:Account WHERE b.isBlocked='yes')`,
+	}
+	for _, src := range queries {
+		q := gpml.MustCompile(src)
+		lines := q.Explain()
+		if len(lines) != 1 || !strings.Contains(lines[0], "engine=automaton") {
+			t.Errorf("%q: expected the automaton engine, got %v", src, lines)
+		}
+		auto, err := q.Eval(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := q.Eval(g, gpml.NoAutomaton())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gpml.FormatResult(auto) != gpml.FormatResult(enum) {
+			t.Errorf("%q: engines diverge\nwith:\n%s\nwithout:\n%s", src, gpml.FormatResult(auto), gpml.FormatResult(enum))
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"gpml"
 	"gpml/internal/baseline"
@@ -267,6 +268,37 @@ func experiments() []experiment {
 				checked++
 			}
 			return fmt.Sprintf("%d queries identical across 3 backends", checked), checked == len(queries)
+		}},
+		{"S2", "Automaton engine", "product-graph search matches the enumerating engines, large point-to-point speedup", func() (string, bool) {
+			grid := dataset.Grid(8, 8)
+			queries := []string{
+				`MATCH ALL SHORTEST p = (a WHERE a.owner='u0_0')-[e:Transfer]->+(z WHERE z.owner='u7_0')`,
+				`MATCH ALL SHORTEST p = (a WHERE a.owner='u0_0')-[e:Transfer]->+(z WHERE z.owner='u3_3')`,
+				`MATCH ANY SHORTEST p = (a WHERE a.owner='u0_0')-[e:Transfer]->{1,6}(z)`,
+			}
+			var speedup float64
+			for i, src := range queries {
+				q := gpml.MustCompile(src)
+				t0 := time.Now()
+				auto, err := q.Eval(grid)
+				if err != nil {
+					panic(err)
+				}
+				autoD := time.Since(t0)
+				t0 = time.Now()
+				enum, err := q.Eval(grid, gpml.NoAutomaton())
+				if err != nil {
+					panic(err)
+				}
+				enumD := time.Since(t0)
+				if gpml.FormatResult(auto) != gpml.FormatResult(enum) {
+					return fmt.Sprintf("engines diverge on %s", src), false
+				}
+				if i == 0 {
+					speedup = float64(enumD) / float64(autoD)
+				}
+			}
+			return fmt.Sprintf("%d queries identical, point-to-point %.0f× faster", len(queries), speedup), speedup >= 3
 		}},
 	}
 }

@@ -1,0 +1,260 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// BENCH_*.json tracking format and compares two such files for
+// regressions. CI runs it after the bench job to publish the current
+// numbers as an artifact and to gate pull requests against the main
+// baseline.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=3x -count=5 ./... | benchjson -out BENCH_2.json
+//	benchjson -compare -threshold 1.20 -tier1 'BenchmarkBFSAllShortest|...' base.json head.json
+//
+// The JSON format is one object with an "env" block (goos/goarch/cpu as
+// reported by the bench run) and a "benchmarks" array; each entry carries
+// the sample count and the mean/min/max ns per op over all -count
+// repetitions, plus mean B/op and allocs/op when the bench reports them.
+// Comparison matches benchmarks by name, reports the head/base ratio of
+// mean ns/op, and exits nonzero when any bench matching the -tier1
+// pattern regresses beyond the threshold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is one benchmark's aggregate over all repetitions.
+type Summary struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMax  float64 `json:"ns_per_op_max"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the on-disk BENCH_*.json shape.
+type File struct {
+	Schema     string            `json:"schema"`
+	Env        map[string]string `json:"env"`
+	Benchmarks []Summary         `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default: stdin)")
+		out       = flag.String("out", "", "JSON output file (default: stdout)")
+		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare base.json head.json")
+		threshold = flag.Float64("threshold", 1.20, "max allowed head/base ns-per-op ratio on tier-1 benches")
+		tier1     = flag.String("tier1", ".*", "regexp selecting the benches the threshold gates")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: benchjson -compare base.json head.json"))
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *tier1); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkFoo/sub-8   	 3	 123456 ns/op	 456 B/op	 7 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metricRe matches trailing "<value> <unit>" pairs such as B/op, allocs/op.
+var metricRe = regexp.MustCompile(`([\d.]+) (B/op|allocs/op)`)
+
+// sample is one repetition's measurements.
+type sample struct {
+	ns     float64
+	b      float64
+	allocs float64
+	hasMem bool
+}
+
+// parseBench reads `go test -bench` output, aggregating repetitions of the
+// same benchmark name (from -count=N) into one summary each.
+func parseBench(r io.Reader) (*File, error) {
+	env := map[string]string{}
+	samples := map[string][]sample{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				env[key] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", line, err)
+		}
+		s := sample{ns: ns}
+		for _, mm := range metricRe.FindAllStringSubmatch(m[4], -1) {
+			v, _ := strconv.ParseFloat(mm[1], 64)
+			switch mm[2] {
+			case "B/op":
+				s.b, s.hasMem = v, true
+			case "allocs/op":
+				s.allocs, s.hasMem = v, true
+			}
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	file := &File{Schema: "gpml-bench/v1", Env: env}
+	for _, name := range order {
+		ss := samples[name]
+		sum := Summary{Name: name, Samples: len(ss), NsPerOpMin: ss[0].ns, NsPerOpMax: ss[0].ns}
+		var nsTotal, bTotal, aTotal float64
+		mem := 0
+		for _, s := range ss {
+			nsTotal += s.ns
+			if s.ns < sum.NsPerOpMin {
+				sum.NsPerOpMin = s.ns
+			}
+			if s.ns > sum.NsPerOpMax {
+				sum.NsPerOpMax = s.ns
+			}
+			if s.hasMem {
+				bTotal += s.b
+				aTotal += s.allocs
+				mem++
+			}
+		}
+		sum.NsPerOpMean = nsTotal / float64(len(ss))
+		if mem > 0 {
+			sum.BPerOp = bTotal / float64(mem)
+			sum.AllocsPerOp = aTotal / float64(mem)
+		}
+		file.Benchmarks = append(file.Benchmarks, sum)
+	}
+	return file, nil
+}
+
+// runCompare prints a base-vs-head table and fails on tier-1 regressions
+// beyond the threshold. Using min ns/op on both sides damps scheduler
+// noise on shared CI runners.
+func runCompare(basePath, headPath string, threshold float64, tier1 string) error {
+	tier1Re, err := regexp.Compile(tier1)
+	if err != nil {
+		return fmt.Errorf("bad -tier1 pattern: %v", err)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	head, err := load(headPath)
+	if err != nil {
+		return err
+	}
+	baseBy := map[string]Summary{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var regressions []string
+	fmt.Printf("%-55s %14s %14s %8s %s\n", "benchmark", "base ns/op", "head ns/op", "ratio", "gate")
+	names := make([]string, 0, len(head.Benchmarks))
+	for _, h := range head.Benchmarks {
+		names = append(names, h.Name)
+	}
+	sort.Strings(names)
+	headBy := map[string]Summary{}
+	for _, h := range head.Benchmarks {
+		headBy[h.Name] = h
+	}
+	for _, name := range names {
+		h := headBy[name]
+		b, ok := baseBy[name]
+		if !ok {
+			fmt.Printf("%-55s %14s %14.0f %8s %s\n", name, "-", h.NsPerOpMin, "-", "new")
+			continue
+		}
+		ratio := h.NsPerOpMin / b.NsPerOpMin
+		gate := ""
+		if tier1Re.MatchString(name) {
+			gate = "tier-1"
+			if ratio > threshold {
+				gate = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %.2fx (threshold %.2fx)", name, ratio, threshold))
+			}
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %7.2fx %s\n", name, b.NsPerOpMin, h.NsPerOpMin, ratio, gate)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("tier-1 regressions:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gpml/internal/eval
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBFSAllShortest-8         	       3	 100000000 ns/op
+BenchmarkBFSAllShortest-8         	       3	 120000000 ns/op
+BenchmarkAblation_BFSPruning/bfs_pruned-8   	       3	   1400000 ns/op	  500 B/op	      10 allocs/op
+BenchmarkAblation_BFSPruning/bfs_pruned-8   	       3	   1600000 ns/op	  700 B/op	      12 allocs/op
+PASS
+ok  	gpml/internal/eval	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env["goos"] != "linux" || f.Env["cpu"] == "" {
+		t.Errorf("env: %v", f.Env)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %d, want 2", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkBFSAllShortest" || b.Samples != 2 {
+		t.Errorf("first bench: %+v", b)
+	}
+	if b.NsPerOpMean != 110000000 || b.NsPerOpMin != 100000000 || b.NsPerOpMax != 120000000 {
+		t.Errorf("aggregation: %+v", b)
+	}
+	sub := f.Benchmarks[1]
+	if sub.Name != "BenchmarkAblation_BFSPruning/bfs_pruned" {
+		t.Errorf("sub-bench name: %q", sub.Name)
+	}
+	if sub.BPerOp != 600 || sub.AllocsPerOp != 11 {
+		t.Errorf("memory metrics: %+v", sub)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Error("expected an error on input without benchmarks")
+	}
+}

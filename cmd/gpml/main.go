@@ -2,12 +2,14 @@
 //
 // Usage:
 //
-//	gpml [-graph graph.json] [-gql] [-bindings] [-normalized] 'MATCH ...'
+//	gpml [-graph graph.json] [-gql] [-bindings] [-normalized] [-explain] 'MATCH ...'
 //
 // Without -graph, the paper's Figure 1 banking graph is used. The query may
 // also be piped on stdin. With -bindings, the §6.4-style reduced path
 // binding tables are printed instead of the variable table; -normalized
-// additionally prints the §6.2 normalized pattern.
+// additionally prints the §6.2 normalized pattern. -explain reports which
+// engine (dfs, bfs, or the pattern automaton) evaluates each path pattern
+// and why; -no-automaton pins evaluation to the enumerating engines.
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 		maxMatches = flag.Int("max-matches", 0, "cap on raw matches per pattern (0 = default)")
 		csr        = flag.Bool("csr", false, "evaluate on an immutable CSR snapshot of the graph")
 		parallel   = flag.Int("parallel", 0, "evaluation workers over seed nodes (<2 = sequential)")
+		explain    = flag.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
+		noAuto     = flag.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
 	)
 	flag.Parse()
 
@@ -65,12 +69,20 @@ func main() {
 	if *parallel > 1 {
 		evalOpts = append(evalOpts, gpml.WithParallelism(*parallel))
 	}
+	if *noAuto {
+		evalOpts = append(evalOpts, gpml.NoAutomaton())
+	}
 	q, err := gpml.Compile(query, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	if *normalized {
 		fmt.Println("normalized:", q.Normalized())
+	}
+	if *explain {
+		for _, line := range q.Explain(evalOpts...) {
+			fmt.Println("explain:", line)
+		}
 	}
 	res, err := q.Eval(g, evalOpts...)
 	if err != nil {

@@ -129,6 +129,7 @@ type Query struct {
 	edgeIso  bool
 	store    Store
 	parallel int
+	noAuto   bool
 }
 
 // Option configures compilation or evaluation.
@@ -140,6 +141,16 @@ type options struct {
 	edgeIso  bool
 	store    Store
 	parallel int
+	noAuto   bool
+}
+
+func (o options) config() eval.Config {
+	return eval.Config{
+		Limits:           o.lims,
+		EdgeIsomorphic:   o.edgeIso,
+		Parallelism:      o.parallel,
+		DisableAutomaton: o.noAuto,
+	}
 }
 
 // GQLMode enables GQL host semantics: element references may be compared
@@ -171,6 +182,12 @@ func WithStore(s Store) Option { return func(o *options) { o.store = s } }
 // sequential evaluation; values below 2 keep evaluation sequential.
 func WithParallelism(n int) Option { return func(o *options) { o.parallel = n } }
 
+// NoAutomaton disables the pattern-automaton engine, forcing eligible
+// patterns back onto the enumerating DFS/BFS engines. Results are
+// identical either way; the option exists for A/B benchmarking and
+// differential testing.
+func NoAutomaton() Option { return func(o *options) { o.noAuto = true } }
+
 // Compile parses, normalizes, analyzes and plans a GPML MATCH statement.
 func Compile(src string, opts ...Option) (*Query, error) {
 	var o options
@@ -181,7 +198,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -199,7 +216,7 @@ func MustCompile(src string, opts ...Option) *Query {
 // an explicitly passed graph is never silently shadowed by a store the
 // query was compiled with.
 func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -213,7 +230,19 @@ func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("gpml: nil graph (pass a graph or WithStore)")
 	}
-	return q.q.Eval(s, eval.Config{Limits: o.lims, EdgeIsomorphic: o.edgeIso, Parallelism: o.parallel})
+	return q.q.Eval(s, o.config())
+}
+
+// Explain reports, one line per path pattern, which engine evaluates the
+// query under the given options (dfs, bfs, or automaton), the selector
+// and proven seed labels, and — when the automaton engine is not used —
+// the reason it is unavailable.
+func (q *Query) Explain(opts ...Option) []string {
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto}
+	for _, f := range opts {
+		f(&o)
+	}
+	return eval.Explain(q.q.Plan, o.config())
 }
 
 // EvalStore evaluates the query against any Store implementation.

@@ -1,0 +1,151 @@
+package automaton
+
+import (
+	"strings"
+	"testing"
+
+	"gpml/internal/normalize"
+	"gpml/internal/parser"
+	"gpml/internal/plan"
+)
+
+// prog compiles the first path pattern of a MATCH statement.
+func prog(t *testing.T, src string) *plan.Prog {
+	t.Helper()
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	norm, err := normalize.Normalize(stmt)
+	if err != nil {
+		t.Fatalf("normalize %q: %v", src, err)
+	}
+	p, err := plan.Analyze(norm, plan.Options{})
+	if err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	return p.Paths[0].Prog
+}
+
+// counts tallies the automaton's transitions.
+func counts(n *NFA) (eps, guarded, steps, accepts int) {
+	for _, s := range n.States {
+		for _, e := range s.Eps {
+			eps++
+			if e.Node != nil {
+				guarded++
+			}
+		}
+		steps += len(s.Steps)
+		if s.Accept {
+			accepts++
+		}
+	}
+	return
+}
+
+// A fixed-length chain compiles to a linear automaton: one guarded epsilon
+// per node pattern, one step per edge pattern, one accept.
+func TestCompileChain(t *testing.T) {
+	n, err := Compile(prog(t, `MATCH ALL SHORTEST (a)-[e:T]->(b)-[f:U]->(c)`), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, guarded, steps, accepts := counts(n)
+	if steps != 2 || guarded != 3 || accepts != 1 {
+		t.Errorf("chain automaton: eps=%d guarded=%d steps=%d accepts=%d\n%s", eps, guarded, steps, accepts, n)
+	}
+}
+
+// An unbounded quantifier's counter clamps at the minimum, keeping the
+// automaton finite: the {2,} loop needs states for counter values 0,1,2
+// only.
+func TestCompileUnboundedClamp(t *testing.T) {
+	n, err := Compile(prog(t, `MATCH ALL SHORTEST (a) [()-[e:T]->()]{2,} (b)`), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumStates() > 24 {
+		t.Errorf("unbounded quantifier automaton has %d states, want a small clamped set\n%s", n.NumStates(), n)
+	}
+	if _, _, steps, accepts := counts(n); steps == 0 || accepts != 1 {
+		t.Errorf("unbounded automaton lacks steps or accept:\n%s", n)
+	}
+}
+
+// A bounded quantifier unrolls into one state group per counter value.
+func TestCompileBoundedUnroll(t *testing.T) {
+	small, err := Compile(prog(t, `MATCH ANY SHORTEST (a)-[e:T]->{1,2}(b)`), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Compile(prog(t, `MATCH ANY SHORTEST (a)-[e:T]->{1,8}(b)`), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.NumStates() <= small.NumStates() {
+		t.Errorf("bounded unrolling: {1,8} has %d states, {1,2} has %d", large.NumStates(), small.NumStates())
+	}
+}
+
+// Oversized bounds exhaust the state budget with a descriptive error.
+func TestCompileStateBudget(t *testing.T) {
+	_, err := Compile(prog(t, `MATCH ANY SHORTEST (a)-[e:T]->{1,2000}(b)`), true)
+	if err == nil || !strings.Contains(err.Error(), "state budget") {
+		t.Errorf("expected state-budget error, got %v", err)
+	}
+}
+
+// Restrictor scopes are not memoryless and must be rejected.
+func TestCompileRejectsScopes(t *testing.T) {
+	_, err := Compile(prog(t, `MATCH ALL SHORTEST TRAIL (a)-[e:T]->+(b)`), true)
+	if err == nil || !strings.Contains(err.Error(), "restrictor") {
+		t.Errorf("expected restrictor rejection, got %v", err)
+	}
+}
+
+// The zero-width-iteration rules: a node-only {2,2} body is reachable
+// under the BFS rule (spin in place to the minimum) but not under the DFS
+// rule (abandon under-minimum zero-width iterations).
+func TestZeroWidthRules(t *testing.T) {
+	p := prog(t, `MATCH ANY SHORTEST (x) [(y)]{2,2} (z)`)
+	bfs, err := Compile(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := Compile(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachability of an accept state through pure (possibly guarded)
+	// epsilon moves distinguishes the two rules: with no edges in the
+	// pattern at all, acceptance is epsilon-reachability.
+	if !epsilonAccepts(bfs) {
+		t.Errorf("BFS rule: zero-width {2,2} should reach accept\n%s", bfs)
+	}
+	if epsilonAccepts(dfs) {
+		t.Errorf("DFS rule: zero-width {2,2} must not reach accept\n%s", dfs)
+	}
+}
+
+// epsilonAccepts reports whether an accept state is reachable from the
+// start through epsilon transitions alone (node guards ignored).
+func epsilonAccepts(n *NFA) bool {
+	seen := make([]bool, n.NumStates())
+	stack := []int{n.Start}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		if n.States[q].Accept {
+			return true
+		}
+		for _, e := range n.States[q].Eps {
+			stack = append(stack, e.To)
+		}
+	}
+	return false
+}

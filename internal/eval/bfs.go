@@ -263,15 +263,16 @@ func (b *bfs) counterBounds(t thread, i int) (int, int) {
 	return 0, 1 << 30
 }
 
-// bfsResolver adapts a thread for prefilter evaluation.
-type bfsResolver struct {
-	b *bfs
+// threadResolver adapts a thread for prefilter evaluation; it serves both
+// the BFS engine and the automaton engine's path replayer.
+type threadResolver struct {
+	g graph.Store
 	t *thread
 }
 
-func (r bfsResolver) Graph() graph.Store { return r.b.g }
+func (r threadResolver) Graph() graph.Store { return r.g }
 
-func (r bfsResolver) Elem(name string) (binding.Ref, bool) {
+func (r threadResolver) Elem(name string) (binding.Ref, bool) {
 	for f := r.t.frames; f != nil; f = f.prev {
 		if ref, ok := f.locals.lookup(name); ok {
 			return ref, true
@@ -280,7 +281,7 @@ func (r bfsResolver) Elem(name string) (binding.Ref, bool) {
 	return r.t.env.lookup(name)
 }
 
-func (r bfsResolver) Group(name string) ([]binding.Ref, bool) {
+func (r threadResolver) Group(name string) ([]binding.Ref, bool) {
 	var out []binding.Ref
 	found := false
 	for n := r.t.groups; n != nil; n = n.prev {
@@ -375,7 +376,7 @@ func (b *bfs) closure(t thread) error {
 	case plan.OpScopeStart, plan.OpScopeEnd:
 		return fmt.Errorf("eval: restrictor scope in BFS mode (planner bug)")
 	case plan.OpWhere:
-		tri, err := EvalPred(in.Where, bfsResolver{b, &t})
+		tri, err := EvalPred(in.Where, threadResolver{b.g, &t})
 		if err != nil {
 			return err
 		}
@@ -425,7 +426,7 @@ func (b *bfs) matchNode(t thread, in *plan.Instr, n *graph.Node) error {
 	}
 	t2.pending = pushPending(t2, np.Var, binding.NodeElem, string(n.ID))
 	if np.Where != nil {
-		tri, err := EvalPred(np.Where, bfsResolver{b, &t2})
+		tri, err := EvalPred(np.Where, threadResolver{b.g, &t2})
 		if err != nil {
 			return err
 		}
@@ -564,7 +565,7 @@ func (b *bfs) traverse(base thread, in *plan.Instr, e *graph.Edge, target graph.
 	}
 	t2.steps = &stepNode{edge: e.ID, node: target, prev: base.steps, n: n}
 	if ep.Where != nil {
-		tri, err := EvalPred(ep.Where, bfsResolver{b, &t2})
+		tri, err := EvalPred(ep.Where, threadResolver{b.g, &t2})
 		if err != nil {
 			return err
 		}
@@ -581,6 +582,13 @@ func (b *bfs) accept(t thread) error {
 	if err := b.bud.addMatch(); err != nil {
 		return err
 	}
+	return b.emit(materializeThread(t, b.pathVar))
+}
+
+// materializeThread converts a completed thread into a path binding; shared
+// by the BFS engine and the automaton engine's path replayer so both
+// produce byte-identical bindings.
+func materializeThread(t thread, pathVar string) *binding.PathBinding {
 	final := appendEntries(t.entries, t.pending)
 	count := 0
 	if final != nil {
@@ -612,10 +620,10 @@ func (b *bfs) accept(t thread) error {
 	if t.started {
 		path = graph.Path{Nodes: nodes, Edges: edges}
 	}
-	return b.emit(&binding.PathBinding{
+	return &binding.PathBinding{
 		Entries: entries,
 		Tags:    tags,
 		Path:    path,
-		PathVar: b.pathVar,
-	})
+		PathVar: pathVar,
+	}
 }

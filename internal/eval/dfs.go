@@ -52,12 +52,31 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("eval: %s limit (%d) exceeded; raise eval.Limits or restrict the pattern", e.What, e.Limit)
 }
 
-// iterFrame is the local scope of one quantifier iteration.
+// iterFrame is the local scope of one quantifier iteration. Locals are an
+// association list: iteration scopes hold a handful of variables, where a
+// linear scan beats a map and the backing array recycles through the
+// machine's frame pool.
 type iterFrame struct {
 	qid        int
 	counterIdx int
 	startEdges int
-	locals     map[string]binding.Ref
+	locals     []localBind
+}
+
+// localBind is one iteration-local variable binding.
+type localBind struct {
+	name string
+	ref  binding.Ref
+}
+
+// lookup finds a local binding by name.
+func (f *iterFrame) lookup(name string) (binding.Ref, bool) {
+	for i := range f.locals {
+		if f.locals[i].name == name {
+			return f.locals[i].ref, true
+		}
+	}
+	return binding.Ref{}, false
 }
 
 // scopeState tracks one active restrictor scope (TRAIL/ACYCLIC/SIMPLE).
@@ -89,15 +108,26 @@ type dfs struct {
 	pathNodes  []graph.NodeID
 	pathEdges  []graph.EdgeID
 
-	counters []int
-	frames   []*iterFrame
-	scopes   []*scopeState
+	counters  []int
+	frames    []*iterFrame
+	framePool []*iterFrame
+	scopes    []*scopeState
 
 	env    map[string]binding.Ref
 	groups map[string][]binding.Ref
 
 	pathVar string
 	emit    func(*binding.PathBinding) error
+
+	// Path constraint for automaton replay: when pathSteps is non-nil,
+	// every OpEdge consumes the next step of the reconstructed path
+	// instead of scanning incident edges, and accept requires the whole
+	// path to be consumed. bfsZeroWidth additionally selects the BFS
+	// engine's zero-width-iteration rule (keep spinning in place until the
+	// quantifier minimum) so replayed bindings match the engine the
+	// pattern would otherwise run on.
+	pathSteps    []replayStep
+	bfsZeroWidth bool
 }
 
 // newDFS builds a reusable matcher. Every run restores all machine state
@@ -131,7 +161,7 @@ func (r dfsResolver) Graph() graph.Store { return r.m.g }
 
 func (r dfsResolver) Elem(name string) (binding.Ref, bool) {
 	for i := len(r.m.frames) - 1; i >= 0; i-- {
-		if ref, ok := r.m.frames[i].locals[name]; ok {
+		if ref, ok := r.m.frames[i].lookup(name); ok {
 			return ref, true
 		}
 	}
@@ -176,15 +206,21 @@ func (m *dfs) step(pc int) error {
 		}
 		return nil
 	case plan.OpIterStart:
-		f := &iterFrame{
-			qid:        in.QID,
-			counterIdx: len(m.counters) - 1,
-			startEdges: len(m.pathEdges),
-			locals:     map[string]binding.Ref{},
+		var f *iterFrame
+		if n := len(m.framePool); n > 0 {
+			f = m.framePool[n-1]
+			m.framePool = m.framePool[:n-1]
+			f.locals = f.locals[:0]
+		} else {
+			f = &iterFrame{}
 		}
+		f.qid = in.QID
+		f.counterIdx = len(m.counters) - 1
+		f.startEdges = len(m.pathEdges)
 		m.frames = append(m.frames, f)
 		err := m.step(in.Next)
 		m.frames = m.frames[:len(m.frames)-1]
+		m.framePool = append(m.framePool, f)
 		return err
 	case plan.OpIterEnd:
 		f := m.frames[len(m.frames)-1]
@@ -196,8 +232,12 @@ func (m *dfs) step(pc int) error {
 		if zeroWidth {
 			// A zero-width iteration cannot make progress; exit the loop
 			// once the minimum is satisfied (prevents infinite unrolling).
+			// Under the BFS rule (automaton replay of a BFS-mode pattern)
+			// an under-minimum iteration keeps spinning in place instead.
 			if m.counters[ci] >= in.Min {
 				err = m.step(in.Alt) // jump to loop end
+			} else if m.bfsZeroWidth {
+				err = m.step(in.Next)
 			}
 		} else {
 			err = m.step(in.Next) // back to the check
@@ -359,7 +399,7 @@ func (m *dfs) bindElem(varName string, kind binding.ElemKind, id string) (func()
 	anon := ast.IsAnonVar(varName)
 	if len(m.frames) > 0 {
 		f := m.frames[len(m.frames)-1]
-		if prev, ok := f.locals[varName]; ok {
+		if prev, ok := f.lookup(varName); ok {
 			if prev == ref {
 				return func() {}, true
 			}
@@ -367,13 +407,13 @@ func (m *dfs) bindElem(varName string, kind binding.ElemKind, id string) (func()
 		}
 		// A variable declared outside all quantifiers never appears as a
 		// declaration site inside one (static check), so no env lookup here.
-		f.locals[varName] = ref
+		f.locals = append(f.locals, localBind{varName, ref})
 		if anon {
-			return func() { delete(f.locals, varName) }, true
+			return func() { f.locals = f.locals[:len(f.locals)-1] }, true
 		}
 		m.groups[varName] = append(m.groups[varName], ref)
 		return func() {
-			delete(f.locals, varName)
+			f.locals = f.locals[:len(f.locals)-1]
 			m.groups[varName] = m.groups[varName][:len(m.groups[varName])-1]
 		}, true
 	}
@@ -410,20 +450,43 @@ func (m *dfs) stepEdge(in *plan.Instr) error {
 
 	ep := in.Edge
 	var firstErr error
-	m.g.Incident(m.pos, func(e *graph.Edge) bool {
-		targets := m.traversals(e, ep.Orientation)
-		for _, tgt := range targets {
-			if err := m.traverse(in, e, tgt); err != nil {
-				firstErr = err
-				return false
+	if m.pathSteps != nil {
+		// Automaton replay: consume exactly the next reconstructed step.
+		if len(m.pathEdges) < len(m.pathSteps) {
+			stp := m.pathSteps[len(m.pathEdges)]
+			if traversalAllowed(ep.Orientation, stp.edge, m.pos, stp.node) {
+				firstErr = m.traverse(in, stp.edge, stp.node)
 			}
 		}
-		return true
-	})
+	} else {
+		m.g.Incident(m.pos, func(e *graph.Edge) bool {
+			targets := m.traversals(e, ep.Orientation)
+			for _, tgt := range targets {
+				if err := m.traverse(in, e, tgt); err != nil {
+					firstErr = err
+					return false
+				}
+			}
+			return true
+		})
+	}
 
 	m.entries = m.entries[:savedEntries]
 	m.posEntries = savedPos
 	return firstErr
+}
+
+// traversalAllowed checks one concrete traversal (from → to over e)
+// against an edge-pattern orientation; a directed self-loop may be taken
+// along or against its direction.
+func traversalAllowed(o ast.Orientation, e *graph.Edge, from, to graph.NodeID) bool {
+	if e.Direction == graph.Directed {
+		if e.Source == from && e.Target == to && o.AllowsRight() {
+			return true
+		}
+		return e.Target == from && e.Source == to && o.AllowsLeft()
+	}
+	return o.AllowsUndirected() && e.Other(from) == to
 }
 
 // traversals lists the target nodes reachable over edge e from the current
@@ -562,6 +625,9 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 
 // accept emits the completed path binding.
 func (m *dfs) accept() error {
+	if m.pathSteps != nil && len(m.pathEdges) != len(m.pathSteps) {
+		return nil // replay run left part of the path unconsumed
+	}
 	if err := m.bud.addMatch(); err != nil {
 		return err
 	}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"gpml/internal/binding"
+	"gpml/internal/dataset"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// Differential battery: every query the automaton engine takes must
+// produce byte-identical reduced bindings to the enumerating engines on
+// the same store. The templates cover the eligible space — unbounded and
+// bounded quantifiers, unions, multiset alternation, optionals, the mixed
+// orientations, memoryless WHEREs — and the graphs are randomized over
+// sizes, degrees and seeds.
+var diffQueries = []string{
+	`MATCH ALL SHORTEST p = (a)-[e:Transfer]->+(b)`,
+	`MATCH ALL SHORTEST p = (a:Account)-[e:Transfer]->+(b WHERE b.isBlocked='yes')`,
+	`MATCH ALL SHORTEST (a)-[e:Transfer]-{1,4}(b)`,
+	`MATCH ALL SHORTEST p = (a:Account) [-[e:Transfer]->() | <-[f:Transfer]-()]{1,4} (b)`,
+	`MATCH ALL SHORTEST p = (a:Account) [-[e:Transfer]->() |+| -[e:Transfer]->()]{1,3} (b)`,
+	`MATCH ANY SHORTEST p = (a WHERE a.owner='owner0')-[e:Transfer]->{1,6}(b)`,
+	`MATCH ANY (x:Account) [-[e:Transfer]->(m)]? -[f:Transfer]->{1,3}(y)`,
+	`MATCH ANY SHORTEST (p:Phone)~[e:hasPhone]~{1,3}(q)`,
+	`MATCH ALL SHORTEST (a:Account)-[e:Transfer WHERE e.amount > 3M]->{1,5}(b:Account)`,
+	`MATCH ALL SHORTEST (x) [(y:Account)]{0,2} (z)-[e:Transfer]->{1,2}(w)`,
+}
+
+// patternTable renders one pattern's full pipeline output for comparison.
+func patternTable(t *testing.T, s graph.Store, p *plan.Plan, cfg Config) string {
+	t.Helper()
+	out := ""
+	for _, pp := range p.Paths {
+		rs, err := MatchPattern(s, pp, cfg)
+		if err != nil {
+			t.Fatalf("MatchPattern: %v", err)
+		}
+		out += binding.FormatTable(rs) + "\n---\n"
+	}
+	return out
+}
+
+// TestAutomatonDifferential pits the automaton engine against the
+// enumerating engines over randomized graphs, on both the map backend and
+// the CSR snapshot (which exercises the native arena Stepper).
+func TestAutomatonDifferential(t *testing.T) {
+	graphs := []*graph.Graph{
+		dataset.Random(dataset.RandomConfig{Accounts: 14, AvgDegree: 2, Phones: 4, BlockedFraction: 0.2, Seed: 1, UndirectedPhones: true}),
+		dataset.Random(dataset.RandomConfig{Accounts: 30, AvgDegree: 3, Cities: 5, Phones: 8, BlockedFraction: 0.15, Seed: 7, UndirectedPhones: true}),
+		dataset.Random(dataset.RandomConfig{Accounts: 36, AvgDegree: 3, BlockedFraction: 0.1, Seed: 23}),
+		dataset.Grid(5, 5),
+		dataset.Cycle(9),
+		dataset.LaunderingRings(3, 4, 2, 99),
+	}
+	automatonRuns := 0
+	for gi, g := range graphs {
+		snap := graph.Snapshot(g)
+		for _, src := range diffQueries {
+			p := compile(t, src, plan.Options{})
+			engine, _ := EngineFor(p.Paths[0], Config{})
+			if engine == EngineAutomaton {
+				automatonRuns++
+			}
+			for si, s := range []graph.Store{g, snap} {
+				auto := patternTable(t, s, p, Config{})
+				enum := patternTable(t, s, p, Config{DisableAutomaton: true})
+				if auto != enum {
+					t.Errorf("graph %d store %d %s: engines diverge\nautomaton:\n%s\nenumerating:\n%s",
+						gi, si, src, auto, enum)
+				}
+			}
+		}
+	}
+	// The battery must actually exercise the automaton engine.
+	if automatonRuns < len(diffQueries)-2 {
+		t.Errorf("only %d/%d queries selected the automaton engine", automatonRuns, len(diffQueries))
+	}
+}
+
+// Randomized stress: denser random graphs under one heavier unbounded
+// ALL SHORTEST template, checking full-plan results row by row.
+func TestAutomatonDifferentialRandomized(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := dataset.Random(dataset.RandomConfig{
+			Accounts:         20 + int(seed)*7,
+			AvgDegree:        float64(2 + seed%3),
+			Phones:           int(seed) * 2,
+			BlockedFraction:  0.25,
+			Seed:             100 + seed,
+			UndirectedPhones: seed%2 == 0,
+		})
+		p := compile(t, `MATCH ALL SHORTEST p = (a)-[e:Transfer]->+(b WHERE b.isBlocked='yes')`, plan.Options{})
+		auto, err := EvalPlan(g, p, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := EvalPlan(g, p, Config{DisableAutomaton: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(auto.Rows) != len(enum.Rows) {
+			t.Fatalf("seed %d: %d vs %d rows", seed, len(auto.Rows), len(enum.Rows))
+		}
+		for i := range auto.Rows {
+			if fmt.Sprint(auto.Rows[i].Bindings) != fmt.Sprint(enum.Rows[i].Bindings) {
+				t.Errorf("seed %d row %d: %v vs %v", seed, i, auto.Rows[i].Bindings, enum.Rows[i].Bindings)
+			}
+		}
+	}
+}

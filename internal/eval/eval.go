@@ -23,6 +23,9 @@ type Config struct {
 	// merged back in seed order, so output is identical to sequential
 	// evaluation). Values below 2 evaluate sequentially.
 	Parallelism int
+	// DisableAutomaton forces eligible patterns back onto the enumerating
+	// DFS/BFS engines; used for A/B comparison and differential testing.
+	DisableAutomaton bool
 }
 
 // BoundKind discriminates what a result variable is bound to.
@@ -167,7 +170,7 @@ func Enumerate(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.PathBin
 		}
 	}
 	var out []*binding.PathBinding
-	run := seedRunner(s, pp, cfg.Limits, bud, func(b *binding.PathBinding) error {
+	run := seedRunner(s, nil, pp, cfg, bud, func(b *binding.PathBinding) error {
 		out = append(out, b)
 		return nil
 	})
@@ -205,18 +208,26 @@ func seedNodes(s graph.Store, pp *plan.PathPlan) []graph.NodeID {
 	return out
 }
 
-// seedRunner returns a function running one engine pass per seed node.
-// DFS reuses a single backtracking machine across runs; BFS builds a
-// fresh level-synchronous search per seed (its visited map and queue are
-// per-seed anyway, since admission keys include the start node).
-func seedRunner(s graph.Store, pp *plan.PathPlan, lims Limits, bud *budget, emit func(*binding.PathBinding) error) func(graph.NodeID) error {
-	if pp.Mode == plan.ModeBFS {
+// seedRunner returns a function running one engine pass per seed node,
+// selected by EngineFor: the automaton engine when the plan proved the
+// pattern eligible (product search plus replay, reused across seeds), the
+// level-synchronous BFS engine for the remaining selector-bounded
+// patterns, and the backtracking DFS machine otherwise. st optionally
+// supplies a pre-built indexed view of s, so a worker pool shares one
+// topology index instead of rebuilding it per worker (nil = build on
+// demand).
+func seedRunner(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, emit func(*binding.PathBinding) error) func(graph.NodeID) error {
+	engine, _ := EngineFor(pp, cfg)
+	switch engine {
+	case EngineAutomaton:
+		return newAutoEngine(s, st, pp, cfg, bud, emit).run
+	case EngineBFS:
 		return func(seed graph.NodeID) error {
-			return runBFS(s, pp.Prog, pp.Pattern.PathVar, lims, pp.Pattern.Selector, seed, bud, emit)
+			return runBFS(s, pp.Prog, pp.Pattern.PathVar, cfg.Limits, pp.Pattern.Selector, seed, bud, emit)
 		}
+	default:
+		return newDFS(s, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, emit).run
 	}
-	m := newDFS(s, pp.Prog, pp.Pattern.PathVar, lims, bud, emit)
-	return m.run
 }
 
 // joinAndFilter forms the cross product of per-pattern solutions, filtered

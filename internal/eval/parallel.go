@@ -53,6 +53,12 @@ func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
+	// Build the indexed topology view once; the workers' automaton engines
+	// share it (it is immutable and safe for concurrent readers).
+	var st graph.Stepper
+	if engine, _ := EngineFor(pp, cfg); engine == EngineAutomaton {
+		st = graph.AsStepper(s)
+	}
 	perSeed := make([][]*binding.PathBinding, len(seeds))
 	errs := make([]error, len(seeds))
 	var next atomic.Int64
@@ -63,7 +69,7 @@ func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget
 		go func() {
 			defer wg.Done()
 			var out []*binding.PathBinding
-			run := seedRunner(s, pp, cfg.Limits, bud, func(b *binding.PathBinding) error {
+			run := seedRunner(s, st, pp, cfg, bud, func(b *binding.PathBinding) error {
 				out = append(out, b)
 				return nil
 			})

@@ -21,9 +21,13 @@ type CSR struct {
 	edgeIdx map[EdgeID]int32
 
 	// incidence in CSR form: edges incident to node i are
-	// incEdge[incOff[i]:incOff[i+1]], in insertion order.
-	incOff  []int32
-	incEdge []int32
+	// incEdge[incOff[i]:incOff[i+1]], in insertion order. incOther and
+	// incKind run parallel to incEdge with the neighbour's node index and
+	// the step kind, so product searches step without id lookups.
+	incOff   []int32
+	incEdge  []int32
+	incOther []int32
+	incKind  []StepKind
 
 	// labelNodes maps a label to the indices of nodes carrying it, in
 	// insertion order.
@@ -83,19 +87,58 @@ func Snapshot(g *Graph) *CSR {
 		c.incOff[i+1] = c.incOff[i] + d
 	}
 	c.incEdge = make([]int32, c.incOff[len(c.nodes)])
+	c.incOther = make([]int32, len(c.incEdge))
+	c.incKind = make([]StepKind, len(c.incEdge))
 	fill := append([]int32(nil), c.incOff[:len(c.nodes)]...)
+	put := func(at, edge, other int32, k StepKind) {
+		c.incEdge[at] = edge
+		c.incOther[at] = other
+		c.incKind[at] = k
+	}
 	for i := range c.edges {
 		e := &c.edges[i]
-		si := c.nodeIdx[e.Source]
-		c.incEdge[fill[si]] = int32(i)
-		fill[si]++
-		if e.Source != e.Target {
-			ti := c.nodeIdx[e.Target]
-			c.incEdge[fill[ti]] = int32(i)
+		si, ti := c.nodeIdx[e.Source], c.nodeIdx[e.Target]
+		switch {
+		case e.Direction == Undirected:
+			put(fill[si], int32(i), ti, StepUndirected)
+			fill[si]++
+			if si != ti {
+				put(fill[ti], int32(i), si, StepUndirected)
+				fill[ti]++
+			}
+		case si == ti:
+			put(fill[si], int32(i), si, StepLoop)
+			fill[si]++
+		default:
+			put(fill[si], int32(i), ti, StepOut)
+			fill[si]++
+			put(fill[ti], int32(i), si, StepIn)
 			fill[ti]++
 		}
 	}
 	return c
+}
+
+// NodeIndex maps a node id to its dense index.
+func (c *CSR) NodeIndex(id NodeID) (int, bool) {
+	i, ok := c.nodeIdx[id]
+	return int(i), ok
+}
+
+// NodeByIndex returns the node at a dense index.
+func (c *CSR) NodeByIndex(i int) *Node { return &c.nodes[i] }
+
+// EdgeByIndex returns the edge at a dense index.
+func (c *CSR) EdgeByIndex(i int) *Edge { return &c.edges[i] }
+
+// Steps iterates the traversal steps of node index i from the adjacency
+// arena: dense edge index, neighbour index, and step kind.
+func (c *CSR) Steps(i int, f func(edge, other int, kind StepKind) bool) {
+	for k := c.incOff[i]; k < c.incOff[i+1]; k++ {
+		if !f(int(c.incEdge[k]), int(c.incOther[k]), c.incKind[k]) {
+			return
+		}
+	}
 }
 
 // Node returns the node with the given id, or nil.

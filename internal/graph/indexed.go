@@ -1,0 +1,140 @@
+package graph
+
+// StepKind classifies one traversal step relative to the current node.
+// The evaluator's product search matches it against the seven edge-pattern
+// orientations without consulting the edge's endpoint ids.
+type StepKind uint8
+
+// Step kinds.
+const (
+	StepOut        StepKind = iota // directed edge leaving the node
+	StepIn                         // directed edge arriving at the node
+	StepLoop                       // directed self-loop (traversable with or against)
+	StepUndirected                 // undirected edge (a self-loop steps once)
+)
+
+// String names the step kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepOut:
+		return "out"
+	case StepIn:
+		return "in"
+	case StepLoop:
+		return "loop"
+	default:
+		return "undirected"
+	}
+}
+
+// Stepper extends Store with dense integer indexing of nodes and edges and
+// an incident-step iterator, the traversal shape product-graph searches
+// want: a (node index × automaton state) pair packs into one integer, and
+// each step hands over the neighbour's index without id round-trips.
+//
+// The CSR snapshot implements Stepper natively from its adjacency arena;
+// any other Store is adapted by AsStepper with one indexing pass.
+type Stepper interface {
+	Store
+	// NodeIndex maps a node id to its dense index (insertion order).
+	NodeIndex(id NodeID) (int, bool)
+	// NodeByIndex returns the node at a dense index.
+	NodeByIndex(i int) *Node
+	// EdgeByIndex returns the edge at a dense index (insertion order).
+	EdgeByIndex(i int) *Edge
+	// Steps iterates the traversal steps available from node index i: the
+	// dense edge index, the neighbour's dense index, and the step kind.
+	// A directed self-loop yields a single StepLoop step and an undirected
+	// self-loop a single StepUndirected step, mirroring Incident's
+	// visit-once contract. f returns false to stop.
+	Steps(i int, f func(edge, other int, kind StepKind) bool)
+}
+
+// AsStepper returns the store's native indexed view when it provides one
+// (the CSR snapshot does), or builds a transient index with one pass over
+// the store's nodes and edges.
+func AsStepper(s Store) Stepper {
+	if st, ok := s.(Stepper); ok {
+		return st
+	}
+	return buildStepIndex(s)
+}
+
+// indexedStep is one precomputed traversal step of the generic adapter.
+type indexedStep struct {
+	edge  int32
+	other int32
+	kind  StepKind
+}
+
+// stepIndex adapts an arbitrary Store to Stepper. It snapshots only the
+// topology (indices and step lists); element data is served by the
+// embedded Store, so properties stay live.
+type stepIndex struct {
+	Store
+	nodes []*Node
+	idx   map[NodeID]int
+	edges []*Edge
+	adj   [][]indexedStep
+}
+
+func buildStepIndex(s Store) *stepIndex {
+	ix := &stepIndex{
+		Store: s,
+		nodes: make([]*Node, 0, s.NumNodes()),
+		idx:   make(map[NodeID]int, s.NumNodes()),
+		edges: make([]*Edge, 0, s.NumEdges()),
+	}
+	s.Nodes(func(n *Node) bool {
+		ix.idx[n.ID] = len(ix.nodes)
+		ix.nodes = append(ix.nodes, n)
+		return true
+	})
+	ix.adj = make([][]indexedStep, len(ix.nodes))
+	s.Edges(func(e *Edge) bool {
+		ei := int32(len(ix.edges))
+		ix.edges = append(ix.edges, e)
+		si, ti := ix.idx[e.Source], ix.idx[e.Target]
+		switch {
+		case e.Direction == Undirected:
+			ix.adj[si] = append(ix.adj[si], indexedStep{ei, int32(ti), StepUndirected})
+			if si != ti {
+				ix.adj[ti] = append(ix.adj[ti], indexedStep{ei, int32(si), StepUndirected})
+			}
+		case si == ti:
+			ix.adj[si] = append(ix.adj[si], indexedStep{ei, int32(si), StepLoop})
+		default:
+			ix.adj[si] = append(ix.adj[si], indexedStep{ei, int32(ti), StepOut})
+			ix.adj[ti] = append(ix.adj[ti], indexedStep{ei, int32(si), StepIn})
+		}
+		return true
+	})
+	return ix
+}
+
+// NodeIndex maps a node id to its dense index.
+func (ix *stepIndex) NodeIndex(id NodeID) (int, bool) {
+	i, ok := ix.idx[id]
+	return i, ok
+}
+
+// NodeByIndex returns the node at a dense index.
+func (ix *stepIndex) NodeByIndex(i int) *Node { return ix.nodes[i] }
+
+// EdgeByIndex returns the edge at a dense index.
+func (ix *stepIndex) EdgeByIndex(i int) *Edge { return ix.edges[i] }
+
+// Steps iterates the precomputed steps of node index i.
+func (ix *stepIndex) Steps(i int, f func(edge, other int, kind StepKind) bool) {
+	for _, st := range ix.adj[i] {
+		if !f(int(st.edge), int(st.other), st.kind) {
+			return
+		}
+	}
+}
+
+// statically assert the adapter and the CSR satisfy Stepper.
+var (
+	_ Stepper = (*stepIndex)(nil)
+	_ Stepper = (*CSR)(nil)
+)

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
 	"gpml/internal/ast"
 )
@@ -77,6 +78,25 @@ type PathPlan struct {
 	// (sorted; empty when none could be proven). The evaluator seeds from
 	// the store's cheapest label index instead of a full node scan.
 	SeedLabels []string
+	// Automaton reports that the pattern is memoryless and its selector
+	// admits product-graph evaluation (see automatonEligibility); the
+	// evaluator may then run it as a BFS over (node × automaton state).
+	Automaton bool
+	// AutomatonReason explains why the automaton engine is unavailable;
+	// empty when Automaton is true. Surfaced by -explain.
+	AutomatonReason string
+
+	autoOnce sync.Once
+	auto     any
+}
+
+// CompiledAutomaton memoizes the pattern's compiled automaton across
+// evaluations (plans are shared by concurrent Evals, so the memo is
+// guarded). The value is opaque to this package; the eval layer supplies
+// the builder and interprets the result.
+func (pp *PathPlan) CompiledAutomaton(build func() any) any {
+	pp.autoOnce.Do(func() { pp.auto = build() })
+	return pp.auto
 }
 
 // Plan is the compiled form of a MATCH statement.
@@ -154,14 +174,17 @@ func Analyze(stmt *ast.MatchStmt, opts Options) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		auto, autoReason := automatonEligibility(pp, mode)
 		plan.Paths = append(plan.Paths, &PathPlan{
-			Index:        i,
-			Pattern:      pp,
-			Prog:         prog,
-			Mode:         mode,
-			HasUnbounded: hasUnbounded,
-			Vars:         a.patVars,
-			SeedLabels:   seedLabels(pp.Expr),
+			Index:           i,
+			Pattern:         pp,
+			Prog:            prog,
+			Mode:            mode,
+			HasUnbounded:    hasUnbounded,
+			Vars:            a.patVars,
+			SeedLabels:      seedLabels(pp.Expr),
+			Automaton:       auto,
+			AutomatonReason: autoReason,
 		})
 	}
 

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"fmt"
+
+	"gpml/internal/ast"
+)
+
+// automatonEligibility decides whether a path pattern can be evaluated by
+// the product-graph automaton engine: a BFS over (graph node × automaton
+// state) that finds shortest matches without enumerating walks. The engine
+// is sound only for memoryless patterns — every per-step check must depend
+// on the current element alone — and only under selectors whose output the
+// shortest-match set determines exactly:
+//
+//   - ALL SHORTEST on any pattern: the selector keeps exactly the
+//     minimal-length matches per endpoint partition, which is what the
+//     product search computes.
+//   - ANY / ANY SHORTEST on bounded (DFS-mode) patterns: the enumerating
+//     engine produces every match and the selector picks the canonical
+//     shortest one, which is always among the shortest-match set.
+//   - ANY / ANY SHORTEST on unbounded (BFS-mode) patterns stay on the
+//     per-state BFS engine: it admits one thread per product state, which
+//     is already near-linear, while materializing all shortest matches
+//     only to discard all but one can be exponentially worse.
+//
+// The returned reason (empty when eligible) feeds the -explain output.
+func automatonEligibility(pp *ast.PathPattern, mode Mode) (bool, string) {
+	switch pp.Selector.Kind {
+	case ast.AllShortest:
+	case ast.AnyPath, ast.AnyShortest:
+		if mode == ModeBFS {
+			return false, "ANY-family selector on an unbounded pattern (per-state BFS prunes harder)"
+		}
+	case ast.NoSelector:
+		return false, "no selector (output is the full enumeration)"
+	default:
+		return false, fmt.Sprintf("selector %s needs per-state depth sets", pp.Selector)
+	}
+	if pp.Restrictor != ast.NoRestrictor {
+		return false, fmt.Sprintf("restrictor %s requires path memory", pp.Restrictor)
+	}
+	var reason string
+	ast.WalkPath(pp.Expr, func(pe ast.PathExpr) bool {
+		if reason != "" {
+			return false // already failed; prune the rest
+		}
+		switch x := pe.(type) {
+		case *ast.Paren:
+			if x.Restrictor != ast.NoRestrictor {
+				reason = fmt.Sprintf("restrictor %s requires path memory", x.Restrictor)
+			} else if x.Where != nil {
+				reason = "subpattern WHERE prefilter evaluates over the accumulated environment"
+			}
+		case *ast.NodePattern:
+			reason = localWhereReason(x.Var, x.Where)
+		case *ast.EdgePattern:
+			reason = localWhereReason(x.Var, x.Where)
+		}
+		return reason == ""
+	})
+	if reason != "" {
+		return false, reason
+	}
+	for name, n := range bindCounts(pp.Expr) {
+		if n > 1 {
+			return false, fmt.Sprintf("variable %q is matched at several positions (equi-join needs the environment)", name)
+		}
+	}
+	return true, ""
+}
+
+// localWhereReason checks that an element WHERE is memoryless: it may
+// reference only the element being matched, and not through an aggregate
+// (group lists accumulate across iterations, which a product state cannot
+// see).
+func localWhereReason(own string, where ast.Expr) string {
+	if where == nil {
+		return ""
+	}
+	for name, inAgg := range ast.ExprVars(where) {
+		if name != own {
+			return fmt.Sprintf("WHERE on %q references %q", own, name)
+		}
+		if inAgg {
+			return fmt.Sprintf("WHERE on %q aggregates over the group list", own)
+		}
+	}
+	return ""
+}
+
+// bindCounts reports, per named variable, the maximum number of times one
+// match can bind it: concatenation adds, union branches are exclusive
+// (max), and a quantifier's iterations each bind into a fresh local scope,
+// so only the per-iteration count matters.
+func bindCounts(e ast.PathExpr) map[string]int {
+	switch x := e.(type) {
+	case *ast.Concat:
+		out := map[string]int{}
+		for _, el := range x.Elems {
+			for name, n := range bindCounts(el) {
+				out[name] += n
+			}
+		}
+		return out
+	case *ast.NodePattern:
+		if ast.IsAnonVar(x.Var) {
+			return nil
+		}
+		return map[string]int{x.Var: 1}
+	case *ast.EdgePattern:
+		if ast.IsAnonVar(x.Var) {
+			return nil
+		}
+		return map[string]int{x.Var: 1}
+	case *ast.Paren:
+		return bindCounts(x.Expr)
+	case *ast.Quantified:
+		return bindCounts(x.Inner)
+	case *ast.Union:
+		out := map[string]int{}
+		for _, br := range x.Branches {
+			for name, n := range bindCounts(br) {
+				if n > out[name] {
+					out[name] = n
+				}
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// Automaton eligibility: the product-graph engine may only take patterns
+// whose per-step checks are memoryless and whose selector the
+// shortest-match set determines exactly.
+func TestAutomatonEligibility(t *testing.T) {
+	cases := []struct {
+		src      string
+		eligible bool
+		reason   string // substring of AutomatonReason when ineligible
+	}{
+		// Eligible: ALL SHORTEST on bounded and unbounded patterns.
+		{`MATCH ALL SHORTEST (a)-[e:Transfer]->+(b)`, true, ""},
+		{`MATCH ALL SHORTEST (a:Account)-[e]->{2,4}(b)`, true, ""},
+		// Eligible: ANY-family on bounded (DFS-mode) patterns only.
+		{`MATCH ANY SHORTEST (a)-[e]->{1,6}(b)`, true, ""},
+		{`MATCH ANY (a)-[e]->{1,3}(b WHERE b.isBlocked='yes')`, true, ""},
+		{`MATCH ANY SHORTEST (a)-[e]->+(b)`, false, "ANY-family selector on an unbounded pattern"},
+		// Ineligible selectors.
+		{`MATCH (a)-[e]->{1,3}(b)`, false, "no selector"},
+		{`MATCH SHORTEST 2 (a)-[e]->+(b)`, false, "per-state depth sets"},
+		// Restrictors need path memory.
+		{`MATCH ALL SHORTEST TRAIL (a)-[e]->+(b)`, false, "restrictor TRAIL"},
+		{`MATCH ALL SHORTEST (a) [ACYCLIC (x)-[e]->(y)]{1,2} (b)`, false, "restrictor ACYCLIC"},
+		// Subpattern WHERE sees the accumulated environment.
+		{`MATCH ALL SHORTEST (a) [(x)-[e]->(y) WHERE x.v=1]{1,2} (b)`, false, "subpattern WHERE"},
+		// Element WHEREs must be local to the element.
+		{`MATCH ALL SHORTEST (a)-[e]->{1,3}(b WHERE b.v = a.v)`, false, `references "a"`},
+		// Repeated variables are equi-joins through the environment.
+		{`MATCH ALL SHORTEST (a)-[e]->+(a)`, false, `variable "a" is matched at several positions`},
+		// The same variable in exclusive union branches binds once per run.
+		{`MATCH ALL SHORTEST (a) [-[e:T]->(m) | <-[f:U]-(m)] -[g:T]->{1,2} (b)`, true, ""},
+	}
+	for _, c := range cases {
+		p, err := analyze(t, c.src, Options{})
+		if err != nil {
+			t.Errorf("analyze %q: %v", c.src, err)
+			continue
+		}
+		pp := p.Paths[0]
+		if pp.Automaton != c.eligible {
+			t.Errorf("%q: Automaton=%v (reason %q), want %v", c.src, pp.Automaton, pp.AutomatonReason, c.eligible)
+			continue
+		}
+		if !c.eligible && !strings.Contains(pp.AutomatonReason, c.reason) {
+			t.Errorf("%q: reason %q does not contain %q", c.src, pp.AutomatonReason, c.reason)
+		}
+		if c.eligible && pp.AutomatonReason != "" {
+			t.Errorf("%q: eligible but reason %q", c.src, pp.AutomatonReason)
+		}
+	}
+}
+
+// CompiledAutomaton memoizes across calls and is safe for reuse.
+func TestCompiledAutomatonMemo(t *testing.T) {
+	p := mustAnalyze(t, `MATCH ALL SHORTEST (a)-[e:Transfer]->+(b)`)
+	pp := p.Paths[0]
+	calls := 0
+	v1 := pp.CompiledAutomaton(func() any { calls++; return 42 })
+	v2 := pp.CompiledAutomaton(func() any { calls++; return 43 })
+	if calls != 1 || v1 != 42 || v2 != 42 {
+		t.Errorf("memo: calls=%d v1=%v v2=%v", calls, v1, v2)
+	}
+}

@@ -26,6 +26,8 @@ var conformanceQueries = []string{
 	`MATCH ACYCLIC (a:Account)-[t:Transfer]->*(z)`,
 	`MATCH ANY SHORTEST p = (a WHERE a.owner='owner0')-[:Transfer]->+(z:Account WHERE z.isBlocked='yes')`,
 	`MATCH ALL SHORTEST p = (a:Account)-[:Transfer]->+(z WHERE z.isBlocked='yes')`,
+	`MATCH ALL SHORTEST p = (a:Account)-[t:Transfer]->{1,4}(z:Account)`,
+	`MATCH ANY SHORTEST p = (a WHERE a.owner='owner0')-[t]-{1,3}(z)`,
 	`MATCH SHORTEST 2 p = (a WHERE a.owner='owner0')-[:Transfer]->+(z:Account)`,
 	`MATCH (a:Account)-[:Transfer]->(m) [~[:hasPhone]~(p:Phone)]?`,
 	`MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)~[:hasPhone]~(p)`,
