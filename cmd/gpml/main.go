@@ -9,7 +9,9 @@
 // binding tables are printed instead of the variable table; -normalized
 // additionally prints the §6.2 normalized pattern. -explain reports which
 // engine (dfs, bfs, or the pattern automaton) evaluates each path pattern
-// and why; -no-automaton pins evaluation to the enumerating engines.
+// and why, plus the cost-ordered join plan of multi-pattern statements;
+// -no-automaton pins evaluation to the enumerating engines and
+// -no-bind-join to the enumerate-then-hash-join pipeline.
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "evaluation workers over seed nodes (<2 = sequential)")
 		explain    = flag.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
 		noAuto     = flag.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
+		noBindJoin = flag.Bool("no-bind-join", false, "disable the cost-ordered bind-join planner (A/B comparison)")
 	)
 	flag.Parse()
 
@@ -65,12 +68,19 @@ func main() {
 	var evalOpts []gpml.Option
 	if *csr {
 		evalOpts = append(evalOpts, gpml.WithStore(gpml.Snapshot(g)))
+	} else {
+		// Explain and evaluation read cardinality statistics off the
+		// store; pass the map graph explicitly so both see the same one.
+		evalOpts = append(evalOpts, gpml.WithStore(g))
 	}
 	if *parallel > 1 {
 		evalOpts = append(evalOpts, gpml.WithParallelism(*parallel))
 	}
 	if *noAuto {
 		evalOpts = append(evalOpts, gpml.NoAutomaton())
+	}
+	if *noBindJoin {
+		evalOpts = append(evalOpts, gpml.NoBindJoin())
 	}
 	q, err := gpml.Compile(query, opts...)
 	if err != nil {

@@ -1,0 +1,259 @@
+package gpml_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"gpml"
+	"gpml/internal/dataset"
+	"gpml/internal/eval"
+	"gpml/internal/pgq"
+)
+
+// Golden-file conformance corpus: testdata/conformance/*.txt transcribes
+// the paper's worked examples (§2 figures, §4 patterns, §5 restrictors
+// and selectors, §6.5 multi-pattern joins). Each case is evaluated
+// through BOTH host-language frontends — a GQL session (binding-table
+// output) and, when the case declares a COLUMNS clause, the SQL/PGQ
+// GRAPH_TABLE operator — against BOTH store backends (map graph and CSR
+// snapshot), with the bind-join planner on and off, and every combination
+// must reproduce the checked-in golden output byte for byte.
+//
+// Regenerate the goldens after an intentional output change with:
+//
+//	go test -run TestConformanceCorpus -update .
+//
+// Case file format (testdata/conformance/NAME.txt):
+//
+//	# free-form comment lines
+//	graph: fig1                       # fig1 | cycle8 | grid4 | random1
+//	columns: x.owner AS owner, ...    # optional: enables the PGQ check
+//	query:
+//	MATCH ...                         # possibly multiple lines
+//	-- result --
+//	<golden gpml.FormatResult output>
+//	-- table --                       # present iff columns was given
+//	<golden PGQ table rendering>
+
+var updateGolden = flag.Bool("update", false, "regenerate golden conformance outputs")
+
+// conformanceCase is one parsed corpus file.
+type conformanceCase struct {
+	path    string
+	header  []string // comment + directive lines, verbatim (for -update)
+	graph   string
+	columns string
+	query   string
+	result  string
+	table   string
+}
+
+// conformanceGraphs registers the graphs corpus cases may run on. Each
+// call builds a fresh graph, so cases cannot leak state into each other.
+var conformanceGraphs = map[string]func() *gpml.Graph{
+	"fig1":   gpml.Fig1,
+	"cycle8": func() *gpml.Graph { return dataset.Cycle(8) },
+	"grid4":  func() *gpml.Graph { return dataset.Grid(4, 4) },
+	"random1": func() *gpml.Graph {
+		return dataset.Random(dataset.RandomConfig{Accounts: 30, AvgDegree: 2, Cities: 4, Phones: 6, BlockedFraction: 0.2, Seed: 1, UndirectedPhones: true})
+	},
+}
+
+func parseConformanceCase(t *testing.T, path string) *conformanceCase {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &conformanceCase{path: path, graph: "fig1"}
+	lines := strings.Split(string(raw), "\n")
+	i := 0
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "query:":
+			c.header = append(c.header, line)
+			i++
+			goto queryBody
+		case strings.HasPrefix(trimmed, "graph:"):
+			c.graph = strings.TrimSpace(strings.TrimPrefix(trimmed, "graph:"))
+		case strings.HasPrefix(trimmed, "columns:"):
+			c.columns = strings.TrimSpace(strings.TrimPrefix(trimmed, "columns:"))
+		case strings.HasPrefix(trimmed, "#") || trimmed == "":
+			// comment / blank
+		default:
+			t.Fatalf("%s: unknown directive %q", path, line)
+		}
+		c.header = append(c.header, line)
+	}
+	t.Fatalf("%s: missing query: section", path)
+queryBody:
+	var query []string
+	for ; i < len(lines) && strings.TrimSpace(lines[i]) != "-- result --"; i++ {
+		query = append(query, lines[i])
+	}
+	c.query = strings.TrimSpace(strings.Join(query, "\n"))
+	if c.query == "" {
+		t.Fatalf("%s: empty query", path)
+	}
+	if i == len(lines) {
+		if !*updateGolden {
+			t.Fatalf("%s: missing '-- result --' golden section (run with -update to create it)", path)
+		}
+		return c
+	}
+	i++ // skip the separator
+	var result []string
+	for ; i < len(lines) && strings.TrimSpace(lines[i]) != "-- table --"; i++ {
+		result = append(result, lines[i])
+	}
+	c.result = strings.Join(result, "\n")
+	if i < len(lines) {
+		// A table section follows: the result lines lost their final
+		// newline to the separator.
+		if c.result != "" {
+			c.result += "\n"
+		}
+		i++
+		c.table = strings.Join(lines[i:], "\n")
+	}
+	return c
+}
+
+// writeGolden rewrites the case file with regenerated golden sections.
+func (c *conformanceCase) writeGolden(t *testing.T) {
+	t.Helper()
+	var b strings.Builder
+	for _, line := range c.header {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(c.query)
+	b.WriteString("\n-- result --\n")
+	b.WriteString(c.result)
+	if c.columns != "" {
+		b.WriteString("-- table --\n")
+		b.WriteString(c.table)
+	}
+	if err := os.WriteFile(c.path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gqlResult evaluates the case through the GQL frontend (catalog +
+// session) on the given store.
+func gqlResult(t *testing.T, c *conformanceCase, s gpml.Store, cfg eval.Config) string {
+	t.Helper()
+	catalog := gpml.NewCatalog()
+	if err := catalog.Register("G", s); err != nil {
+		t.Fatal(err)
+	}
+	session := gpml.NewSession(catalog)
+	session.Config = cfg
+	if err := session.Use("G"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Match(c.query)
+	if err != nil {
+		t.Fatalf("%s: GQL frontend: %v", c.path, err)
+	}
+	return gpml.FormatResult(res)
+}
+
+// pgqResult evaluates the case through the SQL/PGQ GRAPH_TABLE frontend
+// on the given store. Rows arrive in match order, which the conformance
+// battery already pins down via the binding-table golden.
+func pgqResult(t *testing.T, c *conformanceCase, s gpml.Store, cfg eval.Config) string {
+	t.Helper()
+	cols, err := gpml.ParseColumns(c.columns)
+	if err != nil {
+		t.Fatalf("%s: columns: %v", c.path, err)
+	}
+	tbl, err := pgq.GraphTable(s, c.query, cols, cfg)
+	if err != nil {
+		t.Fatalf("%s: PGQ frontend: %v", c.path, err)
+	}
+	return tbl.String()
+}
+
+func TestConformanceCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "conformance", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no conformance cases found under testdata/conformance")
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		c := parseConformanceCase(t, path)
+		t.Run(strings.TrimSuffix(filepath.Base(path), ".txt"), func(t *testing.T) {
+			build, ok := conformanceGraphs[c.graph]
+			if !ok {
+				t.Fatalf("%s: unknown graph %q", path, c.graph)
+			}
+			g := build()
+			stores := []struct {
+				name string
+				s    gpml.Store
+			}{
+				{"map", g},
+				{"csr", gpml.Snapshot(g)},
+			}
+			configs := []struct {
+				name string
+				cfg  eval.Config
+			}{
+				{"bind-join", eval.Config{}},
+				{"no-bind-join", eval.Config{DisableBindJoin: true}},
+			}
+			if *updateGolden {
+				c.result = gqlResult(t, c, g, eval.Config{})
+				if c.columns != "" {
+					c.table = pgqResult(t, c, g, eval.Config{})
+				}
+				c.writeGolden(t)
+			}
+			for _, st := range stores {
+				for _, cf := range configs {
+					if got := gqlResult(t, c, st.s, cf.cfg); got != c.result {
+						t.Errorf("%s: GQL/%s/%s diverges from golden:\ngot:\n%s\nwant:\n%s",
+							path, st.name, cf.name, got, c.result)
+					}
+					if c.columns != "" {
+						if got := pgqResult(t, c, st.s, cf.cfg); got != c.table {
+							t.Errorf("%s: PGQ/%s/%s diverges from golden:\ngot:\n%s\nwant:\n%s",
+								path, st.name, cf.name, got, c.table)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceCorpusCoversJoins pins the corpus shape: the §6.5
+// multi-pattern join cases must be present, so the bind-join planner is
+// always exercised by the golden battery.
+func TestConformanceCorpusCoversJoins(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "conformance", "*.txt"))
+	joins := 0
+	for _, path := range files {
+		c := parseConformanceCase(t, path)
+		q, err := gpml.Compile(c.query, gpml.GQLMode())
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(q.Explain()) > 2 { // multi-pattern: per-pattern lines + join steps
+			joins++
+		}
+	}
+	if joins < 3 {
+		t.Fatalf("corpus has %d multi-pattern join cases, want >= 3", joins)
+	}
+}

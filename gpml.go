@@ -124,24 +124,26 @@ var Null = value.Null
 // Query is a compiled GPML statement, reusable across graphs and safe for
 // concurrent evaluation.
 type Query struct {
-	q        *core.Query
-	lims     Limits
-	edgeIso  bool
-	store    Store
-	parallel int
-	noAuto   bool
+	q          *core.Query
+	lims       Limits
+	edgeIso    bool
+	store      Store
+	parallel   int
+	noAuto     bool
+	noBindJoin bool
 }
 
 // Option configures compilation or evaluation.
 type Option func(*options)
 
 type options struct {
-	gql      bool
-	lims     Limits
-	edgeIso  bool
-	store    Store
-	parallel int
-	noAuto   bool
+	gql        bool
+	lims       Limits
+	edgeIso    bool
+	store      Store
+	parallel   int
+	noAuto     bool
+	noBindJoin bool
 }
 
 func (o options) config() eval.Config {
@@ -150,6 +152,7 @@ func (o options) config() eval.Config {
 		EdgeIsomorphic:   o.edgeIso,
 		Parallelism:      o.parallel,
 		DisableAutomaton: o.noAuto,
+		DisableBindJoin:  o.noBindJoin,
 	}
 }
 
@@ -188,6 +191,17 @@ func WithParallelism(n int) Option { return func(o *options) { o.parallel = n } 
 // differential testing.
 func NoAutomaton() Option { return func(o *options) { o.noAuto = true } }
 
+// NoBindJoin disables the cost-ordered bind-join planner for
+// multi-pattern statements, reverting to enumerating every path pattern
+// in full (in textual order) before hash joining. Successful evaluations
+// return identical results either way — bind-join only changes how much
+// of each pattern's search space is explored. For the same reason the
+// two pipelines can differ under tight search Limits: bind-join
+// enumerates less, so it may succeed where full enumeration exceeds the
+// match budget. The option exists for A/B benchmarking and differential
+// testing.
+func NoBindJoin() Option { return func(o *options) { o.noBindJoin = true } }
+
 // Compile parses, normalizes, analyzes and plans a GPML MATCH statement.
 func Compile(src string, opts ...Option) (*Query, error) {
 	var o options
@@ -198,7 +212,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -216,7 +230,7 @@ func MustCompile(src string, opts ...Option) *Query {
 // an explicitly passed graph is never silently shadowed by a store the
 // query was compiled with.
 func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -236,13 +250,22 @@ func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
 // Explain reports, one line per path pattern, which engine evaluates the
 // query under the given options (dfs, bfs, or automaton), the selector
 // and proven seed labels, and — when the automaton engine is not used —
-// the reason it is unavailable.
+// the reason it is unavailable. For multi-pattern statements it appends
+// the cost-ordered join plan, one "join step" line per pattern: the
+// chosen order, whether each step is a seeded bind join (and through
+// which variable) or a scan/hash-join fallback, and its cost estimate.
+// Cardinality statistics come from a store passed via WithStore (or fixed
+// at Compile time); without one the join ranking is structure-only.
 func (q *Query) Explain(opts ...Option) []string {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin}
 	for _, f := range opts {
 		f(&o)
 	}
-	return eval.Explain(q.q.Plan, o.config())
+	s := o.store
+	if s == nil {
+		s = q.store
+	}
+	return eval.ExplainStore(s, q.q.Plan, o.config())
 }
 
 // EvalStore evaluates the query against any Store implementation.

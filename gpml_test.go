@@ -207,3 +207,73 @@ func TestPathsInResults(t *testing.T) {
 		t.Errorf("path: %v", p)
 	}
 }
+
+// TestExplainJoinPlan pins the public Explain surface of the bind-join
+// planner: multi-pattern statements report the cost-ordered join steps,
+// NoBindJoin reports the classic pipeline, and a store passed through
+// WithStore feeds real cardinality statistics into the ranking.
+func TestExplainJoinPlan(t *testing.T) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`
+		MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->(c:City),
+		      (x)-[t:Transfer]->(y:Account)`)
+	lines := q.Explain(gpml.WithStore(g))
+	if len(lines) != 5 {
+		t.Fatalf("want 2 pattern + 1 stats + 2 join lines, got %d: %v", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "join stats: nodes=14 edges=22") {
+		t.Errorf("missing stats line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "join step 0: pattern 0 scan") {
+		t.Errorf("missing scan step:\n%s", joined)
+	}
+	if !strings.Contains(joined, "join step 1: pattern 1 bind-join seed=x") {
+		t.Errorf("missing bind-join step:\n%s", joined)
+	}
+	off := strings.Join(q.Explain(gpml.NoBindJoin()), "\n")
+	if !strings.Contains(off, "bind-join disabled") {
+		t.Errorf("NoBindJoin explain should report the classic pipeline:\n%s", off)
+	}
+	// Single-pattern statements have no join plan.
+	single := gpml.MustCompile(`MATCH (x:Account)`).Explain()
+	if len(single) != 1 {
+		t.Errorf("single pattern should explain in one line, got %v", single)
+	}
+}
+
+// TestNoBindJoinParity pins the public escape hatch: results are
+// byte-identical with the planner on and off.
+func TestNoBindJoinParity(t *testing.T) {
+	g := gpml.Fig1()
+	q := gpml.MustCompile(`
+		MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->
+		      (gc:City WHERE gc.name='Ankh-Morpork')<-[:isLocatedIn]-
+		      (y:Account WHERE y.isBlocked='yes'),
+		      TRAIL (x)-[:Transfer]->+(y)`)
+	on, err := q.Eval(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := q.Eval(g, gpml.NoBindJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpml.FormatResult(on) != gpml.FormatResult(off) {
+		t.Fatalf("bind-join on/off diverge:\non:\n%s\noff:\n%s",
+			gpml.FormatResult(on), gpml.FormatResult(off))
+	}
+	// The parallel seeded path distributes seed runs over a worker pool;
+	// output must stay byte-identical.
+	par, err := q.Eval(g, gpml.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpml.FormatResult(on) != gpml.FormatResult(par) {
+		t.Fatalf("parallel bind-join diverges:\nsequential:\n%s\nparallel:\n%s",
+			gpml.FormatResult(on), gpml.FormatResult(par))
+	}
+	if len(on.Rows) != 4 {
+		t.Fatalf("fraud query returns %d rows, want 4", len(on.Rows))
+	}
+}

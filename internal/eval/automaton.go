@@ -70,11 +70,18 @@ func EngineFor(pp *plan.PathPlan, cfg Config) (engine, note string) {
 	return EngineDFS, note
 }
 
-// Explain renders one human-readable line per path pattern: the selected
-// engine, the selector, the proven seed labels, and — when the automaton
-// engine is not used — the reason.
-func Explain(p *plan.Plan, cfg Config) []string {
-	out := make([]string, len(p.Paths))
+// Explain renders the statement's evaluation plan without store
+// statistics; see ExplainStore.
+func Explain(p *plan.Plan, cfg Config) []string { return ExplainStore(nil, p, cfg) }
+
+// ExplainStore renders one human-readable line per path pattern — the
+// selected engine, the selector, the proven seed labels, and, when the
+// automaton engine is not used, the reason — followed by the cost-ordered
+// join plan for multi-pattern statements (ExplainJoin). The store, when
+// non-nil, supplies the cardinality statistics the join cost model ranks
+// patterns with.
+func ExplainStore(s graph.Store, p *plan.Plan, cfg Config) []string {
+	out := make([]string, len(p.Paths), len(p.Paths)+len(p.Paths))
 	for i, pp := range p.Paths {
 		eng, note := EngineFor(pp, cfg)
 		var b strings.Builder
@@ -101,7 +108,7 @@ func Explain(p *plan.Plan, cfg Config) []string {
 		}
 		out[i] = b.String()
 	}
-	return out
+	return append(out, ExplainJoin(s, p, cfg)...)
 }
 
 // elemResolver resolves exactly one element — the one being matched —

@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// Bind-join evaluation of multi-pattern statements (§6.5 "Multiple
+// patterns"). Instead of enumerating every path pattern in full and hash
+// joining afterwards, the patterns are solved in the cost order picked by
+// plan.OrderJoin, and each already-joined row's shared endpoint bindings
+// become the seed set of the next pattern's engine run: a pattern whose
+// head variable is already bound only ever explores matches starting at
+// the handful of nodes the join has produced so far.
+//
+// The rewrite is exact, not approximate, for two structural reasons:
+//
+//   - a pattern's solution set decomposes by seed: every solution's path
+//     starts at its seed node, so reduction keys never collide across
+//     seeds (the path is part of the key) and ApplySelector partitions by
+//     path endpoints, which never span seeds. Running the per-pattern
+//     pipeline seed-by-seed therefore yields exactly the full solution
+//     set restricted to those seeds — and solutions at unseeded nodes
+//     cannot survive the equi-join anyway, because the seed variable is
+//     part of the hash key.
+//
+//   - the classic pipeline's row order is the nested-loop order over the
+//     patterns in textual order, with each pattern's solutions sorted by
+//     (path length, canonical key) — i.e. rows come out lexicographically
+//     ordered by the per-pattern sort keys. sortRowsCanonical restores
+//     exactly that order, so the final Result is byte-identical.
+
+// evalBindJoin runs the cost-ordered bind-join pipeline.
+func evalBindJoin(stores []graph.Store, varGraph map[string]graph.Store, p *plan.Plan, cfg Config) (*Result, error) {
+	steps := plan.OrderJoin(p, storeStatsFor(stores))
+	rows := []*Row{{vars: map[string]Bound{}}}
+	bound := map[string]bool{}
+	for _, step := range steps {
+		pp := p.Paths[step.Pattern]
+		solutions, err := stepSolutions(stores[step.Pattern], pp, cfg, step.SeedVar, rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound))
+		markBound(bound, pp)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	sortRowsCanonical(rows, len(p.Paths))
+	return finishJoin(stores[0], varGraph, p, rows, cfg)
+}
+
+// stepSolutions produces one join step's pattern solutions: seeded from
+// the accumulated rows' bindings of the step's seed variable when the
+// planner chose one, by full enumeration otherwise (first step,
+// disconnected patterns, patterns without a bound head variable).
+func stepSolutions(s graph.Store, pp *plan.PathPlan, cfg Config, seedVar string, rows []*Row) ([]*binding.Reduced, error) {
+	if seedVar != "" {
+		solutions, ok, err := seededSolutions(s, pp, cfg, seedVar, rows)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return solutions, nil
+		}
+	}
+	return MatchPattern(s, pp, cfg)
+}
+
+// seededSolutions runs the pattern's engine once per distinct seed node
+// bound to seedVar across the rows — seeds are deduplicated up front, so
+// rows sharing an endpoint never re-enumerate its solutions; with
+// Parallelism > 1 the seed runs are distributed over the same worker
+// pool full enumeration uses. ok is false (triggering the full
+// enumeration fallback) if any row fails to bind the seed variable to a
+// node — statically impossible for a shared unconditional singleton node
+// variable, but checked rather than assumed.
+func seededSolutions(s graph.Store, pp *plan.PathPlan, cfg Config, seedVar string, rows []*Row) ([]*binding.Reduced, bool, error) {
+	var seeds []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, row := range rows {
+		b, bok := row.vars[seedVar]
+		if !bok || b.Kind != BoundNode {
+			return nil, false, nil
+		}
+		if !seen[b.Node] {
+			seen[b.Node] = true
+			seeds = append(seeds, b.Node)
+		}
+	}
+	if cfg.Parallelism > 1 && len(seeds) > 1 {
+		// The single-pattern pipeline over the union of the seeded runs
+		// equals the concatenation of per-seed pipelines: dedup keys and
+		// selector partitions never span seeds (see the package comment).
+		bud := newBudget(cfg.Limits.withDefaults())
+		raw, err := enumerateParallel(s, pp, cfg, bud, seeds)
+		if err != nil {
+			return nil, false, err
+		}
+		reduced := make([]*binding.Reduced, len(raw))
+		for i, b := range raw {
+			reduced[i] = b.Reduce()
+		}
+		sols := ApplySelector(pp.Pattern.Selector, binding.Dedup(reduced))
+		binding.SortStable(sols)
+		return sols, true, nil
+	}
+	solver := newSeedSolver(s, pp, cfg)
+	var out []*binding.Reduced
+	for _, seed := range seeds {
+		sols, err := solver.solve(seed)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, sols...)
+	}
+	return out, true, nil
+}
+
+// seedSolver runs the full single-pattern pipeline (§6 stage order:
+// enumerate, reduce, deduplicate, select) one seed node at a time; the
+// engine machinery (and for the automaton engine, the compiled product
+// searcher) is built once and reused across seeds. Search limits are
+// shared across all seed runs through one budget, mirroring Enumerate.
+// Callers pass each distinct seed once; seededSolutions deduplicates.
+type seedSolver struct {
+	pp  *plan.PathPlan
+	run func(graph.NodeID) error
+	buf []*binding.PathBinding
+}
+
+func newSeedSolver(s graph.Store, pp *plan.PathPlan, cfg Config) *seedSolver {
+	ss := &seedSolver{pp: pp}
+	bud := newBudget(cfg.Limits.withDefaults())
+	ss.run = seedRunner(s, nil, pp, cfg, bud, func(b *binding.PathBinding) error {
+		ss.buf = append(ss.buf, b)
+		return nil
+	})
+	return ss
+}
+
+// solve returns the pattern's selected solutions anchored at one seed.
+// Per-seed reduction, deduplication and selection agree exactly with the
+// full pipeline restricted to this seed (see the package comment above).
+func (ss *seedSolver) solve(seed graph.NodeID) ([]*binding.Reduced, error) {
+	ss.buf = ss.buf[:0]
+	if err := ss.run(seed); err != nil {
+		return nil, err
+	}
+	reduced := make([]*binding.Reduced, len(ss.buf))
+	for i, b := range ss.buf {
+		reduced[i] = b.Reduce()
+	}
+	sols := ApplySelector(ss.pp.Pattern.Selector, binding.Dedup(reduced))
+	binding.SortStable(sols)
+	return sols, nil
+}
+
+// sortRowsCanonical restores the classic pipeline's row order: rows
+// compare lexicographically by their per-pattern reduced bindings in
+// textual pattern order, each binding by (path length, canonical key) —
+// the order MatchPattern emits solutions in. After a complete join every
+// row has all bindings set; nil entries (rows of an aborted join) keep
+// their relative order.
+func sortRowsCanonical(rows []*Row, npaths int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < npaths; k++ {
+			ra, rb := a.Bindings[k], b.Bindings[k]
+			if ra == nil || rb == nil || ra == rb {
+				continue
+			}
+			if ra.Path.Len() != rb.Path.Len() {
+				return ra.Path.Len() < rb.Path.Len()
+			}
+			if ka, kb := ra.Key(), rb.Key(); ka != kb {
+				return ka < kb
+			}
+		}
+		return false
+	})
+}
+
+// storeStatsFor gathers per-pattern store statistics for the join-order
+// search, computing them once when every pattern targets the same store
+// (the EvalPlan case).
+func storeStatsFor(stores []graph.Store) []graph.StoreStats {
+	out := make([]graph.StoreStats, len(stores))
+	for i := range stores {
+		if i > 0 && stores[i] == stores[i-1] {
+			out[i] = out[i-1]
+			continue
+		}
+		out[i] = stores[i].LabelStats()
+	}
+	return out
+}
+
+// ExplainJoin renders the cost-ordered join plan, one line per step, for
+// multi-pattern statements (empty otherwise). Statistics come from the
+// given store; with a nil store the ranking is structure-only.
+func ExplainJoin(s graph.Store, p *plan.Plan, cfg Config) []string {
+	if len(p.Paths) < 2 {
+		return nil
+	}
+	if cfg.DisableBindJoin {
+		return []string{"join: bind-join disabled; hash join in pattern order"}
+	}
+	stats := make([]graph.StoreStats, len(p.Paths))
+	out := make([]string, 0, len(p.Paths)+1)
+	if s != nil {
+		st := s.LabelStats()
+		for i := range stats {
+			stats[i] = st
+		}
+		out = append(out, fmt.Sprintf("join stats: nodes=%d edges=%d avg-degree=%.3g",
+			st.Nodes, st.Edges, st.AvgDegree()))
+	}
+	for k, step := range plan.OrderJoin(p, stats) {
+		out = append(out, fmt.Sprintf("join step %d: %s", k, step))
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"gpml/internal/binding"
@@ -26,6 +27,13 @@ type Config struct {
 	// DisableAutomaton forces eligible patterns back onto the enumerating
 	// DFS/BFS engines; used for A/B comparison and differential testing.
 	DisableAutomaton bool
+	// DisableBindJoin forces multi-pattern statements back onto the
+	// enumerate-everything-then-hash-join pipeline, bypassing the
+	// cost-ordered bind-join planner; used for A/B comparison and
+	// differential testing. Successful evaluations are identical either
+	// way; under tight Limits the pipelines may differ only in whether
+	// they hit the budget (bind-join enumerates less).
+	DisableBindJoin bool
 }
 
 // BoundKind discriminates what a result variable is bound to.
@@ -71,8 +79,11 @@ func (b Bound) String() string {
 
 // Row is one joined match of the whole graph pattern.
 type Row struct {
-	vars     map[string]Bound
-	Bindings []*binding.Reduced // one per path pattern, in pattern order
+	vars map[string]Bound
+	// Bindings holds one reduced binding per path pattern, indexed by
+	// pattern (textual) order. During a join, patterns not yet joined are
+	// nil; every completed row has all entries set.
+	Bindings []*binding.Reduced
 }
 
 // Get returns the binding of a variable in this row.
@@ -120,14 +131,6 @@ func EvalPlanOn(stores []graph.Store, p *plan.Plan, cfg Config) (*Result, error)
 	if len(stores) != len(p.Paths) {
 		return nil, fmt.Errorf("eval: %d graphs for %d path patterns", len(stores), len(p.Paths))
 	}
-	perPattern := make([][]*binding.Reduced, len(p.Paths))
-	for i, pp := range p.Paths {
-		rs, err := MatchPattern(stores[i], pp, cfg)
-		if err != nil {
-			return nil, err
-		}
-		perPattern[i] = rs
-	}
 	varGraph := map[string]graph.Store{}
 	for i, pp := range p.Paths {
 		for _, v := range pp.Vars {
@@ -135,6 +138,17 @@ func EvalPlanOn(stores []graph.Store, p *plan.Plan, cfg Config) (*Result, error)
 				varGraph[v] = stores[i]
 			}
 		}
+	}
+	if len(p.Paths) > 1 && !cfg.DisableBindJoin {
+		return evalBindJoin(stores, varGraph, p, cfg)
+	}
+	perPattern := make([][]*binding.Reduced, len(p.Paths))
+	for i, pp := range p.Paths {
+		rs, err := MatchPattern(stores[i], pp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		perPattern[i] = rs
 	}
 	return joinAndFilter(stores[0], varGraph, p, perPattern, cfg)
 }
@@ -230,6 +244,50 @@ func seedRunner(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Config, 
 	}
 }
 
+// sharedVars lists the pattern's variables usable as equi-join keys with
+// the already-joined prefix: singleton, non-path, and already bound
+// (statically guaranteed to be unconditional singletons, §4.6).
+func sharedVars(p *plan.Plan, pp *plan.PathPlan, bound map[string]bool) []string {
+	var shared []string
+	for _, v := range pp.Vars {
+		if p.JoinableVar(v) && bound[v] {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}
+
+// joinPattern hash-joins one pattern's solutions into the accumulated
+// rows; with no shared variables it degenerates to a cross product.
+func joinPattern(p *plan.Plan, pp *plan.PathPlan, rows []*Row, solutions []*binding.Reduced, shared []string) []*Row {
+	index := map[string][]*binding.Reduced{}
+	for _, sol := range solutions {
+		k := joinKeyOfSolution(sol, shared)
+		index[k] = append(index[k], sol)
+	}
+	var next []*Row
+	for _, row := range rows {
+		for _, sol := range index[joinKeyOfRow(row, shared)] {
+			merged, ok := mergeRow(p, pp, row, sol)
+			if !ok {
+				continue
+			}
+			next = append(next, merged)
+		}
+	}
+	return next
+}
+
+// markBound records the variables a joined pattern binds.
+func markBound(bound map[string]bool, pp *plan.PathPlan) {
+	for _, v := range pp.Vars {
+		bound[v] = true
+	}
+	if pv := pp.Pattern.PathVar; pv != "" {
+		bound[pv] = true
+	}
+}
+
 // joinAndFilter forms the cross product of per-pattern solutions, filtered
 // by implicit equi-joins on shared singleton variables and the final WHERE
 // clause (§6.5 "Multiple patterns").
@@ -238,41 +296,18 @@ func joinAndFilter(g graph.Store, varGraph map[string]graph.Store, p *plan.Plan,
 	bound := map[string]bool{} // variables bound by already-joined patterns
 	for patIdx, solutions := range perPattern {
 		pp := p.Paths[patIdx]
-		// Hash join on the variables shared with the accumulated rows
-		// (statically guaranteed to be unconditional singletons, §4.6);
-		// falls back to a cross product when nothing is shared.
-		var shared []string
-		for _, v := range pp.Vars {
-			info := p.Var(v)
-			if info != nil && !info.Group && info.Kind != plan.VarPath && bound[v] {
-				shared = append(shared, v)
-			}
-		}
-		index := map[string][]*binding.Reduced{}
-		for _, sol := range solutions {
-			index[joinKeyOfSolution(sol, shared)] = append(index[joinKeyOfSolution(sol, shared)], sol)
-		}
-		var next []*Row
-		for _, row := range rows {
-			for _, sol := range index[joinKeyOfRow(row, shared)] {
-				merged, ok := mergeRow(p, pp, row, sol)
-				if !ok {
-					continue
-				}
-				next = append(next, merged)
-			}
-		}
-		rows = next
-		for _, v := range pp.Vars {
-			bound[v] = true
-		}
-		if pv := pp.Pattern.PathVar; pv != "" {
-			bound[pv] = true
-		}
+		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound))
+		markBound(bound, pp)
 		if len(rows) == 0 {
 			break
 		}
 	}
+	return finishJoin(g, varGraph, p, rows, cfg)
+}
+
+// finishJoin applies the post-join stages shared by both join pipelines:
+// the optional edge-isomorphic match mode and the final WHERE postfilter.
+func finishJoin(g graph.Store, varGraph map[string]graph.Store, p *plan.Plan, rows []*Row, cfg Config) (*Result, error) {
 	if cfg.EdgeIsomorphic {
 		kept := rows[:0]
 		for _, row := range rows {
@@ -299,22 +334,38 @@ func joinAndFilter(g graph.Store, varGraph map[string]graph.Store, p *plan.Plan,
 	return &Result{Columns: p.Columns, Rows: rows}, nil
 }
 
+// appendKeyComponent appends one length-prefixed join-key component:
+// "<len(id)><kind-tag><id>". The explicit length keeps element ids
+// containing NUL bytes or leading kind-tag characters from bleeding into
+// the neighbouring component (two different binding tuples can otherwise
+// concatenate to the same key and join rows that never matched).
+func appendKeyComponent(b *strings.Builder, kind binding.ElemKind, id string) {
+	b.WriteString(strconv.Itoa(len(id)))
+	b.WriteString(kindTag(kind))
+	b.WriteString(id)
+}
+
+// appendUnboundComponent marks an unbound (conditional singleton)
+// component; "?" cannot be confused with a bound component, which always
+// starts with a digit.
+func appendUnboundComponent(b *strings.Builder) { b.WriteByte('?') }
+
 // joinKeyOfSolution builds the hash key of a pattern solution over the
 // shared join variables.
 func joinKeyOfSolution(sol *binding.Reduced, shared []string) string {
 	if len(shared) == 0 {
 		return ""
 	}
-	key := ""
+	var key strings.Builder
 	for _, v := range shared {
 		ref, ok := sol.Singleton(v)
 		if !ok {
-			key += "?\x00"
+			appendUnboundComponent(&key)
 			continue
 		}
-		key += kindTag(ref.Kind) + ref.ID + "\x00"
+		appendKeyComponent(&key, ref.Kind, ref.ID)
 	}
-	return key
+	return key.String()
 }
 
 func kindTag(k binding.ElemKind) string {
@@ -329,19 +380,19 @@ func joinKeyOfRow(row *Row, shared []string) string {
 	if len(shared) == 0 {
 		return ""
 	}
-	key := ""
+	var key strings.Builder
 	for _, v := range shared {
 		b := row.vars[v]
 		switch b.Kind {
 		case BoundNode:
-			key += kindTag(binding.NodeElem) + string(b.Node) + "\x00"
+			appendKeyComponent(&key, binding.NodeElem, string(b.Node))
 		case BoundEdge:
-			key += kindTag(binding.EdgeElem) + string(b.Edge) + "\x00"
+			appendKeyComponent(&key, binding.EdgeElem, string(b.Edge))
 		default:
-			key += "?\x00"
+			appendUnboundComponent(&key)
 		}
 	}
-	return key
+	return key.String()
 }
 
 // mergeRow extends a partial row with one pattern solution, checking the
@@ -385,9 +436,9 @@ func mergeRow(p *plan.Plan, pp *plan.PathPlan, row *Row, sol *binding.Reduced) (
 	if pv := pp.Pattern.PathVar; pv != "" {
 		vars[pv] = Bound{Kind: BoundPath, Path: sol.Path}
 	}
-	bindings := make([]*binding.Reduced, len(row.Bindings)+1)
+	bindings := make([]*binding.Reduced, len(p.Paths))
 	copy(bindings, row.Bindings)
-	bindings[len(row.Bindings)] = sol
+	bindings[pp.Index] = sol
 	return &Row{vars: vars, Bindings: bindings}, true
 }
 

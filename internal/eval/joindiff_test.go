@@ -1,0 +1,273 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gpml/internal/binding"
+	"gpml/internal/dataset"
+	"gpml/internal/graph"
+	"gpml/internal/normalize"
+	"gpml/internal/parser"
+	"gpml/internal/plan"
+)
+
+// Differential battery for §6.5 multi-pattern joins: the cost-ordered
+// bind-join pipeline must be invisible in results. Random 2–3-pattern
+// statements assembled from connected and disconnected fragments run over
+// randomized graphs on both store backends, asserting (a) byte parity
+// between bind-join on and off, and (b) agreement with a naive
+// cross-product-plus-filter reference join that shares no code with the
+// hash/bind-join machinery.
+
+// joinFragments are the path-pattern building blocks. Variables overlap
+// deliberately (x, y, z, w chain through them) so random subsets yield
+// seeded bind joins, hash-join fallbacks, and disconnected cross products.
+var joinFragments = []string{
+	`(x:Account)-[t1:Transfer]->(y:Account)`,
+	`(y:Account)-[t2:Transfer]->(z:Account)`,
+	`(x:Account)-[:isLocatedIn]->(c:City)`,
+	`(z:Account)~[h1:hasPhone]~(ph:Phone)`,
+	`(x:Account)-[t3:Transfer]->{1,2}(w:Account)`,
+	`TRAIL (y)-[t4:Transfer]->+(v:Account)`,
+	`(q:Phone)`,
+	`(w:Account)-[:isLocatedIn]->(c2:City)`,
+	`ANY SHORTEST (z)-[t5:Transfer]->+(u:Account)`,
+}
+
+// renderResult flattens a result to one string per row: the output
+// columns as displayed plus each pattern binding's canonical key, which
+// pins content and order byte for byte.
+func renderResult(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		var b strings.Builder
+		for _, col := range res.Columns {
+			v, ok := row.Get(col)
+			if !ok {
+				b.WriteString("<unbound>")
+			} else {
+				b.WriteString(v.String())
+			}
+			b.WriteByte('|')
+		}
+		b.WriteByte('#')
+		for _, rb := range row.Bindings {
+			b.WriteString(rb.Key())
+			b.WriteByte('#')
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// naiveJoinReference joins per-pattern solutions by nested-loop cross
+// product in textual pattern order, filtering on equality of every
+// variable shared between patterns — the literal reading of §6.5, with
+// none of the evaluator's hash indexes, seeding or reordering. It returns
+// the canonical key sequence renderResult appends after '#'.
+func naiveJoinReference(t *testing.T, per [][]*binding.Reduced, p *plan.Plan) []string {
+	t.Helper()
+	// Variables declared by two or more patterns join implicitly.
+	type sharing struct {
+		name     string
+		patterns []int
+	}
+	var shared []sharing
+	for name, info := range p.Vars {
+		if len(info.Patterns) < 2 || info.Group || info.Kind == plan.VarPath {
+			continue
+		}
+		var pats []int
+		for i := range p.Paths {
+			if info.Patterns[i] {
+				pats = append(pats, i)
+			}
+		}
+		shared = append(shared, sharing{name, pats})
+	}
+	var out []string
+	pick := make([]*binding.Reduced, len(p.Paths))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.Paths) {
+			for _, sh := range shared {
+				first, ok := pick[sh.patterns[0]].Singleton(sh.name)
+				if !ok {
+					return
+				}
+				for _, pat := range sh.patterns[1:] {
+					ref, ok := pick[pat].Singleton(sh.name)
+					if !ok || ref != first {
+						return
+					}
+				}
+			}
+			var b strings.Builder
+			b.WriteByte('#')
+			for _, sol := range pick {
+				b.WriteString(sol.Key())
+				b.WriteByte('#')
+			}
+			out = append(out, b.String())
+			return
+		}
+		for _, sol := range per[i] {
+			pick[i] = sol
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// keysOnly strips the column prefix off renderResult lines, leaving the
+// '#'-delimited canonical keys the naive reference produces.
+func keysOnly(rendered []string) []string {
+	out := make([]string, len(rendered))
+	for i, r := range rendered {
+		if idx := strings.IndexByte(r, '#'); idx >= 0 {
+			out[i] = r[idx:]
+		}
+	}
+	return out
+}
+
+func diffStrings(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d rows vs %d rows", label, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: row %d diverges:\ngot:  %s\nwant: %s", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// tryCompile plans a statement, reporting static rejections instead of
+// failing the test (the fuzz loop samples some illegal combinations).
+func tryCompile(src string) (*plan.Plan, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize.Normalize(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Analyze(norm, plan.Options{})
+}
+
+// TestMultiPatternJoinDifferential is the randomized battery: every
+// sampled statement must agree across bind-join on/off, both backends,
+// and the naive reference.
+func TestMultiPatternJoinDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	graphs := []*graph.Graph{
+		dataset.Random(dataset.RandomConfig{Accounts: 18, AvgDegree: 2, Cities: 3, Phones: 4, BlockedFraction: 0.2, Seed: 3, UndirectedPhones: true}),
+		dataset.Random(dataset.RandomConfig{Accounts: 26, AvgDegree: 2, Cities: 5, Phones: 5, BlockedFraction: 0.1, Seed: 11, UndirectedPhones: true}),
+		dataset.LaunderingRings(3, 4, 3, 77),
+	}
+	combos := 0
+	for iter := 0; iter < 40; iter++ {
+		g := graphs[rng.Intn(len(graphs))]
+		n := 2 + rng.Intn(2)
+		idx := rng.Perm(len(joinFragments))[:n]
+		frags := make([]string, n)
+		for i, f := range idx {
+			frags[i] = joinFragments[f]
+		}
+		src := "MATCH " + strings.Join(frags, ", ")
+		p, err := tryCompile(src)
+		if err != nil {
+			// Some samples are statically illegal (e.g. a variable used at
+			// incompatible scopes); skip them, they are not this battery's
+			// concern.
+			continue
+		}
+		// Bound the work: the naive reference (and a disconnected hash
+		// join) materializes the full cross product, so samples whose
+		// per-pattern solution counts multiply out too far are skipped —
+		// and the precheck itself runs under a tight match limit so an
+		// explosive single pattern (an unselective TRAIL, say) is skipped
+		// cheaply instead of enumerated to exhaustion first.
+		precheck := Config{Limits: Limits{MaxMatches: 20_000}}
+		per := make([][]*binding.Reduced, len(p.Paths))
+		product := 1
+		tooBig := false
+		for i, pp := range p.Paths {
+			sols, err := MatchPattern(g, pp, precheck)
+			if err != nil {
+				var lim *LimitError
+				if errors.As(err, &lim) {
+					tooBig = true
+					break
+				}
+				t.Fatalf("iter %d %s: MatchPattern %d: %v", iter, src, i, err)
+			}
+			per[i] = sols
+			product *= len(sols) + 1
+			if product > 12_000 {
+				tooBig = true
+				break
+			}
+		}
+		if tooBig {
+			continue
+		}
+		combos++
+		snap := graph.Snapshot(g)
+		for si, s := range []graph.Store{g, snap} {
+			label := fmt.Sprintf("iter %d store %d %s", iter, si, src)
+			on, err := EvalPlan(s, p, Config{})
+			if err != nil {
+				t.Fatalf("%s: bind-join: %v", label, err)
+			}
+			off, err := EvalPlan(s, p, Config{DisableBindJoin: true})
+			if err != nil {
+				t.Fatalf("%s: hash-join: %v", label, err)
+			}
+			diffStrings(t, label+" [on vs off]", renderResult(on), renderResult(off))
+			if si == 0 {
+				naive := naiveJoinReference(t, per, p)
+				diffStrings(t, label+" [on vs naive]", keysOnly(renderResult(on)), naive)
+			}
+		}
+	}
+	if combos < 15 {
+		t.Fatalf("only %d/40 sampled statements were checked; fragment pool or size cap too restrictive", combos)
+	}
+}
+
+// TestMultiPatternJoinPostfilter covers the postfilter path the naive
+// reference skips: bind-join on/off parity for joined statements with a
+// final WHERE over variables of different patterns.
+func TestMultiPatternJoinPostfilter(t *testing.T) {
+	queries := []string{
+		`MATCH (x:Account)-[t1:Transfer]->(y:Account), (y)-[:isLocatedIn]->(c:City) WHERE x.isBlocked='no' AND y.isBlocked='yes'`,
+		`MATCH (x:Account)-[t1:Transfer]->(y:Account), (x)~[:hasPhone]~(p:Phone) WHERE SAME(x, x) AND p.isBlocked='no'`,
+		`MATCH (a:Account) [()-[t:Transfer]->() WHERE t.amount>1M]{1,3} (b:Account), (b)-[:isLocatedIn]->(ci:City) WHERE SUM(t.amount) > 4M`,
+	}
+	g := dataset.Random(dataset.RandomConfig{Accounts: 24, AvgDegree: 2, Cities: 4, Phones: 5, BlockedFraction: 0.25, Seed: 9, UndirectedPhones: true})
+	snap := graph.Snapshot(g)
+	for _, src := range queries {
+		p := compile(t, src, plan.Options{})
+		for si, s := range []graph.Store{g, snap} {
+			on, err := EvalPlan(s, p, Config{})
+			if err != nil {
+				t.Fatalf("store %d %s: %v", si, src, err)
+			}
+			off, err := EvalPlan(s, p, Config{DisableBindJoin: true})
+			if err != nil {
+				t.Fatalf("store %d %s: %v", si, src, err)
+			}
+			diffStrings(t, fmt.Sprintf("store %d %s", si, src), renderResult(on), renderResult(off))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"testing"
+
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// Regression battery for the join-key encoding. The previous encoding
+// concatenated "<kind-tag><id>\x00" per shared variable, so element ids
+// containing NUL bytes or embedded kind-tag characters could make two
+// different binding tuples concatenate to the same hash key — e.g.
+// (x:"a\x00nb", y:"c") and (x:"a", y:"b\x00nc") both encoded to
+// "na\x00nb\x00nc\x00". The length-prefixed encoding keeps every
+// component self-delimiting.
+
+func nodeRef(id string) binding.ReducedCol {
+	return binding.ReducedCol{Kind: binding.NodeElem, ID: id}
+}
+
+func solutionOf(vars map[string]string) *binding.Reduced {
+	r := &binding.Reduced{}
+	for v, id := range vars {
+		col := nodeRef(id)
+		col.Var = v
+		r.Cols = append(r.Cols, col)
+	}
+	return r
+}
+
+func rowOf(vars map[string]string) *Row {
+	row := &Row{vars: map[string]Bound{}}
+	for v, id := range vars {
+		row.vars[v] = Bound{Kind: BoundNode, Node: graph.NodeID(id)}
+	}
+	return row
+}
+
+func TestJoinKeyAdversarialIDs(t *testing.T) {
+	shared := []string{"x", "y"}
+	cases := []struct {
+		name string
+		a    map[string]string // solution-side bindings
+		b    map[string]string // row-side bindings
+	}{
+		{"nul-shifts-boundary", map[string]string{"x": "a\x00nb", "y": "c"}, map[string]string{"x": "a", "y": "b\x00nc"}},
+		{"leading-kind-tag", map[string]string{"x": "na", "y": "b"}, map[string]string{"x": "n", "y": "ab"}},
+		{"empty-vs-tag-only", map[string]string{"x": "", "y": "nn"}, map[string]string{"x": "n", "y": "n"}},
+		{"digit-prefix", map[string]string{"x": "1n", "y": "z"}, map[string]string{"x": "1", "y": "nz"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			solKey := joinKeyOfSolution(solutionOf(tc.a), shared)
+			rowKey := joinKeyOfRow(rowOf(tc.b), shared)
+			if solKey == rowKey {
+				t.Errorf("distinct binding tuples %v and %v encode to the same key %q", tc.a, tc.b, solKey)
+			}
+			// Sanity: equal tuples must still collide on purpose.
+			if joinKeyOfSolution(solutionOf(tc.a), shared) != joinKeyOfRow(rowOf(tc.a), shared) {
+				t.Errorf("equal binding tuple %v encodes differently on the two join sides", tc.a)
+			}
+		})
+	}
+}
+
+// TestJoinKeyUnboundDistinct pins the unbound marker: a conditional
+// singleton left unbound must not collide with any bound element,
+// including one whose id is literally "?".
+func TestJoinKeyUnboundDistinct(t *testing.T) {
+	shared := []string{"x"}
+	unbound := joinKeyOfSolution(&binding.Reduced{}, shared)
+	for _, id := range []string{"?", "", "0n?"} {
+		if bound := joinKeyOfSolution(solutionOf(map[string]string{"x": id}), shared); bound == unbound {
+			t.Errorf("bound id %q collides with the unbound marker %q", id, unbound)
+		}
+	}
+}
+
+// TestJoinAdversarialIDsEndToEnd runs a two-pattern join over a graph
+// whose element ids are built from NUL bytes and kind-tag characters, on
+// both join pipelines: the equi-join on x and y must produce exactly the
+// rows where both endpoints truly coincide.
+func TestJoinAdversarialIDsEndToEnd(t *testing.T) {
+	b := graph.NewBuilder()
+	ids := []string{"a", "a\x00nb", "b\x00nc", "c", "n", "?"}
+	for _, id := range ids {
+		b.Node(id, []string{"N"})
+	}
+	// A-edges for the first pattern, B-edges for the second. Only the
+	// ("a" -> "c") pair is present in both, so the join must return
+	// exactly one row — any key collision would surface as extra
+	// candidate pairs or, with a broken encoding, missed matches.
+	b.Edge("eA1", "a", "c", []string{"A"})
+	b.Edge("eA2", "a\x00nb", "c", []string{"A"})
+	b.Edge("eA3", "n", "b\x00nc", []string{"A"})
+	b.Edge("eB1", "a", "c", []string{"B"})
+	b.Edge("eB2", "a", "b\x00nc", []string{"B"})
+	b.Edge("eB3", "?", "c", []string{"B"})
+	g := b.MustBuild()
+	p := compile(t, `MATCH (x)-[e1:A]->(y), (x)-[e2:B]->(y)`, plan.Options{})
+	for _, cfg := range []Config{{}, {DisableBindJoin: true}} {
+		res, err := EvalPlan(g, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("cfg %+v: got %d rows, want 1", cfg, len(res.Rows))
+		}
+		x, _ := res.Rows[0].Get("x")
+		y, _ := res.Rows[0].Get("y")
+		if string(x.Node) != "a" || string(y.Node) != "c" {
+			t.Fatalf("cfg %+v: joined (%q, %q), want (a, c)", cfg, x.Node, y.Node)
+		}
+	}
+}

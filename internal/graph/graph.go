@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gpml/internal/value"
 )
@@ -121,6 +122,13 @@ type Graph struct {
 	// incident lists every edge id touching a node (directed in either
 	// orientation, and undirected), in insertion order.
 	incident map[NodeID][]EdgeID
+
+	// statsMu guards the memoized LabelStats result. Mutations invalidate
+	// it; concurrent readers (the documented safe access pattern) share
+	// one computation instead of rescanning the graph per query.
+	statsMu     sync.Mutex
+	statsValid  bool
+	cachedStats StoreStats
 }
 
 // New returns an empty graph.
@@ -155,6 +163,7 @@ func (g *Graph) AddNode(id NodeID, labels []string, props map[string]value.Value
 	n := &Node{ID: id, Labels: normLabels(labels), Props: copyProps(props)}
 	g.nodes[id] = n
 	g.nodeOrder = append(g.nodeOrder, id)
+	g.invalidateStats()
 	return nil
 }
 
@@ -189,7 +198,15 @@ func (g *Graph) addEdge(id EdgeID, src, dst NodeID, dir Direction, labels []stri
 	if src != dst {
 		g.incident[dst] = append(g.incident[dst], id)
 	}
+	g.invalidateStats()
 	return nil
+}
+
+// invalidateStats drops the memoized label statistics after a mutation.
+func (g *Graph) invalidateStats() {
+	g.statsMu.Lock()
+	g.statsValid = false
+	g.statsMu.Unlock()
 }
 
 // Node returns the node with the given id, or nil.

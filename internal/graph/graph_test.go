@@ -362,3 +362,31 @@ func TestInduced(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLabelStatsMemoInvalidation pins the stats memo: repeated calls
+// return consistent counts, and a mutation refreshes them.
+func TestLabelStatsMemoInvalidation(t *testing.T) {
+	g := New()
+	if err := g.AddNode("n1", []string{"A"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.LabelStats().NodeLabelCount("A"); got != 1 {
+		t.Fatalf("A count = %d, want 1", got)
+	}
+	if got := g.LabelStats().NodeLabelCount("A"); got != 1 {
+		t.Fatalf("memoized A count = %d, want 1", got)
+	}
+	if err := g.AddNode("n2", []string{"A"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("e1", "n1", "n2", []string{"T"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := g.LabelStats()
+	if st.NodeLabelCount("A") != 2 || st.EdgeLabelCount("T") != 1 {
+		t.Fatalf("post-mutation stats = %+v, want A=2 T=1", st)
+	}
+	if st.AvgDegree() != 1 {
+		t.Fatalf("AvgDegree = %v, want 1 (2 edges-ends / 2 nodes)", st.AvgDegree())
+	}
+}

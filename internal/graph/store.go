@@ -57,6 +57,18 @@ type StoreStats struct {
 // NodeLabelCount returns the number of nodes carrying the label.
 func (s StoreStats) NodeLabelCount(label string) int { return s.NodeLabels[label] }
 
+// EdgeLabelCount returns the number of edges carrying the label.
+func (s StoreStats) EdgeLabelCount(label string) int { return s.EdgeLabels[label] }
+
+// AvgDegree reports the mean number of incident edges per node (each edge
+// touches two endpoints); the fanout baseline of the join cost model.
+func (s StoreStats) AvgDegree() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return 2 * float64(s.Edges) / float64(s.Nodes)
+}
+
 // CheapestNodeLabel picks the label with the fewest nodes among the
 // candidates, for seeding evaluation from the smallest candidate set. All
 // candidate labels are required (conjunctive), so any of them is a sound
@@ -105,10 +117,17 @@ func (g *Graph) CountNodesWithLabel(label string) int {
 	return count
 }
 
-// LabelStats computes cardinality statistics with a full scan. The result
-// is not cached: the graph is mutable, and queries may run concurrently
-// with each other.
+// LabelStats returns cardinality statistics, computed with a full scan on
+// first use and memoized until the next mutation (so a serving loop
+// running many planned queries against one graph scans it once, not once
+// per query). Concurrent readers share the memo under a mutex; callers
+// must treat the returned maps as read-only.
 func (g *Graph) LabelStats() StoreStats {
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
+	if g.statsValid {
+		return g.cachedStats
+	}
 	s := StoreStats{
 		Nodes:      len(g.nodeOrder),
 		Edges:      len(g.edgeOrder),
@@ -125,6 +144,8 @@ func (g *Graph) LabelStats() StoreStats {
 			s.EdgeLabels[l]++
 		}
 	}
+	g.cachedStats = s
+	g.statsValid = true
 	return s
 }
 

@@ -78,6 +78,18 @@ type PathPlan struct {
 	// (sorted; empty when none could be proven). The evaluator seeds from
 	// the store's cheapest label index instead of a full node scan.
 	SeedLabels []string
+	// HeadVars are the named singleton node variables provably bound to
+	// the first path node of every match (sorted). When one of them is
+	// already bound by earlier join steps, the bind-join evaluator seeds
+	// this pattern's engine runs from the bound values instead of
+	// enumerating the pattern in full.
+	HeadVars []string
+	// TailLabels are labels every match's last node provably carries
+	// (sorted) — the endpoint-selectivity input of the join cost model.
+	TailLabels []string
+	// minSteps is the pattern's cheapest edge-step expansion, for fanout
+	// estimation (see EstimateCost).
+	minSteps []edgeStep
 	// Automaton reports that the pattern is memoryless and its selector
 	// admits product-graph evaluation (see automatonEligibility); the
 	// evaluator may then run it as a BFS over (node × automaton state).
@@ -110,6 +122,16 @@ type Plan struct {
 
 // Var returns the info for a variable, or nil.
 func (p *Plan) Var(name string) *VarInfo { return p.Vars[name] }
+
+// JoinableVar reports whether the variable can carry an implicit
+// equi-join between path patterns: a singleton element variable (group
+// and path variables have no single join value). The join planner and
+// the evaluator's hash-key construction must agree on this predicate, so
+// it lives here and both consume it.
+func (p *Plan) JoinableVar(name string) bool {
+	info := p.Vars[name]
+	return info != nil && !info.Group && info.Kind != VarPath
+}
 
 // exprSite is a WHERE clause together with its static context.
 type exprSite struct {
@@ -183,6 +205,9 @@ func Analyze(stmt *ast.MatchStmt, opts Options) (*Plan, error) {
 			HasUnbounded:    hasUnbounded,
 			Vars:            a.patVars,
 			SeedLabels:      seedLabels(pp.Expr),
+			HeadVars:        a.singletonHeadVars(pp.Expr),
+			TailLabels:      tailLabels(pp.Expr),
+			minSteps:        minEdgeSteps(pp.Expr),
 			Automaton:       auto,
 			AutomatonReason: autoReason,
 		})
