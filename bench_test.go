@@ -5,6 +5,7 @@
 package gpml_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -505,6 +506,60 @@ func BenchmarkBindJoin_SelectiveTwoPattern(b *testing.B) {
 	b.Run("bind_join", func(b *testing.B) { run(b) })
 	b.Run("bind_join_csr", func(b *testing.B) { run(b, gpml.WithStore(snap)) })
 	b.Run("hash_join", func(b *testing.B) { run(b, gpml.NoBindJoin()) })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming pipeline: first-row latency and LIMIT pushdown. The two-hop
+// transfer pattern yields hundreds of thousands of rows on this graph, so
+// the gap between "first row" / "first k rows" and full materialization is
+// the streaming refactor's whole point. Tier-1 tracked.
+// ---------------------------------------------------------------------------
+
+func streamBenchGraph() *gpml.Graph {
+	return dataset.Random(dataset.RandomConfig{
+		Accounts: 2000, AvgDegree: 4, Cities: 15, BlockedFraction: 0.1, Seed: 7,
+	})
+}
+
+const streamBenchQuery = `MATCH (x:Account)-[t:Transfer]->(y:Account)-[u:Transfer]->(z:Account)`
+
+func BenchmarkStreamFirstRow(b *testing.B) {
+	g := streamBenchGraph()
+	q := gpml.MustCompile(streamBenchQuery)
+	b.Run("stream_first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := q.Stream(context.Background(), g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rows.Next() {
+				b.Fatal("no rows")
+			}
+			rows.Close()
+		}
+	})
+	b.Run("eval_full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkLimitPushdown(b *testing.B) {
+	g := streamBenchGraph()
+	q := gpml.MustCompile(streamBenchQuery)
+	run := func(b *testing.B, opts ...gpml.Option) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Eval(g, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("limit_1", func(b *testing.B) { run(b, gpml.WithLimit(1)) })
+	b.Run("limit_100", func(b *testing.B) { run(b, gpml.WithLimit(100)) })
+	b.Run("full", func(b *testing.B) { run(b) })
 }
 
 // mustResult evaluates a compiled query, failing the benchmark on error.

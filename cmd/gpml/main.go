@@ -11,10 +11,14 @@
 // engine (dfs, bfs, or the pattern automaton) evaluates each path pattern
 // and why, plus the cost-ordered join plan of multi-pattern statements;
 // -no-automaton pins evaluation to the enumerating engines and
-// -no-bind-join to the enumerate-then-hash-join pipeline.
+// -no-bind-join to the enumerate-then-hash-join pipeline. -first N
+// streams only the first N rows (LIMIT pushdown: enumeration stops once
+// they are produced) and -timeout aborts evaluation after a duration via
+// streaming cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +41,8 @@ func main() {
 		explain    = flag.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
 		noAuto     = flag.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
 		noBindJoin = flag.Bool("no-bind-join", false, "disable the cost-ordered bind-join planner (A/B comparison)")
+		timeout    = flag.Duration("timeout", 0, "abort evaluation after this duration (streaming cancellation; 0 = none)")
+		first      = flag.Int("first", 0, "stream only the first N rows (LIMIT pushdown; 0 = all rows)")
 	)
 	flag.Parse()
 
@@ -94,7 +100,26 @@ func main() {
 			fmt.Println("explain:", line)
 		}
 	}
-	res, err := q.Eval(g, evalOpts...)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		evalOpts = append(evalOpts, gpml.WithContext(ctx))
+	}
+	if *first > 0 {
+		evalOpts = append(evalOpts, gpml.WithLimit(*first))
+	}
+
+	// -first and -timeout run through the streaming pipeline: the limit
+	// stops upstream enumeration after N rows, and an expired deadline
+	// aborts the in-flight search with an error (partial rows are
+	// discarded). Collect restores Eval's canonical row order.
+	rows, err := q.Stream(ctx, nil, evalOpts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := rows.Collect()
 	if err != nil {
 		fatal(err)
 	}
@@ -104,7 +129,12 @@ func main() {
 	} else {
 		fmt.Print(gpml.FormatResult(res))
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	if *first > 0 && len(res.Rows) == *first {
+		// The limit bit: more rows may exist beyond the cut.
+		fmt.Printf("(first %d rows)\n", len(res.Rows))
+	} else {
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	}
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package gpml_test
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -181,6 +182,54 @@ func pgqResult(t *testing.T, c *conformanceCase, s gpml.Store, cfg eval.Config) 
 	return tbl.String()
 }
 
+// streamOpts maps an eval.Config onto public evaluation options.
+func streamOpts(cfg eval.Config) []gpml.Option {
+	var opts []gpml.Option
+	if cfg.DisableBindJoin {
+		opts = append(opts, gpml.NoBindJoin())
+	}
+	if cfg.DisableAutomaton {
+		opts = append(opts, gpml.NoAutomaton())
+	}
+	if cfg.Parallelism > 1 {
+		opts = append(opts, gpml.WithParallelism(cfg.Parallelism))
+	}
+	return opts
+}
+
+// streamResult evaluates the case through the pull-based streaming
+// pipeline (Query.Stream + Rows.Collect, which restores Eval's canonical
+// order), so every golden also verifies the streaming executor. It
+// additionally checks that ForEach delivers exactly the same number of
+// rows the collected result holds.
+func streamResult(t *testing.T, c *conformanceCase, s gpml.Store, cfg eval.Config) string {
+	t.Helper()
+	q, err := gpml.Compile(c.query, gpml.GQLMode())
+	if err != nil {
+		t.Fatalf("%s: compile: %v", c.path, err)
+	}
+	opts := streamOpts(cfg)
+	rows, err := q.Stream(context.Background(), s, opts...)
+	if err != nil {
+		t.Fatalf("%s: Stream: %v", c.path, err)
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		t.Fatalf("%s: Collect: %v", c.path, err)
+	}
+	seen := 0
+	if err := q.ForEach(context.Background(), s, func(*gpml.Row) error {
+		seen++
+		return nil
+	}, opts...); err != nil {
+		t.Fatalf("%s: ForEach: %v", c.path, err)
+	}
+	if seen != len(res.Rows) {
+		t.Errorf("%s: ForEach delivered %d rows, Collect %d", c.path, seen, len(res.Rows))
+	}
+	return gpml.FormatResult(res)
+}
+
 func TestConformanceCorpus(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "conformance", "*.txt"))
 	if err != nil {
@@ -211,6 +260,7 @@ func TestConformanceCorpus(t *testing.T) {
 			}{
 				{"bind-join", eval.Config{}},
 				{"no-bind-join", eval.Config{DisableBindJoin: true}},
+				{"parallel", eval.Config{Parallelism: 4}},
 			}
 			if *updateGolden {
 				c.result = gqlResult(t, c, g, eval.Config{})
@@ -223,6 +273,10 @@ func TestConformanceCorpus(t *testing.T) {
 				for _, cf := range configs {
 					if got := gqlResult(t, c, st.s, cf.cfg); got != c.result {
 						t.Errorf("%s: GQL/%s/%s diverges from golden:\ngot:\n%s\nwant:\n%s",
+							path, st.name, cf.name, got, c.result)
+					}
+					if got := streamResult(t, c, st.s, cf.cfg); got != c.result {
+						t.Errorf("%s: Stream/%s/%s diverges from golden:\ngot:\n%s\nwant:\n%s",
 							path, st.name, cf.name, got, c.result)
 					}
 					if c.columns != "" {

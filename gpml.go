@@ -31,6 +31,8 @@
 package gpml
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"gpml/internal/binding"
@@ -131,6 +133,8 @@ type Query struct {
 	parallel   int
 	noAuto     bool
 	noBindJoin bool
+	limit      int
+	ctx        context.Context
 }
 
 // Option configures compilation or evaluation.
@@ -144,6 +148,8 @@ type options struct {
 	parallel   int
 	noAuto     bool
 	noBindJoin bool
+	limit      int
+	ctx        context.Context
 }
 
 func (o options) config() eval.Config {
@@ -153,7 +159,15 @@ func (o options) config() eval.Config {
 		Parallelism:      o.parallel,
 		DisableAutomaton: o.noAuto,
 		DisableBindJoin:  o.noBindJoin,
+		Limit:            o.limit,
 	}
+}
+
+func (o options) context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 // GQLMode enables GQL host semantics: element references may be compared
@@ -191,6 +205,21 @@ func WithParallelism(n int) Option { return func(o *options) { o.parallel = n } 
 // differential testing.
 func NoAutomaton() Option { return func(o *options) { o.noAuto = true } }
 
+// WithContext attaches a context to evaluation: cancellation or an
+// expired deadline aborts the in-flight search promptly (the engines
+// poll every few thousand edge expansions) and Eval/Stream/ForEach
+// return the context's error. A context passed directly to Stream or
+// ForEach wins over this option.
+func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
+
+// WithLimit caps the number of output rows at n (0 = unlimited). In the
+// streaming pipeline this is a genuine LIMIT pushdown: once n rows have
+// been produced no upstream stage computes anything further, so a
+// selective limit over a huge match space pays per-row cost, not
+// total-enumeration cost. The rows kept are the first n in streaming
+// order; Eval presents them canonically ordered.
+func WithLimit(n int) Option { return func(o *options) { o.limit = n } }
+
 // NoBindJoin disables the cost-ordered bind-join planner for
 // multi-pattern statements, reverting to enumerating every path pattern
 // in full (in textual order) before hash joining. Successful evaluations
@@ -212,7 +241,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, limit: o.limit, ctx: o.ctx}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -230,10 +259,26 @@ func MustCompile(src string, opts ...Option) *Query {
 // an explicitly passed graph is never silently shadowed by a store the
 // query was compiled with.
 func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin}
+	o := q.options(opts)
+	s, err := q.target(o, g)
+	if err != nil {
+		return nil, err
+	}
+	return q.q.EvalCtx(o.context(), s, o.config())
+}
+
+// options seeds an option set from the query's compile-time defaults.
+func (q *Query) options(opts []Option) options {
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, limit: q.limit, ctx: q.ctx}
 	for _, f := range opts {
 		f(&o)
 	}
+	return o
+}
+
+// target resolves the evaluation store: a WithStore option wins, then a
+// non-nil graph argument, then a store fixed at Compile time.
+func (q *Query) target(o options, g *Graph) (Store, error) {
 	s := o.store
 	if s == nil && g != nil {
 		s = g
@@ -244,23 +289,163 @@ func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("gpml: nil graph (pass a graph or WithStore)")
 	}
-	return q.q.Eval(s, o.config())
+	return s, nil
+}
+
+// Stop, returned from a ForEach callback, ends iteration early without
+// error — the streaming pipeline shuts down having computed only the
+// rows delivered so far.
+var Stop = errors.New("gpml: stop iteration")
+
+// Rows is a streaming result iterator (database/sql style): rows arrive
+// as the engines produce them, in deterministic pipeline order —
+// seed-major, shortest-exits-first per engine — rather than Eval's
+// canonical sorted order, which is the one blocking stage streaming
+// skips. Close must be called when done (whether or not the stream was
+// drained); it stops every pipeline goroutine and blocks until they have
+// exited, so an abandoned iterator leaks nothing. A Rows is not safe for
+// concurrent use; cancel the stream's context to abort from another
+// goroutine.
+//
+//	rows, err := q.Stream(ctx, store)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+type Rows struct {
+	q      *Query
+	cur    eval.Cursor
+	row    *Row
+	err    error
+	closed bool
+}
+
+// Next advances to the next row, reporting whether one is available. It
+// returns false at exhaustion, on error (see Err), and after Close.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	row, err := r.cur.Next()
+	if err != nil {
+		r.err = err
+		r.row = nil
+		return false
+	}
+	r.row = row
+	return row != nil
+}
+
+// Row returns the current row (valid after a true Next).
+func (r *Rows) Row() *Row { return r.row }
+
+// Err returns the error that ended iteration, if any. A cancelled
+// context surfaces here as the context's error.
+func (r *Rows) Err() error { return r.err }
+
+// Columns returns the output column order.
+func (r *Rows) Columns() []string { return r.q.Columns() }
+
+// Close stops the streaming pipeline and releases its goroutines,
+// blocking until they have exited. It is idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.cur.Close()
+}
+
+// Collect drains the remaining rows, closes the iterator, and returns
+// them as a Result in Eval's canonical order. When no rows have been
+// consumed yet, Stream + Collect is byte-identical to Eval; rows already
+// delivered through Next are not re-collected.
+func (r *Rows) Collect() (*Result, error) {
+	if r.closed {
+		return nil, fmt.Errorf("gpml: Collect on closed Rows")
+	}
+	if r.err != nil {
+		// Iteration already failed; a partial collection would silently
+		// mask the evaluation error.
+		r.closed = true
+		r.cur.Close()
+		return nil, r.err
+	}
+	r.closed = true
+	res, err := eval.Collect(r.cur, r.q.q.Plan)
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stream starts the pull-based streaming pipeline for the query and
+// returns a row iterator. The first row is available as soon as the
+// engines produce it — long before full enumeration would finish — and
+// abandoning the iterator (Close, or a LIMIT via WithLimit) stops all
+// upstream work. A nil ctx falls back to WithContext, then Background.
+// The store resolves like Eval: WithStore wins, then the s argument,
+// then a store fixed at Compile time. The store must not be mutated
+// while the stream is open (evaluation now spans the whole iteration,
+// not just the Stream call); CSR snapshots are immutable and always
+// safe.
+func (q *Query) Stream(ctx context.Context, s Store, opts ...Option) (*Rows, error) {
+	o := q.options(opts)
+	if ctx != nil {
+		o.ctx = ctx
+	}
+	var g *Graph
+	if mg, ok := s.(*Graph); ok {
+		g = mg
+	} else if s != nil && o.store == nil {
+		o.store = s
+	}
+	st, err := q.target(o, g)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := eval.StreamPlan(o.context(), st, q.q.Plan, o.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{q: q, cur: cur}, nil
+}
+
+// ForEach streams the query's rows through fn, stopping at the first
+// error; returning Stop ends iteration early with a nil error. The
+// pipeline is always closed before ForEach returns.
+func (q *Query) ForEach(ctx context.Context, s Store, fn func(*Row) error, opts ...Option) error {
+	rows, err := q.Stream(ctx, s, opts...)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		if err := fn(rows.Row()); err != nil {
+			if errors.Is(err, Stop) {
+				return nil
+			}
+			return err
+		}
+	}
+	return rows.Err()
 }
 
 // Explain reports, one line per path pattern, which engine evaluates the
 // query under the given options (dfs, bfs, or automaton), the selector
-// and proven seed labels, and — when the automaton engine is not used —
-// the reason it is unavailable. For multi-pattern statements it appends
+// and proven seed labels, the reason the automaton engine is unavailable
+// when it is not used, and the pattern's streaming pipeline stages
+// annotated blocking/streamable. For multi-pattern statements it appends
 // the cost-ordered join plan, one "join step" line per pattern: the
 // chosen order, whether each step is a seeded bind join (and through
 // which variable) or a scan/hash-join fallback, and its cost estimate.
 // Cardinality statistics come from a store passed via WithStore (or fixed
 // at Compile time); without one the join ranking is structure-only.
 func (q *Query) Explain(opts ...Option) []string {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin}
-	for _, f := range opts {
-		f(&o)
-	}
+	o := q.options(opts)
 	s := o.store
 	if s == nil {
 		s = q.store

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gpml/internal/ast"
@@ -51,10 +52,29 @@ func Compile(src string, opts Options) (*Query, error) {
 // Eval runs the query against a graph store (the map-backed *graph.Graph,
 // a CSR snapshot, or any other Store implementation).
 func (q *Query) Eval(s graph.Store, cfg eval.Config) (*eval.Result, error) {
+	return q.EvalCtx(context.Background(), s, cfg)
+}
+
+// EvalCtx is Eval under a context: evaluation is the streaming pipeline
+// drained to completion (then canonically ordered), and a cancelled
+// context or an expired deadline aborts the in-flight search promptly.
+func (q *Query) EvalCtx(ctx context.Context, s graph.Store, cfg eval.Config) (*eval.Result, error) {
+	cur, err := q.Stream(ctx, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Collect(cur, q.Plan)
+}
+
+// Stream starts the pull-based streaming pipeline for the query: rows
+// arrive as the engines produce them (deterministic pipeline order — the
+// canonical sort is the one stage Stream skips). The cursor must be
+// closed.
+func (q *Query) Stream(ctx context.Context, s graph.Store, cfg eval.Config) (eval.Cursor, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
-	return eval.EvalPlan(s, q.Plan, cfg)
+	return eval.StreamPlan(ctx, s, q.Plan, cfg)
 }
 
 // Columns returns the output column order (named variables by first

@@ -75,11 +75,13 @@ func EngineFor(pp *plan.PathPlan, cfg Config) (engine, note string) {
 func Explain(p *plan.Plan, cfg Config) []string { return ExplainStore(nil, p, cfg) }
 
 // ExplainStore renders one human-readable line per path pattern — the
-// selected engine, the selector, the proven seed labels, and, when the
-// automaton engine is not used, the reason — followed by the cost-ordered
-// join plan for multi-pattern statements (ExplainJoin). The store, when
-// non-nil, supplies the cardinality statistics the join cost model ranks
-// patterns with.
+// selected engine, the selector, the proven seed labels, when the
+// automaton engine is not used the reason, and the pattern's streaming
+// pipeline stages with their blocking/streamable classification
+// (plan.PathPlan.Stages) — followed by the cost-ordered join plan for
+// multi-pattern statements (ExplainJoin), each step annotated with its
+// streaming behaviour. The store, when non-nil, supplies the cardinality
+// statistics the join cost model ranks patterns with.
 func ExplainStore(s graph.Store, p *plan.Plan, cfg Config) []string {
 	out := make([]string, len(p.Paths), len(p.Paths)+len(p.Paths))
 	for i, pp := range p.Paths {
@@ -105,6 +107,16 @@ func ExplainStore(s graph.Store, p *plan.Plan, cfg Config) []string {
 			b.WriteString(" (automaton unavailable: ")
 			b.WriteString(note)
 			b.WriteString(")")
+		}
+		b.WriteString(" stages=")
+		for j, st := range pp.Stages() {
+			if j > 0 {
+				b.WriteString("→")
+			}
+			b.WriteString(st.Name)
+			if st.Blocking {
+				b.WriteString("[blocking]")
+			}
 		}
 		out[i] = b.String()
 	}
@@ -176,6 +188,7 @@ type autoEngine struct {
 	cloOut   []int
 	pathBuf  []replayStep
 	fwdBuf   []replayStep
+	ticks    int
 }
 
 // denseDistLimit bounds the dense dist table (16M product states, 64 MB);
@@ -293,6 +306,11 @@ func (a *autoEngine) run(seed graph.NodeID) error {
 // the given depth, epsilon-closing each arrival and recording shortest-DAG
 // predecessor links.
 func (a *autoEngine) expand(pid, n int, stp automaton.Step, depth int) error {
+	if a.ticks++; a.ticks%cancelCheckInterval == 0 {
+		if err := a.bud.checkCancel(); err != nil {
+			return err
+		}
+	}
 	ep := stp.Edge
 	var firstErr error
 	a.st.Steps(n, func(ei, oi int, k graph.StepKind) bool {

@@ -111,6 +111,7 @@ type bfs struct {
 
 	pathVar string
 	emit    func(*binding.PathBinding) error
+	ticks   int
 }
 
 type admitPolicy struct {
@@ -503,6 +504,11 @@ func (b *bfs) expand(t thread) error {
 	}
 	if t.depth >= b.limits.MaxDepth {
 		return nil // deeper exploration abandoned; selector output is finite
+	}
+	if b.ticks++; b.ticks%cancelCheckInterval == 0 {
+		if err := b.bud.checkCancel(); err != nil {
+			return err
+		}
 	}
 	ep := in.Edge
 	// Flush pending node entries.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gpml/internal/ast"
 	"gpml/internal/binding"
 	"gpml/internal/graph"
 	"gpml/internal/plan"
@@ -15,7 +16,10 @@ import (
 // plan.OrderJoin, and each already-joined row's shared endpoint bindings
 // become the seed set of the next pattern's engine run: a pattern whose
 // head variable is already bound only ever explores matches starting at
-// the handful of nodes the join has produced so far.
+// the handful of nodes the join has produced so far. Since PR 4 the
+// pipeline is fully streaming — rows flow through a chain of join-step
+// cursors (see stream.go), and each step solves a seed node the first
+// time an input row demands it, memoizing per seed.
 //
 // The rewrite is exact, not approximate, for two structural reasons:
 //
@@ -32,112 +36,28 @@ import (
 //     patterns in textual order, with each pattern's solutions sorted by
 //     (path length, canonical key) — i.e. rows come out lexicographically
 //     ordered by the per-pattern sort keys. sortRowsCanonical restores
-//     exactly that order, so the final Result is byte-identical.
-
-// evalBindJoin runs the cost-ordered bind-join pipeline.
-func evalBindJoin(stores []graph.Store, varGraph map[string]graph.Store, p *plan.Plan, cfg Config) (*Result, error) {
-	steps := plan.OrderJoin(p, storeStatsFor(stores))
-	rows := []*Row{{vars: map[string]Bound{}}}
-	bound := map[string]bool{}
-	for _, step := range steps {
-		pp := p.Paths[step.Pattern]
-		solutions, err := stepSolutions(stores[step.Pattern], pp, cfg, step.SeedVar, rows)
-		if err != nil {
-			return nil, err
-		}
-		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound))
-		markBound(bound, pp)
-		if len(rows) == 0 {
-			break
-		}
-	}
-	sortRowsCanonical(rows, len(p.Paths))
-	return finishJoin(stores[0], varGraph, p, rows, cfg)
-}
-
-// stepSolutions produces one join step's pattern solutions: seeded from
-// the accumulated rows' bindings of the step's seed variable when the
-// planner chose one, by full enumeration otherwise (first step,
-// disconnected patterns, patterns without a bound head variable).
-func stepSolutions(s graph.Store, pp *plan.PathPlan, cfg Config, seedVar string, rows []*Row) ([]*binding.Reduced, error) {
-	if seedVar != "" {
-		solutions, ok, err := seededSolutions(s, pp, cfg, seedVar, rows)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			return solutions, nil
-		}
-	}
-	return MatchPattern(s, pp, cfg)
-}
-
-// seededSolutions runs the pattern's engine once per distinct seed node
-// bound to seedVar across the rows — seeds are deduplicated up front, so
-// rows sharing an endpoint never re-enumerate its solutions; with
-// Parallelism > 1 the seed runs are distributed over the same worker
-// pool full enumeration uses. ok is false (triggering the full
-// enumeration fallback) if any row fails to bind the seed variable to a
-// node — statically impossible for a shared unconditional singleton node
-// variable, but checked rather than assumed.
-func seededSolutions(s graph.Store, pp *plan.PathPlan, cfg Config, seedVar string, rows []*Row) ([]*binding.Reduced, bool, error) {
-	var seeds []graph.NodeID
-	seen := map[graph.NodeID]bool{}
-	for _, row := range rows {
-		b, bok := row.vars[seedVar]
-		if !bok || b.Kind != BoundNode {
-			return nil, false, nil
-		}
-		if !seen[b.Node] {
-			seen[b.Node] = true
-			seeds = append(seeds, b.Node)
-		}
-	}
-	if cfg.Parallelism > 1 && len(seeds) > 1 {
-		// The single-pattern pipeline over the union of the seeded runs
-		// equals the concatenation of per-seed pipelines: dedup keys and
-		// selector partitions never span seeds (see the package comment).
-		bud := newBudget(cfg.Limits.withDefaults())
-		raw, err := enumerateParallel(s, pp, cfg, bud, seeds)
-		if err != nil {
-			return nil, false, err
-		}
-		reduced := make([]*binding.Reduced, len(raw))
-		for i, b := range raw {
-			reduced[i] = b.Reduce()
-		}
-		sols := ApplySelector(pp.Pattern.Selector, binding.Dedup(reduced))
-		binding.SortStable(sols)
-		return sols, true, nil
-	}
-	solver := newSeedSolver(s, pp, cfg)
-	var out []*binding.Reduced
-	for _, seed := range seeds {
-		sols, err := solver.solve(seed)
-		if err != nil {
-			return nil, false, err
-		}
-		out = append(out, sols...)
-	}
-	return out, true, nil
-}
+//     exactly that order, so Eval's collected Result is byte-identical.
 
 // seedSolver runs the full single-pattern pipeline (§6 stage order:
 // enumerate, reduce, deduplicate, select) one seed node at a time; the
 // engine machinery (and for the automaton engine, the compiled product
 // searcher) is built once and reused across seeds. Search limits are
-// shared across all seed runs through one budget, mirroring Enumerate.
-// Callers pass each distinct seed once; seededSolutions deduplicates.
+// shared across all seed runs through the caller's budget, mirroring
+// Enumerate; st optionally supplies a pre-built indexed topology view so
+// worker pools share one instead of rebuilding it per worker.
 type seedSolver struct {
 	pp  *plan.PathPlan
 	run func(graph.NodeID) error
 	buf []*binding.PathBinding
+	// seen is the reusable per-seed dedup set (cleared between seeds —
+	// exact, since dedup keys never collide across seeds). Reusing it
+	// keeps the per-seed constant cost near zero on many-seed workloads.
+	seen map[string]struct{}
 }
 
-func newSeedSolver(s graph.Store, pp *plan.PathPlan, cfg Config) *seedSolver {
-	ss := &seedSolver{pp: pp}
-	bud := newBudget(cfg.Limits.withDefaults())
-	ss.run = seedRunner(s, nil, pp, cfg, bud, func(b *binding.PathBinding) error {
+func newSeedSolver(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget) *seedSolver {
+	ss := &seedSolver{pp: pp, seen: map[string]struct{}{}}
+	ss.run = seedRunner(s, st, pp, cfg, bud, func(b *binding.PathBinding) error {
 		ss.buf = append(ss.buf, b)
 		return nil
 	})
@@ -147,16 +67,32 @@ func newSeedSolver(s graph.Store, pp *plan.PathPlan, cfg Config) *seedSolver {
 // solve returns the pattern's selected solutions anchored at one seed.
 // Per-seed reduction, deduplication and selection agree exactly with the
 // full pipeline restricted to this seed (see the package comment above).
+// Selector-free patterns skip the per-seed sort: their solution multiset
+// is order-independent downstream (Eval's canonical row sort is total
+// because deduplicated keys are unique, and joins probe by key), so the
+// engines' deterministic emission order stands.
 func (ss *seedSolver) solve(seed graph.NodeID) ([]*binding.Reduced, error) {
 	ss.buf = ss.buf[:0]
 	if err := ss.run(seed); err != nil {
 		return nil, err
 	}
-	reduced := make([]*binding.Reduced, len(ss.buf))
-	for i, b := range ss.buf {
-		reduced[i] = b.Reduce()
+	if len(ss.buf) == 0 {
+		return nil, nil
 	}
-	sols := ApplySelector(ss.pp.Pattern.Selector, binding.Dedup(reduced))
+	clear(ss.seen)
+	out := make([]*binding.Reduced, 0, len(ss.buf))
+	for _, b := range ss.buf {
+		r := b.Reduce()
+		if _, dup := ss.seen[r.Key()]; dup {
+			continue
+		}
+		ss.seen[r.Key()] = struct{}{}
+		out = append(out, r)
+	}
+	if ss.pp.Pattern.Selector.Kind == ast.NoSelector {
+		return out, nil
+	}
+	sols := ApplySelector(ss.pp.Pattern.Selector, out)
 	binding.SortStable(sols)
 	return sols, nil
 }
@@ -202,14 +138,17 @@ func storeStatsFor(stores []graph.Store) []graph.StoreStats {
 }
 
 // ExplainJoin renders the cost-ordered join plan, one line per step, for
-// multi-pattern statements (empty otherwise). Statistics come from the
-// given store; with a nil store the ranking is structure-only.
+// multi-pattern statements (empty otherwise), annotating each step with
+// its streaming behaviour: seeded bind joins and the leading scan stream
+// rows through, hash-join fallbacks materialize the pattern they join
+// against. Statistics come from the given store; with a nil store the
+// ranking is structure-only.
 func ExplainJoin(s graph.Store, p *plan.Plan, cfg Config) []string {
 	if len(p.Paths) < 2 {
 		return nil
 	}
 	if cfg.DisableBindJoin {
-		return []string{"join: bind-join disabled; hash join in pattern order"}
+		return []string{"join: bind-join disabled; hash join in pattern order [blocking: materializes every pattern]"}
 	}
 	stats := make([]graph.StoreStats, len(p.Paths))
 	out := make([]string, 0, len(p.Paths)+1)
@@ -222,7 +161,11 @@ func ExplainJoin(s graph.Store, p *plan.Plan, cfg Config) []string {
 			st.Nodes, st.Edges, st.AvgDegree()))
 	}
 	for k, step := range plan.OrderJoin(p, stats) {
-		out = append(out, fmt.Sprintf("join step %d: %s", k, step))
+		note := "[streaming]"
+		if k > 0 && step.SeedVar == "" {
+			note = "[blocking: materializes pattern on first input row]"
+		}
+		out = append(out, fmt.Sprintf("join step %d: %s %s", k, step, note))
 	}
 	return out
 }

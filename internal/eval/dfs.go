@@ -128,6 +128,11 @@ type dfs struct {
 	// pattern would otherwise run on.
 	pathSteps    []replayStep
 	bfsZeroWidth bool
+
+	// ticks counts edge expansions; every cancelCheckInterval the machine
+	// polls the budget's cancellation hook so streaming consumers can
+	// abort a long-running search mid-seed.
+	ticks int
 }
 
 // newDFS builds a reusable matcher. Every run restores all machine state
@@ -435,6 +440,11 @@ func (m *dfs) stepEdge(in *plan.Instr) error {
 	}
 	if len(m.pathEdges) >= m.limits.MaxDepth {
 		return &LimitError{What: "path depth", Limit: m.limits.MaxDepth}
+	}
+	if m.ticks++; m.ticks%cancelCheckInterval == 0 {
+		if err := m.bud.checkCancel(); err != nil {
+			return err
+		}
 	}
 	// A closed SIMPLE scope admits no further edges.
 	for _, s := range m.scopes {

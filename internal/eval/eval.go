@@ -1,7 +1,7 @@
 package eval
 
 import (
-	"fmt"
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,6 +34,12 @@ type Config struct {
 	// way; under tight Limits the pipelines may differ only in whether
 	// they hit the budget (bind-join enumerates less).
 	DisableBindJoin bool
+	// Limit, when positive, ends the stream after that many output rows.
+	// In the pull pipeline this is a genuine pushdown: upstream stages
+	// never compute work the cut-off rows would have demanded. The rows
+	// kept are the first n in streaming (pipeline) order; Eval then
+	// presents them in canonical order.
+	Limit int
 }
 
 // BoundKind discriminates what a result variable is bound to.
@@ -128,29 +134,11 @@ func EvalPlan(s graph.Store, p *plan.Plan, cfg Config) (*Result, error) {
 // postfilter resolve against the first store whose pattern declares the
 // variable.
 func EvalPlanOn(stores []graph.Store, p *plan.Plan, cfg Config) (*Result, error) {
-	if len(stores) != len(p.Paths) {
-		return nil, fmt.Errorf("eval: %d graphs for %d path patterns", len(stores), len(p.Paths))
+	cur, err := StreamPlanOn(context.Background(), stores, p, cfg)
+	if err != nil {
+		return nil, err
 	}
-	varGraph := map[string]graph.Store{}
-	for i, pp := range p.Paths {
-		for _, v := range pp.Vars {
-			if _, ok := varGraph[v]; !ok {
-				varGraph[v] = stores[i]
-			}
-		}
-	}
-	if len(p.Paths) > 1 && !cfg.DisableBindJoin {
-		return evalBindJoin(stores, varGraph, p, cfg)
-	}
-	perPattern := make([][]*binding.Reduced, len(p.Paths))
-	for i, pp := range p.Paths {
-		rs, err := MatchPattern(stores[i], pp, cfg)
-		if err != nil {
-			return nil, err
-		}
-		perPattern[i] = rs
-	}
-	return joinAndFilter(stores[0], varGraph, p, perPattern, cfg)
+	return Collect(cur, p)
 }
 
 // MatchPattern runs the full single-pattern pipeline: enumerate (DFS or
@@ -286,52 +274,6 @@ func markBound(bound map[string]bool, pp *plan.PathPlan) {
 	if pv := pp.Pattern.PathVar; pv != "" {
 		bound[pv] = true
 	}
-}
-
-// joinAndFilter forms the cross product of per-pattern solutions, filtered
-// by implicit equi-joins on shared singleton variables and the final WHERE
-// clause (§6.5 "Multiple patterns").
-func joinAndFilter(g graph.Store, varGraph map[string]graph.Store, p *plan.Plan, perPattern [][]*binding.Reduced, cfg Config) (*Result, error) {
-	rows := []*Row{{vars: map[string]Bound{}}}
-	bound := map[string]bool{} // variables bound by already-joined patterns
-	for patIdx, solutions := range perPattern {
-		pp := p.Paths[patIdx]
-		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound))
-		markBound(bound, pp)
-		if len(rows) == 0 {
-			break
-		}
-	}
-	return finishJoin(g, varGraph, p, rows, cfg)
-}
-
-// finishJoin applies the post-join stages shared by both join pipelines:
-// the optional edge-isomorphic match mode and the final WHERE postfilter.
-func finishJoin(g graph.Store, varGraph map[string]graph.Store, p *plan.Plan, rows []*Row, cfg Config) (*Result, error) {
-	if cfg.EdgeIsomorphic {
-		kept := rows[:0]
-		for _, row := range rows {
-			if rowEdgeIsomorphic(row) {
-				kept = append(kept, row)
-			}
-		}
-		rows = kept
-	}
-	// Postfilter.
-	if p.Post != nil {
-		var kept []*Row
-		for _, row := range rows {
-			t, err := EvalPred(p.Post, rowResolver{g, varGraph, row})
-			if err != nil {
-				return nil, err
-			}
-			if t.IsTrue() {
-				kept = append(kept, row)
-			}
-		}
-		rows = kept
-	}
-	return &Result{Columns: p.Columns, Rows: rows}, nil
 }
 
 // appendKeyComponent appends one length-prefixed join-key component:

@@ -18,13 +18,33 @@ type budget struct {
 	maxThreads int64
 	matches    atomic.Int64
 	threads    atomic.Int64
+	// check, when non-nil, is polled periodically by the engines (every
+	// cancelCheckInterval edge expansions) so a cancelled context or a
+	// closed streaming cursor aborts an in-flight search promptly. It is
+	// set once, before any engine runs, and never mutated afterwards, so
+	// concurrent workers read it without synchronization.
+	check func() error
 }
+
+// cancelCheckInterval is how many edge expansions an engine performs
+// between cancellation polls: frequent enough that cancellation lands in
+// microseconds, rare enough that the poll is invisible in the hot path.
+const cancelCheckInterval = 1024
 
 func newBudget(lims Limits) *budget {
 	return &budget{
 		maxMatches: int64(lims.MaxMatches),
 		maxThreads: int64(lims.MaxThreads),
 	}
+}
+
+// checkCancel polls the cancellation hook; engines call it every
+// cancelCheckInterval edge expansions.
+func (b *budget) checkCancel() error {
+	if b.check == nil {
+		return nil
+	}
+	return b.check()
 }
 
 // addMatch accounts one emitted match; it errors when the global match
@@ -44,23 +64,17 @@ func (b *budget) addThread() error {
 	return nil
 }
 
-// enumerateParallel distributes the seed runs over cfg.Parallelism workers
-// and merges the per-seed outputs back in seed order, making the result
-// byte-identical to sequential evaluation. Workers claim seeds dynamically
-// (atomic counter) so skewed seeds don't idle the pool.
-func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget, seeds []graph.NodeID) ([]*binding.PathBinding, error) {
-	workers := cfg.Parallelism
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
-	// Build the indexed topology view once; the workers' automaton engines
-	// share it (it is immutable and safe for concurrent readers).
-	var st graph.Stepper
-	if engine, _ := EngineFor(pp, cfg); engine == EngineAutomaton {
-		st = graph.AsStepper(s)
-	}
-	perSeed := make([][]*binding.PathBinding, len(seeds))
-	errs := make([]error, len(seeds))
+// runSeedPool distributes n seed-indexed tasks over a worker pool with
+// dynamic claiming (atomic counter, so skewed seeds don't idle the pool)
+// and a failed-flag short circuit: a task error stops further claims. A
+// non-nil stop channel additionally ends claiming when closed. Each
+// worker builds its per-worker state (engine machinery, output buffers)
+// once via newWorker. The per-seed error slice is returned for the
+// caller to interpret — materializing callers surface the first error in
+// seed order, the streaming layer additionally filters its stopped
+// sentinel.
+func runSeedPool(workers, n int, stop <-chan struct{}, newWorker func() func(int) error) []error {
+	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -68,27 +82,66 @@ func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var out []*binding.PathBinding
-			run := seedRunner(s, st, pp, cfg, bud, func(b *binding.PathBinding) error {
-				out = append(out, b)
-				return nil
-			})
+			run := newWorker()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(seeds) || failed.Load() {
+				if i >= n || failed.Load() {
 					return
 				}
-				out = nil
-				if err := run(seeds[i]); err != nil {
+				if stop != nil {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				if err := run(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
-				perSeed[i] = out
 			}
 		}()
 	}
 	wg.Wait()
+	return errs
+}
+
+// stepperFor builds the shared indexed topology view when the pattern
+// runs on the automaton engine; the workers' engines share it (it is
+// immutable and safe for concurrent readers).
+func stepperFor(s graph.Store, pp *plan.PathPlan, cfg Config) graph.Stepper {
+	if engine, _ := EngineFor(pp, cfg); engine == EngineAutomaton {
+		return graph.AsStepper(s)
+	}
+	return nil
+}
+
+// enumerateParallel distributes the seed runs over cfg.Parallelism workers
+// and merges the per-seed outputs back in seed order, making the result
+// byte-identical to sequential evaluation.
+func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget, seeds []graph.NodeID) ([]*binding.PathBinding, error) {
+	workers := cfg.Parallelism
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	st := stepperFor(s, pp, cfg)
+	perSeed := make([][]*binding.PathBinding, len(seeds))
+	errs := runSeedPool(workers, len(seeds), nil, func() func(int) error {
+		var out []*binding.PathBinding
+		run := seedRunner(s, st, pp, cfg, bud, func(b *binding.PathBinding) error {
+			out = append(out, b)
+			return nil
+		})
+		return func(i int) error {
+			out = nil
+			if err := run(seeds[i]); err != nil {
+				return err
+			}
+			perSeed[i] = out
+			return nil
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

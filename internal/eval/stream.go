@@ -1,0 +1,862 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gpml/internal/binding"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// Pull-based streaming execution. Every stage of the §6 pipeline is a
+// Cursor: the consumer pulls rows one at a time, and only genuinely
+// blocking stages buffer anything:
+//
+//   - enumerate / reduce / dedup / select stream at per-seed granularity:
+//     dedup keys never collide across seed nodes (every key embeds the
+//     path, whose first node is the seed) and Fig 8's selector partitions
+//     are keyed on path endpoints, whose first is the seed — so the
+//     per-seed pipeline is exact and buffering is bounded by one seed's
+//     matches, never the total;
+//   - the canonical (path length, binding key) sort is the only truly
+//     blocking stage, and only Eval applies it — Stream emits rows in
+//     deterministic pipeline order (seed-major, per-seed pipeline order)
+//     and skips the sort entirely, which is what buys first-row latency;
+//   - joins stream their probe side; a seeded bind-join step solves seed
+//     nodes lazily and memoizes, a hash-join fallback step materializes
+//     only the pattern it joins against.
+//
+// Sequential evaluation runs the whole pipeline on the consumer's
+// goroutine (next() advances the engine one seed at a time — no channels,
+// no scheduling, no overhead over the materializing pipeline it
+// replaced); only Parallelism > 1 starts a worker pool, whose per-seed
+// batches are emitted in seed order over a channel.
+//
+// Eval is a thin collect-all wrapper: drain the cursor, apply the
+// canonical sort. Because deduplicated binding keys are unique, the sort
+// fully determines row order, making Eval's output byte-identical to the
+// materializing pipeline it replaced (the same argument that made the
+// PR-3 bind-join exact; see bindjoin.go).
+//
+// Cancellation: the pipeline carries a context (and, for the parallel
+// stream, a stop channel). Generator goroutines select on both at every
+// send, and the engines poll budget.checkCancel every
+// cancelCheckInterval edge expansions, so a cancelled context or an
+// abandoned cursor stops an in-flight search in microseconds, not at the
+// next match.
+
+// Cursor is the pull-based operator interface. Next returns the next
+// result row, or (nil, nil) when the stream is exhausted. Close releases
+// the pipeline's resources — generator goroutines, worker pools — and
+// must be called exactly once when the consumer is done, whether or not
+// the stream was drained; it blocks until every goroutine has exited, so
+// a closed cursor leaks nothing. Cursors are not safe for concurrent use;
+// cancel the pipeline's context to abort from another goroutine.
+type Cursor interface {
+	Next() (*Row, error)
+	Close() error
+}
+
+// errStreamStopped is the internal sentinel an engine run returns when the
+// consumer closed the stream: normal early termination, filtered at the
+// pipeline boundary, never surfaced to callers.
+var errStreamStopped = errors.New("eval: stream stopped")
+
+// StreamPlan builds the streaming pipeline for a plan over one store.
+// The returned cursor must be closed; see Cursor.
+func StreamPlan(ctx context.Context, s graph.Store, p *plan.Plan, cfg Config) (Cursor, error) {
+	stores := make([]graph.Store, len(p.Paths))
+	for i := range stores {
+		stores[i] = s
+	}
+	return StreamPlanOn(ctx, stores, p, cfg)
+}
+
+// StreamPlanOn builds the streaming pipeline with per-pattern stores (the
+// multi-graph EvalPlanOn form). With the bind-join planner enabled the
+// whole pipeline streams; with DisableBindJoin the classic multi-pattern
+// pipeline materializes every pattern eagerly at construction (preserving
+// its A/B-reference semantics exactly), so this call may then do the bulk
+// of the work before returning.
+func StreamPlanOn(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config) (Cursor, error) {
+	if len(stores) != len(p.Paths) {
+		return nil, fmt.Errorf("eval: %d graphs for %d path patterns", len(stores), len(p.Paths))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	varGraph := map[string]graph.Store{}
+	for i, pp := range p.Paths {
+		for _, v := range pp.Vars {
+			if _, ok := varGraph[v]; !ok {
+				varGraph[v] = stores[i]
+			}
+		}
+	}
+	var cur Cursor
+	if len(p.Paths) > 1 && cfg.DisableBindJoin {
+		c, err := newClassicJoinCursor(ctx, stores, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cur = c
+	} else if len(p.Paths) > 1 {
+		cur = newBindJoinCursor(ctx, stores, p, cfg)
+	} else {
+		pp := p.Paths[0]
+		cur = &matchCursor{
+			src:    newPatternSource(ctx, stores[0], pp, cfg),
+			p:      p,
+			pp:     pp,
+			prefix: &Row{vars: map[string]Bound{}},
+		}
+	}
+	// Post-join stages: all row-local, all streaming.
+	if cfg.EdgeIsomorphic {
+		cur = &filterCursor{src: cur, keep: func(row *Row) (bool, error) {
+			return rowEdgeIsomorphic(row), nil
+		}}
+	}
+	if p.Post != nil {
+		g := stores[0]
+		cur = &filterCursor{src: cur, keep: func(row *Row) (bool, error) {
+			t, err := EvalPred(p.Post, rowResolver{g, varGraph, row})
+			if err != nil {
+				return false, err
+			}
+			return t.IsTrue(), nil
+		}}
+	}
+	if cfg.Limit > 0 {
+		cur = &limitCursor{src: cur, remaining: cfg.Limit}
+	}
+	return cur, nil
+}
+
+// Collect drains a cursor, closes it, and restores the canonical row
+// order (sortRowsCanonical) — the collect-all wrapper Eval is built on.
+func Collect(cur Cursor, p *plan.Plan) (*Result, error) {
+	defer cur.Close()
+	var rows []*Row
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		rows = append(rows, row)
+	}
+	sortRowsCanonical(rows, len(p.Paths))
+	return &Result{Columns: p.Columns, Rows: rows}, nil
+}
+
+// cancelCheck builds the budget poll hook: a closed stop channel reports
+// the internal stopped sentinel (normal early termination); a cancelled
+// context reports its error (surfaced to the caller).
+func cancelCheck(ctx context.Context, stop <-chan struct{}) func() error {
+	return func() error {
+		select {
+		case <-stop:
+			return errStreamStopped
+		default:
+		}
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pattern sources: one pattern's selected solutions, produced incrementally
+// (the full §6 single-pattern pipeline: enumerate, reduce, dedup, select,
+// at per-seed granularity).
+
+// solSource streams one path pattern's solutions. next returns (nil, nil)
+// at exhaustion; close releases any resources (for the parallel stream,
+// it stops the worker pool and blocks until every goroutine has exited).
+type solSource interface {
+	next() (*binding.Reduced, error)
+	close()
+}
+
+// newPatternSource builds the pattern's solution source: a synchronous
+// pull source normally — the consumer's next() runs the engine one seed
+// at a time on its own goroutine, so sequential evaluation pays zero
+// scheduling or channel cost — and a worker-pool generator stream under
+// Parallelism > 1. Either owns a fresh budget wired to the pipeline's
+// cancellation hook.
+func newPatternSource(ctx context.Context, s graph.Store, pp *plan.PathPlan, cfg Config) solSource {
+	seeds := seedNodes(s, pp)
+	if cfg.Parallelism > 1 && len(seeds) > 1 {
+		return newParallelSolStream(ctx, s, pp, cfg, seeds)
+	}
+	bud := newBudget(cfg.Limits.withDefaults())
+	bud.check = cancelCheck(ctx, nil)
+	return &syncSolSource{
+		solver: newSeedSolver(s, nil, pp, cfg, bud),
+		seeds:  seeds,
+	}
+}
+
+// syncSolSource pulls solutions seed by seed with no goroutines: one
+// seed's pipeline output is buffered (bounded by that seed's matches,
+// never the total), handed out solution by solution, and the next seed
+// runs only when the buffer empties — so a LIMIT-cut or abandoned
+// consumer never pays for seeds it didn't reach. The seed ids are
+// materialized up front (O(#seeds) ids, far below the old pipeline's
+// O(#solutions) buffering).
+type syncSolSource struct {
+	solver *seedSolver
+	seeds  []graph.NodeID
+	at     int
+	buf    []*binding.Reduced
+	bufAt  int
+}
+
+func (c *syncSolSource) next() (*binding.Reduced, error) {
+	for {
+		if c.bufAt < len(c.buf) {
+			sol := c.buf[c.bufAt]
+			c.bufAt++
+			return sol, nil
+		}
+		if c.at >= len(c.seeds) {
+			return nil, nil
+		}
+		seed := c.seeds[c.at]
+		c.at++
+		sols, err := c.solver.solve(seed)
+		if err != nil {
+			return nil, err
+		}
+		c.buf, c.bufAt = sols, 0
+	}
+}
+
+func (c *syncSolSource) close() {}
+
+// solStream is the parallel pattern source: a worker pool solves seeds
+// concurrently and a generator goroutine emits the per-seed batches in
+// seed order over a channel.
+type solStream struct {
+	ctx    context.Context
+	ch     chan []*binding.Reduced
+	stop   chan struct{}
+	err    error // set before ch closes; errStreamStopped is filtered
+	buf    []*binding.Reduced
+	closed bool
+}
+
+// newParallelSolStream starts the worker pool and ordering emitter.
+func newParallelSolStream(ctx context.Context, s graph.Store, pp *plan.PathPlan, cfg Config, seeds []graph.NodeID) *solStream {
+	ps := &solStream{ctx: ctx, ch: make(chan []*binding.Reduced, 8), stop: make(chan struct{})}
+	bud := newBudget(cfg.Limits.withDefaults())
+	bud.check = cancelCheck(ctx, ps.stop)
+	go func() {
+		defer close(ps.ch)
+		ps.setErr(ps.runParallel(s, pp, cfg, bud, seeds))
+	}()
+	return ps
+}
+
+// setErr records the generator's terminal error; the stopped sentinel is
+// normal early termination, not an error.
+func (ps *solStream) setErr(err error) {
+	if err != nil && !errors.Is(err, errStreamStopped) {
+		ps.err = err
+	}
+}
+
+// send hands one batch to the consumer, aborting when the stream is
+// closed or the context cancelled.
+func (ps *solStream) send(batch []*binding.Reduced) error {
+	select {
+	case ps.ch <- batch:
+		return nil
+	case <-ps.stop:
+		return errStreamStopped
+	case <-ps.ctx.Done():
+		return ps.ctx.Err()
+	}
+}
+
+// next returns the next solution, or (nil, nil) at exhaustion.
+func (ps *solStream) next() (*binding.Reduced, error) {
+	for len(ps.buf) == 0 {
+		batch, ok := <-ps.ch
+		if !ok {
+			return nil, ps.err
+		}
+		ps.buf = batch
+	}
+	sol := ps.buf[0]
+	ps.buf = ps.buf[1:]
+	return sol, nil
+}
+
+// close stops the generator and waits for it to exit (draining the
+// channel until the generator closes it), so no goroutine outlives the
+// stream.
+func (ps *solStream) close() {
+	if ps.closed {
+		return
+	}
+	ps.closed = true
+	close(ps.stop)
+	for range ps.ch { //nolint:revive // drain until the generator exits
+	}
+}
+
+// runParallel distributes per-seed pipeline runs over cfg.Parallelism
+// workers and emits the results in seed order (the reorder buffer holds
+// only batches that finished ahead of the emission head), so the
+// stream's order is identical to sequential evaluation. Workers claim
+// contiguous seed chunks — small enough for load balance, large enough
+// that channel and reorder bookkeeping amortizes to nothing on
+// many-seed workloads — and stop claiming when the stream stops;
+// mid-seed runs abort through the shared budget's cancellation hook.
+func (ps *solStream) runParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget, seeds []graph.NodeID) error {
+	workers := cfg.Parallelism
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	// Seeds are claimed in contiguous chunks whose sizes grow
+	// geometrically: the first chunks hold a single seed (the emitter
+	// releases chunk 0 first, so first-row latency stays one seed's
+	// work), later chunks grow toward 64 so channel and reorder
+	// bookkeeping amortizes away on many-seed workloads — and small
+	// chunks near the start double as load balancing.
+	starts := []int{0}
+	for at, i := 0, 0; at < len(seeds); i++ {
+		size := 64
+		if e := i / workers; e < 6 { // cap the exponent, not the shift: i/workers exceeds 62 on big seed sets and 1<<63 is negative
+			size = 1 << e
+		}
+		at += size
+		if at > len(seeds) {
+			at = len(seeds)
+		}
+		starts = append(starts, at)
+	}
+	nchunks := len(starts) - 1
+	st := stepperFor(s, pp, cfg)
+	type seedResult struct {
+		i    int
+		sols []*binding.Reduced
+	}
+	resCh := make(chan seedResult, workers)
+	var errs []error
+	go func() {
+		errs = runSeedPool(workers, nchunks, ps.stop, func() func(int) error {
+			solver := newSeedSolver(s, st, pp, cfg, bud)
+			return func(ci int) error {
+				lo, hi := starts[ci], starts[ci+1]
+				var batch []*binding.Reduced
+				for _, seed := range seeds[lo:hi] {
+					sols, err := solver.solve(seed)
+					if err != nil {
+						return err
+					}
+					batch = append(batch, sols...)
+				}
+				// Empty batches are sent too: the emitter advances its
+				// reorder head strictly in chunk order.
+				select {
+				case resCh <- seedResult{i: ci, sols: batch}:
+					return nil
+				case <-ps.stop:
+					return errStreamStopped
+				}
+			}
+		})
+		close(resCh) // errs is visible to the emitter once the range ends
+	}()
+	// Emit per-seed batches in seed order; the reorder buffer holds only
+	// seeds that finished ahead of the emission head. On failure or stop,
+	// keep draining so the workers can exit, then report the first error
+	// in seed order (matching the materializing pool's behaviour).
+	pending := map[int][]*binding.Reduced{}
+	emitAt := 0
+	var emitErr error
+	for r := range resCh {
+		if emitErr != nil {
+			continue
+		}
+		pending[r.i] = r.sols
+		for sols, ok := pending[emitAt]; ok; sols, ok = pending[emitAt] {
+			delete(pending, emitAt)
+			emitAt++
+			if len(sols) == 0 {
+				continue
+			}
+			if emitErr = ps.send(sols); emitErr != nil {
+				break
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errStreamStopped) {
+			return err
+		}
+	}
+	return emitErr
+}
+
+// collectStream drains a pattern source into a solution slice — the
+// cancellable materialization used by blocking join inputs.
+func collectStream(ps solSource) ([]*binding.Reduced, error) {
+	defer ps.close()
+	var out []*binding.Reduced
+	for {
+		sol, err := ps.next()
+		if err != nil {
+			return nil, err
+		}
+		if sol == nil {
+			return out, nil
+		}
+		out = append(out, sol)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Row operators.
+
+// matchCursor maps one pattern's solution stream to result rows by
+// merging each solution into a fixed prefix row (the first/only join
+// step).
+type matchCursor struct {
+	src    solSource
+	p      *plan.Plan
+	pp     *plan.PathPlan
+	prefix *Row
+}
+
+func (c *matchCursor) Next() (*Row, error) {
+	for {
+		sol, err := c.src.next()
+		if sol == nil || err != nil {
+			return nil, err
+		}
+		if merged, ok := mergeRow(c.p, c.pp, c.prefix, sol); ok {
+			return merged, nil
+		}
+	}
+}
+
+func (c *matchCursor) Close() error {
+	c.src.close()
+	return nil
+}
+
+// filterCursor keeps the rows a predicate admits (edge-isomorphic match
+// mode, the final WHERE postfilter).
+type filterCursor struct {
+	src  Cursor
+	keep func(*Row) (bool, error)
+}
+
+func (c *filterCursor) Next() (*Row, error) {
+	for {
+		row, err := c.src.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		ok, err := c.keep(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (c *filterCursor) Close() error { return c.src.Close() }
+
+// limitCursor ends the stream after n rows — the LIMIT pushdown: in a
+// pull pipeline, not asking for the (n+1)-th row is what stops every
+// upstream stage from computing it.
+type limitCursor struct {
+	src       Cursor
+	remaining int
+}
+
+func (c *limitCursor) Next() (*Row, error) {
+	if c.remaining <= 0 {
+		return nil, nil
+	}
+	row, err := c.src.Next()
+	if row != nil && err == nil {
+		c.remaining--
+	}
+	return row, err
+}
+
+func (c *limitCursor) Close() error { return c.src.Close() }
+
+// sliceCursor serves pre-materialized rows (the classic pipeline).
+type sliceCursor struct {
+	rows []*Row
+	at   int
+}
+
+func (c *sliceCursor) Next() (*Row, error) {
+	if c.at >= len(c.rows) {
+		return nil, nil
+	}
+	row := c.rows[c.at]
+	c.at++
+	return row, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// newClassicJoinCursor reproduces the pre-planner multi-pattern pipeline
+// exactly (the DisableBindJoin A/B reference): every pattern is
+// materialized eagerly in textual order — budgets, limit errors and all —
+// then hash-joined. Only the result delivery streams.
+func newClassicJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config) (Cursor, error) {
+	perPattern := make([][]*binding.Reduced, len(p.Paths))
+	for i, pp := range p.Paths {
+		sols, err := matchPatternStream(ctx, stores[i], pp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		perPattern[i] = sols
+	}
+	rows := []*Row{{vars: map[string]Bound{}}}
+	bound := map[string]bool{}
+	for patIdx, solutions := range perPattern {
+		pp := p.Paths[patIdx]
+		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound))
+		markBound(bound, pp)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	return &sliceCursor{rows: rows}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming bind-join.
+
+// newBindJoinCursor builds the cost-ordered bind-join pipeline as a chain
+// of join-step cursors: rows stream through every step, and each step
+// only does the per-seed work its input rows demand.
+func newBindJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config) Cursor {
+	steps := plan.OrderJoin(p, storeStatsFor(stores))
+	bound := map[string]bool{}
+	var cur Cursor
+	for k, step := range steps {
+		pp := p.Paths[step.Pattern]
+		shared := sharedVars(p, pp, bound)
+		switch {
+		case k == 0:
+			// The first step joins against the single empty row: a pure
+			// pattern scan, streamed straight off the engines.
+			cur = &matchCursor{
+				src:    newPatternSource(ctx, stores[step.Pattern], pp, cfg),
+				p:      p,
+				pp:     pp,
+				prefix: &Row{vars: map[string]Bound{}},
+			}
+		case step.SeedVar != "" && bound[step.SeedVar]:
+			cur = &bindStepCursor{
+				ctx: ctx, s: stores[step.Pattern], p: p, pp: pp, cfg: cfg,
+				seedVar: step.SeedVar, shared: shared, left: cur,
+				memo: map[graph.NodeID]*seedIndex{},
+			}
+		default:
+			cur = &hashStepCursor{
+				ctx: ctx, s: stores[step.Pattern], p: p, pp: pp, cfg: cfg,
+				shared: shared, left: cur,
+			}
+		}
+		markBound(bound, pp)
+	}
+	return cur
+}
+
+// seedIndex is one seed node's selected solutions, hash-indexed by the
+// step's shared-variable join key.
+type seedIndex struct {
+	byKey map[string][]*binding.Reduced
+}
+
+func buildSeedIndex(sols []*binding.Reduced, shared []string) *seedIndex {
+	idx := &seedIndex{byKey: make(map[string][]*binding.Reduced, len(sols))}
+	for _, sol := range sols {
+		k := joinKeyOfSolution(sol, shared)
+		idx.byKey[k] = append(idx.byKey[k], sol)
+	}
+	return idx
+}
+
+// bindStepCursor joins one pattern into the row stream by seeding its
+// engine runs from each row's binding of the planner-chosen seed
+// variable. Seeds are solved lazily — the first row that needs a seed
+// pays for it, later rows reuse the memo — so a LIMIT that is satisfied
+// early never enumerates the seeds it didn't reach. With Parallelism > 1
+// the cursor prefetches a bounded chunk of input rows and solves their
+// unseen seeds on a worker pool.
+type bindStepCursor struct {
+	ctx     context.Context
+	s       graph.Store
+	p       *plan.Plan
+	pp      *plan.PathPlan
+	cfg     Config
+	seedVar string
+	shared  []string
+	left    Cursor
+
+	// bud is the step's shared search budget: limits accounting spans
+	// every seed run of the step — sequential or chunked-parallel —
+	// exactly like the materializing pipeline's per-step budget did.
+	bud    *budget
+	solver *seedSolver
+	memo   map[graph.NodeID]*seedIndex
+	// st caches the shared topology index across parallel chunks (a nil
+	// stepper is valid — non-automaton patterns — so a flag tracks it).
+	st     graph.Stepper
+	stDone bool
+
+	// chunk is the prefetched left rows awaiting expansion; row/cands/ci
+	// is the in-flight expansion head.
+	chunk   []*Row
+	chunkAt int
+	row     *Row
+	cands   []*binding.Reduced
+	ci      int
+	done    bool // left exhausted
+}
+
+// bindChunkSize bounds the prefetched left rows under Parallelism > 1:
+// large enough to keep a worker pool busy, small enough that LIMIT-bound
+// consumers don't drag in much speculative work.
+const bindChunkSize = 128
+
+func (c *bindStepCursor) Next() (*Row, error) {
+	for {
+		// Drain the in-flight expansion first.
+		for c.ci < len(c.cands) {
+			sol := c.cands[c.ci]
+			c.ci++
+			if merged, ok := mergeRow(c.p, c.pp, c.row, sol); ok {
+				return merged, nil
+			}
+		}
+		// Advance to the next prefetched row.
+		if c.chunkAt < len(c.chunk) {
+			row := c.chunk[c.chunkAt]
+			c.chunkAt++
+			cands, err := c.candidates(row)
+			if err != nil {
+				return nil, err
+			}
+			c.row, c.cands, c.ci = row, cands, 0
+			continue
+		}
+		if c.done {
+			return nil, nil
+		}
+		if err := c.refill(); err != nil {
+			return nil, err
+		}
+		if len(c.chunk) == 0 {
+			return nil, nil
+		}
+	}
+}
+
+// refill pulls the next chunk of left rows and, under parallelism,
+// pre-solves their unseen seeds on a worker pool.
+func (c *bindStepCursor) refill() error {
+	want := 1
+	if c.cfg.Parallelism > 1 {
+		want = bindChunkSize
+	}
+	c.chunk = c.chunk[:0]
+	c.chunkAt = 0
+	for len(c.chunk) < want {
+		row, err := c.left.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			c.done = true
+			break
+		}
+		c.chunk = append(c.chunk, row)
+	}
+	if c.cfg.Parallelism > 1 && len(c.chunk) > 1 {
+		var seeds []graph.NodeID
+		seen := map[graph.NodeID]bool{}
+		for _, row := range c.chunk {
+			if b, ok := row.vars[c.seedVar]; ok && b.Kind == BoundNode {
+				if _, cached := c.memo[b.Node]; !cached && !seen[b.Node] {
+					seen[b.Node] = true
+					seeds = append(seeds, b.Node)
+				}
+			}
+		}
+		if len(seeds) > 1 {
+			perSeed, err := c.solveSeedsParallel(seeds)
+			if err != nil {
+				return err
+			}
+			for i, seed := range seeds {
+				c.memo[seed] = buildSeedIndex(perSeed[i], c.shared)
+			}
+		}
+	}
+	return nil
+}
+
+// candidates returns the step solutions joinable with one row: the row's
+// seed node is solved (memoized), and its solutions are probed with the
+// full shared-variable key — the same equi-join the hash join performs.
+// A row that does not bind the seed variable to a node joins nothing:
+// the seed variable is an unconditional singleton head variable, so every
+// solution binds it to a node and no join key can match (the check
+// mirrors the materializing pipeline's defensive fallback).
+func (c *bindStepCursor) candidates(row *Row) ([]*binding.Reduced, error) {
+	b, ok := row.vars[c.seedVar]
+	if !ok || b.Kind != BoundNode {
+		return nil, nil
+	}
+	idx, cached := c.memo[b.Node]
+	if !cached {
+		if c.solver == nil {
+			if !c.stDone {
+				c.st = stepperFor(c.s, c.pp, c.cfg)
+				c.stDone = true
+			}
+			c.solver = newSeedSolver(c.s, c.st, c.pp, c.cfg, c.budget())
+		}
+		sols, err := c.solver.solve(b.Node)
+		if err != nil {
+			return nil, err
+		}
+		idx = buildSeedIndex(sols, c.shared)
+		c.memo[b.Node] = idx
+	}
+	return idx.byKey[joinKeyOfRow(row, c.shared)], nil
+}
+
+// solveSeedsParallel runs the per-seed pipeline for a chunk's unseen
+// seeds on a worker pool (one solver per worker, budget shared with the
+// sequential solver's step budget semantics).
+func (c *bindStepCursor) solveSeedsParallel(seeds []graph.NodeID) ([][]*binding.Reduced, error) {
+	workers := c.cfg.Parallelism
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if !c.stDone {
+		c.st = stepperFor(c.s, c.pp, c.cfg)
+		c.stDone = true
+	}
+	st := c.st
+	bud := c.budget()
+	out := make([][]*binding.Reduced, len(seeds))
+	errs := runSeedPool(workers, len(seeds), nil, func() func(int) error {
+		solver := newSeedSolver(c.s, st, c.pp, c.cfg, bud)
+		return func(i int) error {
+			sols, err := solver.solve(seeds[i])
+			if err != nil {
+				return err
+			}
+			out[i] = sols
+			return nil
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// budget lazily builds the step's shared budget, wired to the pipeline
+// context.
+func (c *bindStepCursor) budget() *budget {
+	if c.bud == nil {
+		c.bud = newBudget(c.cfg.Limits.withDefaults())
+		c.bud.check = cancelCheck(c.ctx, nil)
+	}
+	return c.bud
+}
+
+func (c *bindStepCursor) Close() error { return c.left.Close() }
+
+// hashStepCursor joins one pattern into the row stream by classic hash
+// join: the pattern (no usable seed variable — a disconnected fragment,
+// or no bound head var) is materialized lazily on the first input row,
+// and input rows probe it. With no shared variables it degenerates to the
+// cross product, exactly like the materializing pipeline.
+type hashStepCursor struct {
+	ctx    context.Context
+	s      graph.Store
+	p      *plan.Plan
+	pp     *plan.PathPlan
+	cfg    Config
+	shared []string
+	left   Cursor
+
+	built bool
+	index map[string][]*binding.Reduced
+
+	row   *Row
+	cands []*binding.Reduced
+	ci    int
+}
+
+func (c *hashStepCursor) Next() (*Row, error) {
+	for {
+		for c.ci < len(c.cands) {
+			sol := c.cands[c.ci]
+			c.ci++
+			if merged, ok := mergeRow(c.p, c.pp, c.row, sol); ok {
+				return merged, nil
+			}
+		}
+		row, err := c.left.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		if !c.built {
+			// First input row: materialize the build side. Lazy, so an
+			// empty or LIMIT-cut input never enumerates the pattern —
+			// mirroring the bind-join pipeline's early exit on zero rows.
+			sols, err := matchPatternStream(c.ctx, c.s, c.pp, c.cfg)
+			if err != nil {
+				return nil, err
+			}
+			c.index = make(map[string][]*binding.Reduced, len(sols))
+			for _, sol := range sols {
+				k := joinKeyOfSolution(sol, c.shared)
+				c.index[k] = append(c.index[k], sol)
+			}
+			c.built = true
+		}
+		c.row = row
+		c.cands = c.index[joinKeyOfRow(row, c.shared)]
+		c.ci = 0
+	}
+}
+
+func (c *hashStepCursor) Close() error { return c.left.Close() }
+
+// matchPatternStream is MatchPattern through the cancellable streaming
+// machinery: full single-pattern pipeline, canonically sorted.
+func matchPatternStream(ctx context.Context, s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.Reduced, error) {
+	sols, err := collectStream(newPatternSource(ctx, s, pp, cfg))
+	if err != nil {
+		return nil, err
+	}
+	binding.SortStable(sols)
+	return sols, nil
+}

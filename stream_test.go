@@ -1,0 +1,207 @@
+package gpml_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"gpml"
+	"gpml/internal/dataset"
+)
+
+// Goroutine/leak hygiene for the streaming pipeline: early termination —
+// LIMIT hit, context cancel, iterator abandoned via Rows.Close — under
+// WithParallelism must stop promptly and leak no goroutines. Run with
+// -race (CI does).
+
+// settleGoroutines polls until the goroutine count returns to the
+// baseline (plus slack for runtime/test plumbing) or the deadline hits.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalizers; pipeline shutdown needs no GC, this only quiets the runtime's own goroutines
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines did not settle: %d vs baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leakGraph is big enough that full enumeration of the two-hop pattern
+// takes real work, so early termination is observable.
+func leakGraph() *gpml.Graph {
+	return dataset.Random(dataset.RandomConfig{
+		Accounts: 1200, AvgDegree: 4, Cities: 10, Phones: 40,
+		BlockedFraction: 0.1, Seed: 21, UndirectedPhones: true,
+	})
+}
+
+const leakQuery = `MATCH (x:Account)-[t:Transfer]->(y:Account)-[u:Transfer]->(z:Account)`
+
+func TestStreamCloseAbandonedNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		rows, err := q.Stream(context.Background(), g, gpml.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pull a few rows, then abandon the iterator mid-stream.
+		for i := 0; i < 3 && rows.Next(); i++ {
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("parallelism %d: Close took %v, want prompt shutdown", par, d)
+		}
+		settleGoroutines(t, baseline)
+	}
+}
+
+func TestStreamLimitStopsPromptlyNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		// Full enumeration yields hundreds of thousands of rows; LIMIT 5
+		// must come back in a tiny fraction of that work.
+		start := time.Now()
+		res, err := q.Eval(g, gpml.WithParallelism(par), gpml.WithLimit(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			t.Fatalf("parallelism %d: got %d rows, want 5", par, len(res.Rows))
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Errorf("parallelism %d: LIMIT 5 took %v", par, d)
+		}
+		settleGoroutines(t, baseline)
+	}
+}
+
+func TestStreamContextCancelNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := q.Stream(ctx, g, gpml.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("parallelism %d: no first row: %v", par, rows.Err())
+		}
+		cancel()
+		// Iteration must end with the context's error, promptly.
+		start := time.Now()
+		for rows.Next() {
+			if time.Since(start) > 5*time.Second {
+				t.Fatalf("parallelism %d: cancellation not observed", par)
+			}
+		}
+		if err := rows.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: want context.Canceled, got %v", par, err)
+		}
+		// Collect after a recorded iteration error must surface the error,
+		// not a silently truncated Result.
+		if _, cerr := rows.Collect(); !errors.Is(cerr, context.Canceled) {
+			t.Fatalf("parallelism %d: Collect after error: want context.Canceled, got %v", par, cerr)
+		}
+		rows.Close()
+		settleGoroutines(t, baseline)
+	}
+}
+
+func TestStreamDeadlineAbortsEval(t *testing.T) {
+	// An unbounded TRAIL over this grid has an astronomically large trail
+	// set (12×12 keeps the search far beyond any test-speed budget even
+	// without -race; 7×7 finishes in ~170ms and would beat the deadline);
+	// the deadline must abort Eval itself (the collect-all wrapper) in
+	// roughly the timeout, through the engines' cancellation polls.
+	g := dataset.Grid(12, 12)
+	q := gpml.MustCompile(`MATCH TRAIL p = (x)-[e:Transfer]->+(y)`)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := q.Eval(g, gpml.WithContext(ctx), gpml.WithParallelism(4))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadline abort took %v", d)
+	}
+	settleGoroutines(t, baseline)
+}
+
+func TestForEachStopNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		seen := 0
+		err := q.ForEach(context.Background(), g, func(*gpml.Row) error {
+			seen++
+			if seen == 7 {
+				return gpml.Stop
+			}
+			return nil
+		}, gpml.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen != 7 {
+			t.Fatalf("parallelism %d: saw %d rows, want 7", par, seen)
+		}
+		settleGoroutines(t, baseline)
+	}
+}
+
+// TestStreamCollectMatchesEval pins the public equivalence: Stream +
+// Collect is byte-identical to Eval, across engines, selectors, joins
+// and parallelism.
+func TestStreamCollectMatchesEval(t *testing.T) {
+	g := dataset.Random(dataset.RandomConfig{Accounts: 40, AvgDegree: 2, Cities: 5, Phones: 8, BlockedFraction: 0.2, Seed: 9, UndirectedPhones: true})
+	queries := []string{
+		`MATCH (x:Account)-[t:Transfer]->(y:Account)`,
+		`MATCH ALL SHORTEST p = (a:Account)-[:Transfer]->+(b WHERE b.isBlocked='yes')`,
+		`MATCH (x:Account)-[t:Transfer]->(y:Account), (y)-[:isLocatedIn]->(c:City) WHERE x.isBlocked='no'`,
+	}
+	for _, src := range queries {
+		q := gpml.MustCompile(src)
+		for _, par := range []int{0, 4} {
+			want, err := q.Eval(g, gpml.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := q.Stream(context.Background(), g, gpml.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rows.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gpml.FormatResult(got) != gpml.FormatResult(want) {
+				t.Errorf("%s parallelism %d: Stream+Collect diverges from Eval", src, par)
+			}
+		}
+	}
+}
