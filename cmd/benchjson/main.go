@@ -31,13 +31,18 @@ import (
 	"strings"
 )
 
-// Summary is one benchmark's aggregate over all repetitions.
+// Summary is one benchmark's aggregate over all repetitions. MemSamples
+// counts the repetitions that reported -benchmem metrics: it
+// distinguishes a genuinely zero-allocation bench (MemSamples > 0,
+// AllocsPerOp == 0) from one measured without -benchmem, which the
+// allocation gate must treat differently.
 type Summary struct {
 	Name        string  `json:"name"`
 	Samples     int     `json:"samples"`
 	NsPerOpMean float64 `json:"ns_per_op_mean"`
 	NsPerOpMin  float64 `json:"ns_per_op_min"`
 	NsPerOpMax  float64 `json:"ns_per_op_max"`
+	MemSamples  int     `json:"mem_samples,omitempty"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
@@ -55,6 +60,7 @@ func main() {
 		out       = flag.String("out", "", "JSON output file (default: stdout)")
 		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files: benchjson -compare base.json head.json")
 		threshold = flag.Float64("threshold", 1.20, "max allowed head/base ns-per-op ratio on tier-1 benches")
+		allocThr  = flag.Float64("alloc-threshold", 1.20, "max allowed head/base allocs-per-op ratio on tier-1 benches (0 disables; requires -benchmem data on both sides)")
 		tier1     = flag.String("tier1", ".*", "regexp selecting the benches the threshold gates")
 	)
 	flag.Parse()
@@ -63,7 +69,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("usage: benchjson -compare base.json head.json"))
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *tier1); err != nil {
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocThr, *tier1); err != nil {
 			fatal(err)
 		}
 		return
@@ -184,6 +190,7 @@ func parseBench(r io.Reader) (*File, error) {
 		}
 		sum.NsPerOpMean = nsTotal / float64(len(ss))
 		if mem > 0 {
+			sum.MemSamples = mem
 			sum.BPerOp = bTotal / float64(mem)
 			sum.AllocsPerOp = aTotal / float64(mem)
 		}
@@ -193,9 +200,10 @@ func parseBench(r io.Reader) (*File, error) {
 }
 
 // runCompare prints a base-vs-head table and fails on tier-1 regressions
-// beyond the threshold. Using min ns/op on both sides damps scheduler
-// noise on shared CI runners.
-func runCompare(basePath, headPath string, threshold float64, tier1 string) error {
+// beyond the thresholds: time (min ns/op, damping scheduler noise on
+// shared CI runners) and, when both sides carry -benchmem data,
+// allocations (mean allocs/op — deterministic, so no min needed).
+func runCompare(basePath, headPath string, threshold, allocThr float64, tier1 string) error {
 	tier1Re, err := regexp.Compile(tier1)
 	if err != nil {
 		return fmt.Errorf("bad -tier1 pattern: %v", err)
@@ -213,7 +221,7 @@ func runCompare(basePath, headPath string, threshold float64, tier1 string) erro
 		baseBy[b.Name] = b
 	}
 	var regressions []string
-	fmt.Printf("%-55s %14s %14s %8s %s\n", "benchmark", "base ns/op", "head ns/op", "ratio", "gate")
+	fmt.Printf("%-55s %14s %14s %8s %10s %s\n", "benchmark", "base ns/op", "head ns/op", "ratio", "allocs", "gate")
 	names := make([]string, 0, len(head.Benchmarks))
 	for _, h := range head.Benchmarks {
 		names = append(names, h.Name)
@@ -227,19 +235,43 @@ func runCompare(basePath, headPath string, threshold float64, tier1 string) erro
 		h := headBy[name]
 		b, ok := baseBy[name]
 		if !ok {
-			fmt.Printf("%-55s %14s %14.0f %8s %s\n", name, "-", h.NsPerOpMin, "-", "new")
+			fmt.Printf("%-55s %14s %14.0f %8s %10s %s\n", name, "-", h.NsPerOpMin, "-", "-", "new")
 			continue
 		}
 		ratio := h.NsPerOpMin / b.NsPerOpMin
+		// The alloc gate needs -benchmem data on both sides. A zero-alloc
+		// baseline growing any allocations is an unbounded-ratio
+		// regression — exactly the class the gate exists to catch.
+		haveAllocs := b.MemSamples > 0 && h.MemSamples > 0
+		allocRatio := 0.0
+		allocCol := "-"
+		allocRegressed := false
+		if haveAllocs {
+			switch {
+			case b.AllocsPerOp > 0:
+				allocRatio = h.AllocsPerOp / b.AllocsPerOp
+				allocCol = fmt.Sprintf("%.2fx", allocRatio)
+				allocRegressed = allocRatio > allocThr
+			case h.AllocsPerOp > 0:
+				allocCol = "0->alloc"
+				allocRegressed = true
+			default:
+				allocCol = "0x"
+			}
+		}
 		gate := ""
 		if tier1Re.MatchString(name) {
 			gate = "tier-1"
 			if ratio > threshold {
 				gate = "REGRESSION"
-				regressions = append(regressions, fmt.Sprintf("%s: %.2fx (threshold %.2fx)", name, ratio, threshold))
+				regressions = append(regressions, fmt.Sprintf("%s: %.2fx ns/op (threshold %.2fx)", name, ratio, threshold))
+			}
+			if allocThr > 0 && allocRegressed {
+				gate = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f allocs/op (threshold %.2fx)", name, b.AllocsPerOp, h.AllocsPerOp, allocThr))
 			}
 		}
-		fmt.Printf("%-55s %14.0f %14.0f %7.2fx %s\n", name, b.NsPerOpMin, h.NsPerOpMin, ratio, gate)
+		fmt.Printf("%-55s %14.0f %14.0f %7.2fx %10s %s\n", name, b.NsPerOpMin, h.NsPerOpMin, ratio, allocCol, gate)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("tier-1 regressions:\n  %s", strings.Join(regressions, "\n  "))

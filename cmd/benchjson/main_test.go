@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -47,5 +49,70 @@ func TestParseBench(t *testing.T) {
 func TestParseBenchEmpty(t *testing.T) {
 	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
 		t.Error("expected an error on input without benchmarks")
+	}
+}
+
+// writeBench serializes a File to a temp path for compare tests.
+func writeBench(t *testing.T, name string, benches []Summary) string {
+	t.Helper()
+	path := t.TempDir() + "/" + name
+	data, err := json.Marshal(&File{Schema: "gpml-bench/v1", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareAllocGate: a >20% allocs/op increase fails the comparison
+// even when ns/op is within threshold; disabling the alloc gate (0) or
+// missing -benchmem data on either side passes it.
+func TestCompareAllocGate(t *testing.T) {
+	base := writeBench(t, "base.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 100, NsPerOpMean: 100, MemSamples: 5, AllocsPerOp: 100},
+	})
+	headBad := writeBench(t, "head-bad.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 101, NsPerOpMean: 101, MemSamples: 5, AllocsPerOp: 130},
+	})
+	if err := runCompare(base, headBad, 1.20, 1.20, "BenchmarkX"); err == nil {
+		t.Error("30% alloc regression must fail the gate")
+	}
+	if err := runCompare(base, headBad, 1.20, 0, "BenchmarkX"); err != nil {
+		t.Errorf("alloc gate disabled: %v", err)
+	}
+	headOK := writeBench(t, "head-ok.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 101, NsPerOpMean: 101, MemSamples: 5, AllocsPerOp: 110},
+	})
+	if err := runCompare(base, headOK, 1.20, 1.20, "BenchmarkX"); err != nil {
+		t.Errorf("10%% alloc growth is within threshold: %v", err)
+	}
+	noMem := writeBench(t, "head-nomem.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 101, NsPerOpMean: 101},
+	})
+	if err := runCompare(base, noMem, 1.20, 1.20, "BenchmarkX"); err != nil {
+		t.Errorf("missing -benchmem data must not trip the alloc gate: %v", err)
+	}
+}
+
+// TestCompareAllocGateFromZero: a zero-allocation baseline that grows any
+// allocations is a regression (the ratio is unbounded); two zero-alloc
+// sides pass.
+func TestCompareAllocGateFromZero(t *testing.T) {
+	base := writeBench(t, "base.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 100, NsPerOpMean: 100, MemSamples: 5, AllocsPerOp: 0},
+	})
+	grew := writeBench(t, "head-grew.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 100, NsPerOpMean: 100, MemSamples: 5, AllocsPerOp: 3},
+	})
+	if err := runCompare(base, grew, 1.20, 1.20, "BenchmarkX"); err == nil {
+		t.Error("0 -> 3 allocs/op must fail the gate")
+	}
+	stillZero := writeBench(t, "head-zero.json", []Summary{
+		{Name: "BenchmarkX", NsPerOpMin: 100, NsPerOpMean: 100, MemSamples: 5, AllocsPerOp: 0},
+	})
+	if err := runCompare(base, stillZero, 1.20, 1.20, "BenchmarkX"); err != nil {
+		t.Errorf("0 -> 0 allocs/op must pass: %v", err)
 	}
 }

@@ -60,8 +60,8 @@ func main() {
 		pb, _ := row.Get("p")
 		rg, _ := row.Get("r")
 		var scenery, mins int64
-		for _, ref := range rg.Group {
-			e := g.Edge(gpml.EdgeID(ref.ID))
+		for _, id := range rg.GroupIDs() {
+			e := g.Edge(gpml.EdgeID(id))
 			s, _ := e.Prop("scenery").AsInt()
 			m, _ := e.Prop("minutes").AsInt()
 			scenery += s

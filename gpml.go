@@ -133,6 +133,7 @@ type Query struct {
 	parallel   int
 	noAuto     bool
 	noBindJoin bool
+	strKeys    bool
 	limit      int
 	ctx        context.Context
 }
@@ -148,6 +149,7 @@ type options struct {
 	parallel   int
 	noAuto     bool
 	noBindJoin bool
+	strKeys    bool
 	limit      int
 	ctx        context.Context
 }
@@ -159,6 +161,7 @@ func (o options) config() eval.Config {
 		Parallelism:      o.parallel,
 		DisableAutomaton: o.noAuto,
 		DisableBindJoin:  o.noBindJoin,
+		StringKeys:       o.strKeys,
 		Limit:            o.limit,
 	}
 }
@@ -220,6 +223,14 @@ func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx =
 // order; Eval presents them canonically ordered.
 func WithLimit(n int) Option { return func(o *options) { o.limit = n } }
 
+// StringKeys reverts deduplication sets and join indexes to materialized
+// element-id string keys — the pre-interning encoding — instead of the
+// compact binary keys the interned execution path uses. Results are
+// identical either way; the option exists for A/B benchmarking (benchgen
+// experiment S5 measures the interning win with it) and differential
+// testing.
+func StringKeys() Option { return func(o *options) { o.strKeys = true } }
+
 // NoBindJoin disables the cost-ordered bind-join planner for
 // multi-pattern statements, reverting to enumerating every path pattern
 // in full (in textual order) before hash joining. Successful evaluations
@@ -241,7 +252,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, limit: o.limit, ctx: o.ctx}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, strKeys: o.strKeys, limit: o.limit, ctx: o.ctx}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -269,7 +280,7 @@ func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
 
 // options seeds an option set from the query's compile-time defaults.
 func (q *Query) options(opts []Option) options {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, limit: q.limit, ctx: q.ctx}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, strKeys: q.strKeys, limit: q.limit, ctx: q.ctx}
 	for _, f := range opts {
 		f(&o)
 	}

@@ -8,49 +8,86 @@ import (
 	"gpml/internal/graph"
 )
 
-// makeBindings builds n reduced bindings with d duplicate groups.
+// benchStore builds a chain graph with n+1 nodes and n edges, the element
+// pool the bench bindings intern against.
+func benchStore(n int) graph.Store {
+	g := graph.New()
+	for i := 0; i <= n; i++ {
+		if err := g.AddNode(graph.NodeID(fmt.Sprintf("n%d", i)), nil, nil); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := graph.EdgeID(fmt.Sprintf("e%d", i))
+		if err := g.AddEdge(id, graph.NodeID(fmt.Sprintf("n%d", i)), graph.NodeID(fmt.Sprintf("n%d", i+1)), nil, nil); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// makeBindings builds n reduced bindings with duplicate groups every
+// dupEvery entries.
 func makeBindings(n, dupEvery int) []*Reduced {
+	s := benchStore(n + 1)
 	out := make([]*Reduced, n)
 	for i := 0; i < n; i++ {
 		id := i
 		if dupEvery > 0 && i%dupEvery == 0 {
 			id = 0
 		}
-		nodeA := graph.NodeID(fmt.Sprintf("n%d", id))
-		nodeB := graph.NodeID(fmt.Sprintf("n%d", id+1))
-		edge := graph.EdgeID(fmt.Sprintf("e%d", id))
+		na, nb, e := graph.ElemIdx(id), graph.ElemIdx(id+1), graph.ElemIdx(id)
 		out[i] = &Reduced{
 			Cols: []ReducedCol{
-				{Var: "a", Kind: NodeElem, ID: string(nodeA)},
-				{Var: "e", Kind: EdgeElem, ID: string(edge)},
-				{Var: "b", Kind: NodeElem, ID: string(nodeB)},
+				{Var: "a", Kind: NodeElem, Idx: na},
+				{Var: "e", Kind: EdgeElem, Idx: e},
+				{Var: "b", Kind: NodeElem, Idx: nb},
 			},
-			Path: graph.Path{Nodes: []graph.NodeID{nodeA, nodeB}, Edges: []graph.EdgeID{edge}},
+			Path: graph.IdxPath{Nodes: []graph.ElemIdx{na, nb}, Edges: []graph.ElemIdx{e}},
+			Src:  s,
 		}
 	}
 	return out
 }
 
-// Ablation 2 (DESIGN.md §5): full string keys (the implementation) vs
-// 64-bit FNV hashing with no collision handling (the fast-but-unsound
-// alternative). The bench quantifies what the correctness of exact keys
-// costs.
+// Ablation 2 (DESIGN.md §5): the three dedup key designs — compact binary
+// keys (the implementation), exact materialized string keys (the
+// pre-interning implementation, still available as the StringKeys
+// reference mode), and 64-bit FNV hashing with no collision handling (the
+// fast-but-unsound alternative). The bench quantifies both what interning
+// bought and what exactness costs over a raw hash.
 func BenchmarkAblation_DedupKey(b *testing.B) {
 	bindings := makeBindings(10_000, 7)
-	b.Run("exact_string_key", func(b *testing.B) {
+	b.Run("interned_binary_key", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if out := Dedup(bindings); len(out) == 0 {
 				b.Fatal("empty")
 			}
 		}
 	})
+	b.Run("exact_string_key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Strip the memo so every iteration pays the materialization,
+			// like a fresh evaluation would.
+			for _, r := range bindings {
+				r.canon = ""
+			}
+			if out := DedupStrings(bindings); len(out) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
 	b.Run("fnv64_hash_key", func(b *testing.B) {
+		b.ReportAllocs()
+		keyer := NewKeyer()
 		for i := 0; i < b.N; i++ {
 			seen := make(map[uint64]struct{}, len(bindings))
 			kept := 0
 			for _, r := range bindings {
 				h := fnv.New64a()
-				h.Write([]byte(r.Key()))
+				h.Write(keyer.Key(r))
 				k := h.Sum64()
 				if _, ok := seen[k]; ok {
 					continue
@@ -66,19 +103,22 @@ func BenchmarkAblation_DedupKey(b *testing.B) {
 }
 
 func BenchmarkReduce(b *testing.B) {
+	s := benchStore(8)
 	pb := &PathBinding{
 		Entries: []Entry{
-			{Var: "a", Kind: NodeElem, ID: "a4"},
-			{Var: "b", Iters: []int{0}, Kind: EdgeElem, ID: "t4"},
-			{Var: "$n2", Iters: []int{0}, Kind: NodeElem, ID: "a6"},
-			{Var: "b", Iters: []int{1}, Kind: EdgeElem, ID: "t5"},
-			{Var: "a", Kind: NodeElem, ID: "a4"},
+			{Var: "a", Kind: NodeElem, Idx: 0},
+			{Var: "b", Iters: IterOf(0), Kind: EdgeElem, Idx: 0},
+			{Var: "$n2", Iters: IterOf(0), Kind: NodeElem, Idx: 1},
+			{Var: "b", Iters: IterOf(1), Kind: EdgeElem, Idx: 1},
+			{Var: "a", Kind: NodeElem, Idx: 0},
 		},
-		Path: graph.Path{
-			Nodes: []graph.NodeID{"a4", "a6", "a4"},
-			Edges: []graph.EdgeID{"t4", "t5"},
+		Path: graph.IdxPath{
+			Nodes: []graph.ElemIdx{0, 1, 0},
+			Edges: []graph.ElemIdx{0, 1},
 		},
+		Src: s,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := pb.Reduce(); len(r.Cols) != 5 {
@@ -89,10 +129,22 @@ func BenchmarkReduce(b *testing.B) {
 
 func BenchmarkKey(b *testing.B) {
 	r := makeBindings(1, 0)[0]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if k := r.Key(); len(k) == 0 {
-			b.Fatal("empty key")
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		keyer := NewKeyer()
+		for i := 0; i < b.N; i++ {
+			if k := keyer.Key(r); len(k) == 0 {
+				b.Fatal("empty key")
+			}
 		}
-	}
+	})
+	b.Run("canon", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.canon = ""
+			if k := r.CanonKey(); len(k) == 0 {
+				b.Fatal("empty key")
+			}
+		}
+	})
 }

@@ -6,9 +6,18 @@
 // collected into a set (deduplication, §6.5), except that matches produced
 // by different branches of a multiset alternation |+| carry branch tags
 // that keep them distinct.
+//
+// Bindings are integer-dense: elements are referenced by their interned
+// dense index (graph.ElemIdx) relative to the store the binding was
+// matched against (Src), and deduplication keys are compact varint-packed
+// byte strings (Keyer). Element id strings only exist in two places: the
+// canonical textual sort key (CanonKey — computed once per output row,
+// when a canonical order or a selector choice is needed) and the
+// rendering helpers (String, ValueRow, FormatTable).
 package binding
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strconv"
@@ -35,34 +44,94 @@ func (k ElemKind) String() string {
 	return "edge"
 }
 
-// Ref identifies a bound graph element.
+// Ref identifies a bound graph element by kind and interned dense index.
+// A Ref is only meaningful relative to the store that issued the index;
+// materialize with ElemID when the id string is needed.
 type Ref struct {
 	Kind ElemKind
-	ID   string
+	Idx  graph.ElemIdx
 }
 
-// String renders the element id.
-func (r Ref) String() string { return r.ID }
+// ElemID materializes the id of an interned element against its store.
+// It returns "" for a nil store or an out-of-range index (zero-value
+// bindings in tests); real bindings always resolve.
+func ElemID(s graph.Store, kind ElemKind, idx graph.ElemIdx) string {
+	if s == nil {
+		return ""
+	}
+	if kind == NodeElem {
+		if n := s.NodeAt(idx); n != nil {
+			return string(n.ID)
+		}
+		return ""
+	}
+	if e := s.EdgeAt(idx); e != nil {
+		return string(e.ID)
+	}
+	return ""
+}
+
+// IterAnn is the iteration annotation of an entry: the iteration indices
+// of its enclosing quantifiers, outermost first (the paper's superscripts
+// b¹, b²). Up to two nesting levels — the overwhelmingly common case —
+// are stored inline, so annotating entries inside typical quantifier
+// nests allocates nothing; deeper nests spill to Ext.
+type IterAnn struct {
+	n      uint8
+	inline [2]int32
+	ext    []int32
+}
+
+// Len reports the nesting depth.
+func (a IterAnn) Len() int { return int(a.n) }
+
+// At returns the iteration index at nesting level i (outermost first).
+func (a IterAnn) At(i int) int {
+	if i < 2 {
+		return int(a.inline[i])
+	}
+	return int(a.ext[i-2])
+}
+
+// Push appends one nesting level (innermost last).
+func (a *IterAnn) Push(v int) {
+	if a.n < 2 {
+		a.inline[a.n] = int32(v)
+	} else {
+		a.ext = append(a.ext, int32(v))
+	}
+	a.n++
+}
+
+// IterOf builds an annotation from explicit levels, for tests and
+// fixtures.
+func IterOf(levels ...int) IterAnn {
+	var a IterAnn
+	for _, v := range levels {
+		a.Push(v)
+	}
+	return a
+}
 
 // Entry is one elementary binding: a (possibly annotated) variable paired
-// with a graph element.
+// with an interned graph element.
 type Entry struct {
 	Var   string // variable name; anonymous variables start with '$'
-	Iters []int  // iteration indices of enclosing quantifiers, outermost first
+	Iters IterAnn
 	Kind  ElemKind
-	ID    string
+	Idx   graph.ElemIdx
 }
 
 // DisplayVar renders the annotated variable (b1, b2, … for group entries;
 // □/− for anonymous ones, annotations kept).
 func (e Entry) DisplayVar() string {
 	name := ast.ReducedVar(e.Var)
-	if len(e.Iters) == 0 {
+	if e.Iters.Len() == 0 {
 		return name
 	}
-	parts := make([]string, len(e.Iters))
-	for i, it := range e.Iters {
-		parts[i] = strconv.Itoa(it + 1) // paper numbers iterations from 1
+	parts := make([]string, e.Iters.Len())
+	for i := range parts {
+		parts[i] = strconv.Itoa(e.Iters.At(i) + 1) // paper numbers iterations from 1
 	}
 	return name + strings.Join(parts, ".")
 }
@@ -75,59 +144,75 @@ type Tag struct {
 }
 
 // PathBinding is the (annotated) result of matching one path pattern.
+// Src is the store the indices refer to.
 type PathBinding struct {
 	Entries []Entry
 	Tags    []Tag
-	Path    graph.Path
+	Path    graph.IdxPath
 	PathVar string // "" when the pattern has no path variable
+	Src     graph.Store
 }
 
 // Reduced is a reduced path binding (§6.5): annotations stripped, anonymous
 // variables merged to the markers □ and −. A Reduced is immutable once
-// built; Key memoizes its deduplication identity (it is compared O(n log n)
-// times during sorting).
+// built; CanonKey memoizes its canonical textual identity (it is compared
+// O(n log n) times during sorting).
 type Reduced struct {
 	Cols    []ReducedCol
 	Tags    []Tag
-	Path    graph.Path
+	Path    graph.IdxPath
 	PathVar string
+	Src     graph.Store
 
-	key string // memoized Key; "" = not yet computed
+	canon string // memoized CanonKey; "" = not yet computed
 }
 
 // ReducedCol is one column of a reduced binding.
 type ReducedCol struct {
 	Var  string // reduced display name (anonymous merged to □ / −)
 	Kind ElemKind
-	ID   string
+	Idx  graph.ElemIdx
 }
 
 // Reduce strips annotations from the binding (§6.5).
 func (b *PathBinding) Reduce() *Reduced {
-	r := &Reduced{Tags: b.Tags, Path: b.Path, PathVar: b.PathVar}
+	r := &Reduced{Tags: b.Tags, Path: b.Path, PathVar: b.PathVar, Src: b.Src}
 	r.Cols = make([]ReducedCol, len(b.Entries))
 	for i, e := range b.Entries {
-		r.Cols[i] = ReducedCol{Var: ast.ReducedVar(e.Var), Kind: e.Kind, ID: e.ID}
+		r.Cols[i] = ReducedCol{Var: ast.ReducedVar(e.Var), Kind: e.Kind, Idx: e.Idx}
 	}
 	return r
 }
 
-// Key returns the deduplication identity of the reduced binding: the
-// reduced column sequence, the multiset branch tags, and the matched path.
-// The result is memoized; callers must not mutate the binding afterwards.
-func (r *Reduced) Key() string {
-	if r.key == "" {
-		r.key = r.computeKey()
-	}
-	return r.key
+// ColID materializes the element id of column i.
+func (r *Reduced) ColID(i int) string {
+	c := r.Cols[i]
+	return ElemID(r.Src, c.Kind, c.Idx)
 }
 
-func (r *Reduced) computeKey() string {
+// RefID materializes the element id of a Ref issued by this binding.
+func (r *Reduced) RefID(ref Ref) string { return ElemID(r.Src, ref.Kind, ref.Idx) }
+
+// CanonKey returns the canonical textual identity of the reduced binding:
+// the reduced column sequence, the multiset branch tags, and the matched
+// path, all materialized to element ids. Its lexicographic order is the
+// canonical row order (SortStable, selector choices, Eval's final sort),
+// unchanged from the pre-interning string key — this is the one place a
+// binding's ids are turned into strings, once per output row. The result
+// is memoized; callers must not mutate the binding afterwards.
+func (r *Reduced) CanonKey() string {
+	if r.canon == "" {
+		r.canon = r.computeCanonKey()
+	}
+	return r.canon
+}
+
+func (r *Reduced) computeCanonKey() string {
 	var b strings.Builder
-	for _, c := range r.Cols {
+	for i, c := range r.Cols {
 		b.WriteString(c.Var)
 		b.WriteByte('=')
-		b.WriteString(c.ID)
+		b.WriteString(r.ColID(i))
 		b.WriteByte(';')
 	}
 	b.WriteByte('#')
@@ -135,15 +220,65 @@ func (r *Reduced) computeKey() string {
 		fmt.Fprintf(&b, "%d.%d,", t.Union, t.Branch)
 	}
 	b.WriteByte('#')
-	b.WriteString(r.Path.Key())
+	if r.Src != nil {
+		r.Path.AppendKeyString(&b, r.Src)
+	}
 	return b.String()
+}
+
+// Keyer builds the compact binary deduplication keys of reduced bindings:
+// varint-packed (variable code, kind, element index) triples, branch
+// tags, and the interned path. Variable codes are assigned per Keyer, so
+// keys from different Keyers must never be compared — one Keyer serves
+// one dedup set (or one solver's sequence of per-seed sets, which is
+// fine: codes only grow). The encoding is injective: every section is
+// length-prefixed and varints are self-delimiting, so no two distinct
+// bindings share a key (the property the adversarial-id suite pins).
+type Keyer struct {
+	vars map[string]uint64
+	buf  []byte
+}
+
+// NewKeyer returns an empty Keyer.
+func NewKeyer() *Keyer { return &Keyer{vars: map[string]uint64{}} }
+
+// Key returns the binding's dedup key. The returned slice aliases the
+// Keyer's scratch buffer and is valid until the next Key call; convert
+// with string(...) to retain it.
+func (k *Keyer) Key(r *Reduced) []byte {
+	b := k.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(r.Cols)))
+	for _, c := range r.Cols {
+		code, ok := k.vars[c.Var]
+		if !ok {
+			code = uint64(len(k.vars))
+			k.vars[c.Var] = code
+		}
+		b = binary.AppendUvarint(b, code)
+		b = append(b, byte(c.Kind))
+		b = binary.AppendUvarint(b, uint64(c.Idx))
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Tags)))
+	for _, t := range r.Tags {
+		b = binary.AppendUvarint(b, uint64(t.Union))
+		b = binary.AppendUvarint(b, uint64(t.Branch))
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Path.Nodes)))
+	for i, n := range r.Path.Nodes {
+		if i > 0 {
+			b = binary.AppendUvarint(b, uint64(r.Path.Edges[i-1]))
+		}
+		b = binary.AppendUvarint(b, uint64(n))
+	}
+	k.buf = b
+	return b
 }
 
 // String renders the reduced binding as "var↦id" pairs.
 func (r *Reduced) String() string {
 	parts := make([]string, len(r.Cols))
 	for i, c := range r.Cols {
-		parts[i] = c.Var + "↦" + c.ID
+		parts[i] = c.Var + "↦" + r.ColID(i)
 	}
 	return strings.Join(parts, " ")
 }
@@ -161,19 +296,39 @@ func (r *Reduced) HeaderRow() []string {
 // ValueRow returns the element ids in column order.
 func (r *Reduced) ValueRow() []string {
 	out := make([]string, len(r.Cols))
-	for i, c := range r.Cols {
-		out[i] = c.ID
+	for i := range r.Cols {
+		out[i] = r.ColID(i)
 	}
 	return out
 }
 
 // Dedup collects reduced bindings into a set, keeping the first occurrence
-// of each key and preserving order (§6.5).
+// of each key and preserving order (§6.5). Keys are the compact binary
+// form; no id strings are built.
 func Dedup(in []*Reduced) []*Reduced {
+	k := NewKeyer()
 	seen := make(map[string]struct{}, len(in))
 	out := make([]*Reduced, 0, len(in))
 	for _, r := range in {
-		k := r.Key()
+		key := k.Key(r)
+		if _, ok := seen[string(key)]; ok {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// DedupStrings is the A/B reference implementation of Dedup: it keys the
+// set by the canonical textual identity (the pre-interning encoding).
+// Used by differential tests and the string-key benchmark experiments;
+// results are identical to Dedup by the Keyer's injectivity.
+func DedupStrings(in []*Reduced) []*Reduced {
+	seen := make(map[string]struct{}, len(in))
+	out := make([]*Reduced, 0, len(in))
+	for _, r := range in {
+		k := r.CanonKey()
 		if _, ok := seen[k]; ok {
 			continue
 		}
@@ -189,7 +344,7 @@ func Dedup(in []*Reduced) []*Reduced {
 func (r *Reduced) Singleton(v string) (Ref, bool) {
 	for _, c := range r.Cols {
 		if c.Var == v {
-			return Ref{Kind: c.Kind, ID: c.ID}, true
+			return Ref{Kind: c.Kind, Idx: c.Idx}, true
 		}
 	}
 	return Ref{}, false
@@ -201,7 +356,7 @@ func (r *Reduced) Group(v string) []Ref {
 	var out []Ref
 	for _, c := range r.Cols {
 		if c.Var == v {
-			out = append(out, Ref{Kind: c.Kind, ID: c.ID})
+			out = append(out, Ref{Kind: c.Kind, Idx: c.Idx})
 		}
 	}
 	return out
@@ -266,6 +421,6 @@ func SortStable(in []*Reduced) {
 		if in[i].Path.Len() != in[j].Path.Len() {
 			return in[i].Path.Len() < in[j].Path.Len()
 		}
-		return in[i].Key() < in[j].Key()
+		return in[i].CanonKey() < in[j].CanonKey()
 	})
 }

@@ -8,26 +8,88 @@ import (
 	"gpml/internal/graph"
 )
 
-func sample() *PathBinding {
+// fixture builds the sample store and interning helpers: nodes and edges
+// carry the paper's ids, and bindings are constructed through the
+// interner exactly like the engines do.
+type fixture struct {
+	s graph.Store
+}
+
+func newFixture(t testing.TB) fixture {
+	t.Helper()
+	g := graph.New()
+	for _, id := range []string{"a4", "a6", "c2", "n1", "x", "a", "b", "c", "d", "e"} {
+		if err := g.AddNode(graph.NodeID(id), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{"t4", "a4"}, {"t5", "a6"}, {"li4", "a4"}, {"t9", "a6"},
+	} {
+		if err := g.AddEdge(graph.EdgeID(e[0]), graph.NodeID(e[1]), graph.NodeID(e[1]), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fixture{s: g}
+}
+
+func (f fixture) node(t testing.TB, id string) graph.ElemIdx {
+	t.Helper()
+	i, ok := f.s.InternNode(graph.NodeID(id))
+	if !ok {
+		t.Fatalf("unknown node %q", id)
+	}
+	return i
+}
+
+func (f fixture) edge(t testing.TB, id string) graph.ElemIdx {
+	t.Helper()
+	i, ok := f.s.InternEdge(graph.EdgeID(id))
+	if !ok {
+		t.Fatalf("unknown edge %q", id)
+	}
+	return i
+}
+
+func (f fixture) entry(t testing.TB, v string, iters IterAnn, kind ElemKind, id string) Entry {
+	t.Helper()
+	if kind == NodeElem {
+		return Entry{Var: v, Iters: iters, Kind: kind, Idx: f.node(t, id)}
+	}
+	return Entry{Var: v, Iters: iters, Kind: kind, Idx: f.edge(t, id)}
+}
+
+func (f fixture) path(t testing.TB, nodes []string, edges []string) graph.IdxPath {
+	t.Helper()
+	p := graph.IdxPath{}
+	for _, n := range nodes {
+		p.Nodes = append(p.Nodes, f.node(t, n))
+	}
+	for _, e := range edges {
+		p.Edges = append(p.Edges, f.edge(t, e))
+	}
+	return p
+}
+
+func (f fixture) sample(t testing.TB) *PathBinding {
 	return &PathBinding{
 		Entries: []Entry{
-			{Var: "a", Kind: NodeElem, ID: "a4"},
-			{Var: "b", Iters: []int{0}, Kind: EdgeElem, ID: "t4"},
-			{Var: "$n2", Iters: []int{0}, Kind: NodeElem, ID: "a6"},
-			{Var: "b", Iters: []int{1}, Kind: EdgeElem, ID: "t5"},
-			{Var: "a", Kind: NodeElem, ID: "a4"},
-			{Var: "$e1", Kind: EdgeElem, ID: "li4"},
-			{Var: "c", Kind: NodeElem, ID: "c2"},
+			f.entry(t, "a", IterOf(), NodeElem, "a4"),
+			f.entry(t, "b", IterOf(0), EdgeElem, "t4"),
+			f.entry(t, "$n2", IterOf(0), NodeElem, "a6"),
+			f.entry(t, "b", IterOf(1), EdgeElem, "t5"),
+			f.entry(t, "a", IterOf(), NodeElem, "a4"),
+			f.entry(t, "$e1", IterOf(), EdgeElem, "li4"),
+			f.entry(t, "c", IterOf(), NodeElem, "c2"),
 		},
-		Path: graph.Path{
-			Nodes: []graph.NodeID{"a4", "a6", "a4", "c2"},
-			Edges: []graph.EdgeID{"t4", "t5", "li4"},
-		},
+		Path: f.path(t, []string{"a4", "a6", "a4", "c2"}, []string{"t4", "t5", "li4"}),
+		Src:  f.s,
 	}
 }
 
 func TestReduceStripsAnnotations(t *testing.T) {
-	r := sample().Reduce()
+	f := newFixture(t)
+	r := f.sample(t).Reduce()
 	hdr := strings.Join(r.HeaderRow(), " ")
 	if hdr != "a b □ b a − c" {
 		t.Errorf("header: %q", hdr)
@@ -39,63 +101,105 @@ func TestReduceStripsAnnotations(t *testing.T) {
 }
 
 func TestDisplayVarAnnotations(t *testing.T) {
-	e := Entry{Var: "b", Iters: []int{0}, Kind: EdgeElem, ID: "t4"}
+	e := Entry{Var: "b", Iters: IterOf(0), Kind: EdgeElem}
 	if got := e.DisplayVar(); got != "b1" {
 		t.Errorf("iteration 0 displays as b1 (paper numbering): %q", got)
 	}
-	e = Entry{Var: "b", Iters: []int{2, 1}, Kind: EdgeElem, ID: "t4"}
+	e = Entry{Var: "b", Iters: IterOf(2, 1), Kind: EdgeElem}
 	if got := e.DisplayVar(); got != "b3.2" {
 		t.Errorf("nested annotation: %q", got)
 	}
-	e = Entry{Var: "$n1", Iters: []int{0}, Kind: NodeElem, ID: "x"}
+	e = Entry{Var: "$n1", Iters: IterOf(0), Kind: NodeElem}
 	if got := e.DisplayVar(); got != "□1" {
 		t.Errorf("anonymous annotated: %q", got)
 	}
 }
 
+func TestIterAnnSpillsDeepNests(t *testing.T) {
+	a := IterOf(3, 1, 4, 1, 5)
+	if a.Len() != 5 {
+		t.Fatalf("len: %d", a.Len())
+	}
+	for i, want := range []int{3, 1, 4, 1, 5} {
+		if a.At(i) != want {
+			t.Errorf("At(%d) = %d, want %d", i, a.At(i), want)
+		}
+	}
+	e := Entry{Var: "b", Iters: a}
+	if got := e.DisplayVar(); got != "b4.2.5.2.6" {
+		t.Errorf("deep annotation: %q", got)
+	}
+}
+
+// dedupKeys materializes the compact keys of a binding list under one
+// Keyer, for equality assertions.
+func dedupKeys(rs ...*Reduced) []string {
+	k := NewKeyer()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = string(k.Key(r))
+	}
+	return out
+}
+
 func TestKeyDistinguishesTagsAndPaths(t *testing.T) {
-	a := sample().Reduce()
-	b := sample().Reduce()
-	if a.Key() != b.Key() {
+	f := newFixture(t)
+	a := f.sample(t).Reduce()
+	b := f.sample(t).Reduce()
+	tagged := f.sample(t)
+	tagged.Tags = []Tag{{Union: 0, Branch: 1}}
+	other := f.sample(t)
+	other.Path.Edges[0] = f.edge(t, "t9")
+	keys := dedupKeys(a, b, tagged.Reduce(), other.Reduce())
+	if keys[0] != keys[1] {
 		t.Fatalf("identical bindings must share keys")
 	}
-	tagged := sample()
-	tagged.Tags = []Tag{{Union: 0, Branch: 1}}
-	if tagged.Reduce().Key() == a.Key() {
+	if keys[2] == keys[0] {
 		t.Errorf("multiset tags must distinguish keys (§4.5)")
 	}
-	other := sample()
-	other.Path.Edges[0] = "t9"
-	if other.Reduce().Key() == a.Key() {
+	if keys[3] == keys[0] {
 		t.Errorf("different paths must have different keys")
+	}
+	// The canonical textual key distinguishes the same pairs.
+	if a.CanonKey() != b.CanonKey() {
+		t.Fatalf("identical bindings must share canon keys")
+	}
+	if tagged.Reduce().CanonKey() == a.CanonKey() || other.Reduce().CanonKey() == a.CanonKey() {
+		t.Errorf("canon keys must distinguish tags and paths")
 	}
 }
 
 func TestDedup(t *testing.T) {
-	a := sample().Reduce()
-	b := sample().Reduce()
-	c := sample()
+	f := newFixture(t)
+	a := f.sample(t).Reduce()
+	b := f.sample(t).Reduce()
+	c := f.sample(t)
 	c.Tags = []Tag{{0, 1}}
-	out := Dedup([]*Reduced{a, b, c.Reduce()})
-	if len(out) != 2 {
-		t.Errorf("dedup: want 2, got %d", len(out))
-	}
-	// Order preserved, first kept.
-	if out[0] != a {
-		t.Errorf("dedup must keep the first occurrence")
+	for name, dedup := range map[string]func([]*Reduced) []*Reduced{
+		"binary": Dedup, "strings": DedupStrings,
+	} {
+		out := dedup([]*Reduced{a, b, c.Reduce()})
+		if len(out) != 2 {
+			t.Errorf("%s dedup: want 2, got %d", name, len(out))
+		}
+		// Order preserved, first kept.
+		if out[0] != a {
+			t.Errorf("%s dedup must keep the first occurrence", name)
+		}
 	}
 }
 
 func TestSingletonGroupAccessors(t *testing.T) {
-	r := sample().Reduce()
-	if ref, ok := r.Singleton("a"); !ok || ref.ID != "a4" || ref.Kind != NodeElem {
+	f := newFixture(t)
+	r := f.sample(t).Reduce()
+	if ref, ok := r.Singleton("a"); !ok || r.RefID(ref) != "a4" || ref.Kind != NodeElem {
 		t.Errorf("singleton a: %+v %v", ref, ok)
 	}
 	if _, ok := r.Singleton("zzz"); ok {
 		t.Errorf("missing singleton must report !ok")
 	}
 	g := r.Group("b")
-	if len(g) != 2 || g[0].ID != "t4" || g[1].ID != "t5" {
+	if len(g) != 2 || r.RefID(g[0]) != "t4" || r.RefID(g[1]) != "t5" {
 		t.Errorf("group b: %+v", g)
 	}
 	vars := r.Vars()
@@ -105,7 +209,8 @@ func TestSingletonGroupAccessors(t *testing.T) {
 }
 
 func TestFormatTable(t *testing.T) {
-	out := FormatTable([]*Reduced{sample().Reduce()})
+	f := newFixture(t)
+	out := FormatTable([]*Reduced{f.sample(t).Reduce()})
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 2 {
 		t.Fatalf("want 2 lines, got %d:\n%s", len(lines), out)
@@ -116,10 +221,12 @@ func TestFormatTable(t *testing.T) {
 }
 
 func TestSortStable(t *testing.T) {
-	long := sample().Reduce()
+	f := newFixture(t)
+	long := f.sample(t).Reduce()
 	short := &Reduced{
-		Cols: []ReducedCol{{Var: "x", Kind: NodeElem, ID: "n1"}},
-		Path: graph.Path{Nodes: []graph.NodeID{"n1"}},
+		Cols: []ReducedCol{{Var: "x", Kind: NodeElem, Idx: f.node(t, "n1")}},
+		Path: f.path(t, []string{"n1"}, nil),
+		Src:  f.s,
 	}
 	in := []*Reduced{long, short}
 	SortStable(in)
@@ -129,7 +236,8 @@ func TestSortStable(t *testing.T) {
 }
 
 func TestStringRendering(t *testing.T) {
-	r := sample().Reduce()
+	f := newFixture(t)
+	r := f.sample(t).Reduce()
 	s := r.String()
 	if !strings.Contains(s, "a↦a4") || !strings.Contains(s, "−↦li4") {
 		t.Errorf("rendering: %s", s)
@@ -141,12 +249,15 @@ func TestStringRendering(t *testing.T) {
 
 // Dedup is idempotent and order-preserving (property).
 func TestDedupIdempotentProperty(t *testing.T) {
+	fx := newFixture(t)
 	f := func(ids []uint8) bool {
 		var in []*Reduced
 		for _, id := range ids {
+			n := fx.node(t, string(rune('a'+id%5)))
 			in = append(in, &Reduced{
-				Cols: []ReducedCol{{Var: "x", Kind: NodeElem, ID: string(rune('a' + id%5))}},
-				Path: graph.Path{Nodes: []graph.NodeID{graph.NodeID(rune('a' + id%5))}},
+				Cols: []ReducedCol{{Var: "x", Kind: NodeElem, Idx: n}},
+				Path: graph.IdxPath{Nodes: []graph.ElemIdx{n}},
+				Src:  fx.s,
 			})
 		}
 		once := Dedup(in)
@@ -156,10 +267,10 @@ func TestDedupIdempotentProperty(t *testing.T) {
 		}
 		seen := map[string]bool{}
 		for _, r := range once {
-			if seen[r.Key()] {
+			if seen[r.CanonKey()] {
 				return false
 			}
-			seen[r.Key()] = true
+			seen[r.CanonKey()] = true
 		}
 		return true
 	}

@@ -181,8 +181,8 @@ func TestSection64_PartMatching(t *testing.T) {
 		t.Fatalf("big transfers: expected 7 (all but t6), got %d", len(all))
 	}
 	for _, r := range all {
-		for _, c := range r.Cols {
-			if c.ID == "t6" {
+		for i := range r.Cols {
+			if r.ColID(i) == "t6" {
 				t.Errorf("t6 (amount 4M) must fail the WHERE condition")
 			}
 		}

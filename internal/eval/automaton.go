@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -149,11 +150,11 @@ type autoPred struct {
 	edge int
 }
 
-// replayStep is one concrete step of a reconstructed path: the edge taken
-// and the node it arrives at.
+// replayStep is one concrete step of a reconstructed path: the dense
+// indices of the edge taken and the node it arrives at.
 type replayStep struct {
-	edge *graph.Edge
-	node graph.NodeID
+	edge int
+	node int
 }
 
 // autoEngine runs the product search for one pattern; one instance serves
@@ -162,7 +163,6 @@ type replayStep struct {
 // path on a path-constrained DFS machine (see dfs.go), shared across
 // paths so replay allocates next to nothing.
 type autoEngine struct {
-	g      graph.Store
 	st     graph.Stepper
 	nfa    *automaton.NFA
 	limits Limits
@@ -170,7 +170,7 @@ type autoEngine struct {
 
 	rep     *dfs // path-constrained replay machine
 	emitted int  // bindings emitted by the current replay
-	seed    graph.NodeID
+	seed    int
 
 	S int // automaton state count; product id = node*S + state
 	// dist maps product id -> arrival depth + 1 (0 = unvisited): a dense
@@ -188,6 +188,7 @@ type autoEngine struct {
 	cloOut   []int
 	pathBuf  []replayStep
 	fwdBuf   []replayStep
+	seenBuf  []byte // scratch for the distinct-path dedup key
 	ticks    int
 }
 
@@ -196,13 +197,9 @@ type autoEngine struct {
 // proportional to the states actually visited.
 const denseDistLimit = 1 << 24
 
-func newAutoEngine(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, emit func(*binding.PathBinding) error) *autoEngine {
-	if st == nil {
-		st = graph.AsStepper(s)
-	}
+func newAutoEngine(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, emit func(*binding.PathBinding) error) *autoEngine {
 	nfa := automatonFor(pp)
 	a := &autoEngine{
-		g:        s,
 		st:       st,
 		nfa:      nfa,
 		limits:   cfg.Limits.withDefaults(),
@@ -217,7 +214,7 @@ func newAutoEngine(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Confi
 	} else {
 		a.distMap = map[int]int32{}
 	}
-	a.rep = newDFS(s, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, func(b *binding.PathBinding) error {
+	a.rep = newDFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, func(b *binding.PathBinding) error {
 		a.emitted++
 		return emit(b)
 	})
@@ -246,13 +243,10 @@ func (a *autoEngine) setDist(pid int, d int32) {
 	a.distMap[pid] = d
 }
 
-// run evaluates the pattern anchored at one seed node: product BFS, then
-// reconstruction and replay of every minimal-depth match.
-func (a *autoEngine) run(seed graph.NodeID) error {
-	si, ok := a.st.NodeIndex(seed)
-	if !ok {
-		return nil
-	}
+// run evaluates the pattern anchored at one seed node index: product BFS,
+// then reconstruction and replay of every minimal-depth match.
+func (a *autoEngine) run(seed int) error {
+	si := seed
 	a.seed = seed
 	start, err := a.closure(si, a.nfa.Start)
 	if err != nil {
@@ -322,7 +316,7 @@ func (a *autoEngine) expand(pid, n int, stp automaton.Step, depth int) error {
 			return true
 		}
 		if ep.Where != nil {
-			tri, err := EvalPred(ep.Where, elemResolver{a.g, ep.Var, binding.Ref{Kind: binding.EdgeElem, ID: string(e.ID)}})
+			tri, err := EvalPred(ep.Where, elemResolver{a.st, ep.Var, binding.Ref{Kind: binding.EdgeElem, Idx: graph.ElemIdx(ei)}})
 			if err != nil {
 				firstErr = err
 				return false
@@ -393,7 +387,7 @@ func (a *autoEngine) closure(node, q0 int) ([]int, error) {
 					continue
 				}
 				if np.Where != nil {
-					tri, err := EvalPred(np.Where, elemResolver{a.g, np.Var, binding.Ref{Kind: binding.NodeElem, ID: string(n.ID)}})
+					tri, err := EvalPred(np.Where, elemResolver{a.st, np.Var, binding.Ref{Kind: binding.NodeElem, Idx: graph.ElemIdx(node)}})
 					if err != nil {
 						return err
 					}
@@ -434,7 +428,7 @@ func (a *autoEngine) emitShortest() error {
 	if len(minAt) == 0 {
 		return nil
 	}
-	seen := map[string]bool{} // distinct paths, keyed by edge-id sequence
+	seen := map[string]bool{} // distinct paths, keyed by packed edge indices
 	for _, pid := range a.touched {
 		if !a.nfa.States[pid%a.S].Accept || a.distOf(pid) != minAt[pid/a.S] {
 			continue
@@ -452,25 +446,24 @@ func (a *autoEngine) emitShortest() error {
 // and replayed.
 func (a *autoEngine) walkBack(pid int, seen map[string]bool) error {
 	if a.distOf(pid) == 1 {
-		var sb strings.Builder
+		buf := a.seenBuf[:0]
 		for i := len(a.pathBuf) - 1; i >= 0; i-- {
-			sb.WriteString(string(a.pathBuf[i].edge.ID))
-			sb.WriteByte(0)
+			buf = binary.AppendUvarint(buf, uint64(a.pathBuf[i].edge))
 		}
-		key := sb.String()
-		if seen[key] {
+		a.seenBuf = buf
+		if seen[string(buf)] {
 			return nil
 		}
-		seen[key] = true
+		seen[string(buf)] = true
 		a.fwdBuf = a.fwdBuf[:0]
 		for i := len(a.pathBuf) - 1; i >= 0; i-- {
 			a.fwdBuf = append(a.fwdBuf, a.pathBuf[i])
 		}
 		return a.replayPath(a.fwdBuf)
 	}
-	node := a.st.NodeByIndex(pid / a.S).ID
+	node := pid / a.S
 	for _, p := range a.preds[pid] {
-		a.pathBuf = append(a.pathBuf, replayStep{edge: a.st.EdgeByIndex(p.edge), node: node})
+		a.pathBuf = append(a.pathBuf, replayStep{edge: p.edge, node: node})
 		if err := a.walkBack(p.from, seen); err != nil {
 			return err
 		}

@@ -1,9 +1,9 @@
 package eval
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strings"
 
 	"gpml/internal/ast"
 	"gpml/internal/binding"
@@ -29,6 +29,10 @@ import (
 // group lists referenced by prefilters — which §5.3 guarantees are fed by
 // effectively bounded quantifiers), so any admitted arrival can replay the
 // suffix of any pruned arrival with the same key.
+//
+// Like the DFS machine, the search is integer-dense: positions and
+// bindings are dense indices, and admission keys are compact
+// varint-packed byte strings rather than formatted id strings.
 
 // Persistent (shared-tail) state for threads.
 
@@ -62,8 +66,8 @@ type entryNode struct {
 }
 
 type stepNode struct {
-	edge graph.EdgeID
-	node graph.NodeID
+	edge graph.ElemIdx
+	node graph.ElemIdx
 	prev *stepNode
 	n    int
 }
@@ -83,9 +87,9 @@ type groupNode struct {
 // copies the struct and shares the persistent tails.
 type thread struct {
 	pc      int
-	pos     graph.NodeID
+	pos     int
 	started bool
-	first   graph.NodeID
+	first   int
 	depth   int
 
 	counters []int // immutable; copy on change
@@ -99,15 +103,20 @@ type thread struct {
 }
 
 type bfs struct {
-	g      graph.Store
+	st     graph.Stepper
 	prog   *plan.Prog
 	limits Limits
 	bud    *budget
-	seed   graph.NodeID
+	seed   int
 
 	policy  admitPolicy
 	visited map[string]*visitInfo
 	queue   []thread
+
+	// keyBuf and keyBinds are the admission-key scratch buffers, reused
+	// across park calls.
+	keyBuf   []byte
+	keyBinds []bindRec
 
 	pathVar string
 	emit    func(*binding.PathBinding) error
@@ -153,15 +162,15 @@ func (p admitPolicy) admit(vi *visitInfo, depth int) bool {
 }
 
 // runBFS evaluates the program under the given selector, anchored at the
-// seed node. Admission keys include the start node, so per-seed searches
-// admit exactly the threads the old whole-graph search did; limits are
-// shared across seed runs through the budget.
-func runBFS(s graph.Store, prog *plan.Prog, pathVar string, limits Limits, sel ast.Selector, seed graph.NodeID, bud *budget, emit func(*binding.PathBinding) error) error {
+// seed node index. Admission keys include the start node, so per-seed
+// searches admit exactly the threads the old whole-graph search did;
+// limits are shared across seed runs through the budget.
+func runBFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, sel ast.Selector, seed int, bud *budget, emit func(*binding.PathBinding) error) error {
 	if sel.Kind == ast.NoSelector {
 		return fmt.Errorf("eval: BFS mode requires a selector (planner bug)")
 	}
 	b := &bfs{
-		g:       s,
+		st:      st,
 		prog:    prog,
 		limits:  limits.withDefaults(),
 		bud:     bud,
@@ -201,49 +210,94 @@ func (b *bfs) park(t thread) error {
 	return nil
 }
 
+// bindRec is one admission-key binding record: the owning frame's
+// quantifier (-1 for the environment), the variable, and the element.
+type bindRec struct {
+	qid  int
+	name string
+	kind binding.ElemKind
+	idx  graph.ElemIdx
+}
+
 // key builds the admission key: everything that can influence the thread's
-// future behaviour.
+// future behaviour, varint-packed. Bindings are sorted under a fixed total
+// order, so equal binding sets produce equal keys (the old implementation
+// sorted rendered "name=id" strings; any canonical order preserves the
+// same equalities because ids and indices are in bijection).
 func (b *bfs) key(t thread) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%s|%v|%s|", t.pc, t.pos, t.started, t.first)
+	buf := b.keyBuf[:0]
+	buf = binary.AppendUvarint(buf, uint64(t.pc))
+	if t.started {
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(t.pos))
+		buf = binary.AppendUvarint(buf, uint64(t.first))
+	} else {
+		buf = append(buf, 0)
+	}
 	// Counters, clamped: beyond an unbounded quantifier's minimum, all
 	// counter values behave identically.
+	buf = binary.AppendUvarint(buf, uint64(len(t.counters)))
 	for i, c := range t.counters {
 		min, max := b.counterBounds(t, i)
 		if max < 0 && c > min {
 			c = min + 1
 		}
-		fmt.Fprintf(&sb, "%d,", c)
+		buf = binary.AppendUvarint(buf, uint64(c))
 	}
-	sb.WriteByte('|')
-	// Singleton environment, sorted for determinism.
-	var binds []string
+	// Singleton environment, canonically ordered.
+	binds := b.keyBinds[:0]
 	for n := t.env; n != nil; n = n.prev {
-		binds = append(binds, n.name+"="+n.ref.ID)
+		binds = append(binds, bindRec{qid: -1, name: n.name, kind: n.ref.Kind, idx: n.ref.Idx})
 	}
 	for f := t.frames; f != nil; f = f.prev {
 		for n := f.locals; n != nil; n = n.prev {
-			binds = append(binds, fmt.Sprintf("f%d.%s=%s", f.qid, n.name, n.ref.ID))
+			binds = append(binds, bindRec{qid: f.qid, name: n.name, kind: n.ref.Kind, idx: n.ref.Idx})
 		}
 	}
-	sort.Strings(binds)
-	sb.WriteString(strings.Join(binds, ";"))
-	sb.WriteByte('|')
-	// Group lists read by prefilters (effectively bounded, §5.3).
+	sort.Slice(binds, func(i, j int) bool {
+		a, c := binds[i], binds[j]
+		if a.name != c.name {
+			return a.name < c.name
+		}
+		if a.qid != c.qid {
+			return a.qid < c.qid
+		}
+		if a.kind != c.kind {
+			return a.kind < c.kind
+		}
+		return a.idx < c.idx
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(binds)))
+	for _, r := range binds {
+		buf = binary.AppendUvarint(buf, uint64(r.qid+1))
+		buf = append(buf, r.name...)
+		buf = append(buf, 0)
+		buf = append(buf, byte(r.kind))
+		buf = binary.AppendUvarint(buf, uint64(r.idx))
+	}
+	// Group lists read by prefilters (effectively bounded, §5.3), in
+	// chronological order (cons lists are LIFO, so reverse).
 	if len(b.prog.PrefilterGroups) > 0 {
-		var gs []string
+		gs := binds[len(binds):]
 		for n := t.groups; n != nil; n = n.prev {
 			if b.prog.PrefilterGroups[n.name] {
-				gs = append(gs, n.name+"="+n.ref.ID)
+				gs = append(gs, bindRec{name: n.name, kind: n.ref.Kind, idx: n.ref.Idx})
 			}
 		}
-		// Reverse to chronological order (cons lists are LIFO).
 		for i, j := 0, len(gs)-1; i < j; i, j = i+1, j-1 {
 			gs[i], gs[j] = gs[j], gs[i]
 		}
-		sb.WriteString(strings.Join(gs, ";"))
+		buf = binary.AppendUvarint(buf, uint64(len(gs)))
+		for _, r := range gs {
+			buf = append(buf, r.name...)
+			buf = append(buf, 0)
+			buf = append(buf, byte(r.kind))
+			buf = binary.AppendUvarint(buf, uint64(r.idx))
+		}
 	}
-	return sb.String()
+	b.keyBinds = binds[:0]
+	b.keyBuf = buf
+	return string(buf)
 }
 
 // counterBounds finds the loop bounds owning counter index i by scanning
@@ -377,7 +431,7 @@ func (b *bfs) closure(t thread) error {
 	case plan.OpScopeStart, plan.OpScopeEnd:
 		return fmt.Errorf("eval: restrictor scope in BFS mode (planner bug)")
 	case plan.OpWhere:
-		tri, err := EvalPred(in.Where, threadResolver{b.g, &t})
+		tri, err := EvalPred(in.Where, threadResolver{b.st, &t})
 		if err != nil {
 			return err
 		}
@@ -399,21 +453,13 @@ func (b *bfs) closure(t thread) error {
 
 func (b *bfs) closureNode(t thread, in *plan.Instr) error {
 	if !t.started {
-		n := b.g.Node(b.seed)
-		if n == nil {
-			return nil
-		}
 		t2 := t
 		t2.started = true
-		t2.pos = n.ID
-		t2.first = n.ID
-		return b.matchNode(t2, in, n)
+		t2.pos = b.seed
+		t2.first = b.seed
+		return b.matchNode(t2, in, b.st.NodeByIndex(b.seed))
 	}
-	n := b.g.Node(t.pos)
-	if n == nil {
-		return fmt.Errorf("eval: position %q vanished", t.pos)
-	}
-	return b.matchNode(t, in, n)
+	return b.matchNode(t, in, b.st.NodeByIndex(t.pos))
 }
 
 func (b *bfs) matchNode(t thread, in *plan.Instr, n *graph.Node) error {
@@ -421,13 +467,13 @@ func (b *bfs) matchNode(t thread, in *plan.Instr, n *graph.Node) error {
 	if np.Label != nil && !np.Label.Matches(n.Labels) {
 		return nil
 	}
-	t2, ok := bindThread(t, np.Var, binding.NodeElem, string(n.ID))
+	t2, ok := bindThread(t, np.Var, binding.NodeElem, t.pos)
 	if !ok {
 		return nil
 	}
-	t2.pending = pushPending(t2, np.Var, binding.NodeElem, string(n.ID))
+	t2.pending = pushPending(t2, np.Var, binding.NodeElem, t.pos)
 	if np.Where != nil {
-		tri, err := EvalPred(np.Where, threadResolver{b.g, &t2})
+		tri, err := EvalPred(np.Where, threadResolver{b.st, &t2})
 		if err != nil {
 			return err
 		}
@@ -440,8 +486,8 @@ func (b *bfs) matchNode(t thread, in *plan.Instr, n *graph.Node) error {
 }
 
 // pushPending mirrors dfs.pushPosEntry with immutable slices.
-func pushPending(t thread, varName string, kind binding.ElemKind, id string) []binding.Entry {
-	entry := binding.Entry{Var: varName, Iters: iterAnnotationOf(t), Kind: kind, ID: id}
+func pushPending(t thread, varName string, kind binding.ElemKind, idx int) []binding.Entry {
+	entry := binding.Entry{Var: varName, Iters: iterAnnotationOf(t), Kind: kind, Idx: graph.ElemIdx(idx)}
 	if ast.IsAnonVar(varName) {
 		if len(t.pending) > 0 {
 			return t.pending
@@ -457,24 +503,24 @@ func pushPending(t thread, varName string, kind binding.ElemKind, id string) []b
 	return next
 }
 
-func iterAnnotationOf(t thread) []int {
+func iterAnnotationOf(t thread) binding.IterAnn {
+	var a binding.IterAnn
 	if t.frames == nil {
-		return nil
+		return a
 	}
 	var rev []int
 	for f := t.frames; f != nil; f = f.prev {
 		rev = append(rev, t.counters[f.counterIdx])
 	}
-	out := make([]int, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	for i := len(rev) - 1; i >= 0; i-- {
+		a.Push(rev[i])
 	}
-	return out
+	return a
 }
 
 // bindThread binds a variable with equi-join semantics, persistently.
-func bindThread(t thread, varName string, kind binding.ElemKind, id string) (thread, bool) {
-	ref := binding.Ref{Kind: kind, ID: id}
+func bindThread(t thread, varName string, kind binding.ElemKind, idx int) (thread, bool) {
+	ref := binding.Ref{Kind: kind, Idx: graph.ElemIdx(idx)}
 	anon := ast.IsAnonVar(varName)
 	if t.frames != nil {
 		if prev, ok := t.frames.locals.lookup(varName); ok {
@@ -517,23 +563,30 @@ func (b *bfs) expand(t thread) error {
 	base.pending = nil
 
 	var firstErr error
-	b.g.Incident(t.pos, func(e *graph.Edge) bool {
-		var targets []graph.NodeID
-		if e.Direction == graph.Directed {
-			if e.Source == t.pos && ep.Orientation.AllowsRight() {
-				targets = append(targets, e.Target)
+	b.st.Steps(t.pos, func(ei, oi int, kind graph.StepKind) bool {
+		// Directed self-loops step once per admitted direction (§4.2);
+		// every other step has exactly one orientation.
+		if kind == graph.StepLoop {
+			if ep.Orientation.AllowsRight() {
+				if err := b.traverse(base, in, ei, oi); err != nil {
+					firstErr = err
+					return false
+				}
 			}
-			if e.Target == t.pos && ep.Orientation.AllowsLeft() {
-				targets = append(targets, e.Source)
+			if ep.Orientation.AllowsLeft() {
+				if err := b.traverse(base, in, ei, oi); err != nil {
+					firstErr = err
+					return false
+				}
 			}
-		} else if ep.Orientation.AllowsUndirected() {
-			targets = append(targets, e.Other(t.pos))
+			return true
 		}
-		for _, tgt := range targets {
-			if err := b.traverse(base, in, e, tgt); err != nil {
-				firstErr = err
-				return false
-			}
+		if !stepAllowed(ep.Orientation, kind) {
+			return true
+		}
+		if err := b.traverse(base, in, ei, oi); err != nil {
+			firstErr = err
+			return false
 		}
 		return true
 	})
@@ -551,27 +604,28 @@ func appendEntries(tail *entryNode, entries []binding.Entry) *entryNode {
 	return tail
 }
 
-func (b *bfs) traverse(base thread, in *plan.Instr, e *graph.Edge, target graph.NodeID) error {
+func (b *bfs) traverse(base thread, in *plan.Instr, ei, target int) error {
 	ep := in.Edge
+	e := b.st.EdgeByIndex(ei)
 	if ep.Label != nil && !ep.Label.Matches(e.Labels) {
 		return nil
 	}
-	t2, ok := bindThread(base, ep.Var, binding.EdgeElem, string(e.ID))
+	t2, ok := bindThread(base, ep.Var, binding.EdgeElem, ei)
 	if !ok {
 		return nil
 	}
 	t2.pos = target
 	t2.depth = base.depth + 1
 	t2.entries = appendEntries(t2.entries, []binding.Entry{{
-		Var: ep.Var, Iters: iterAnnotationOf(base), Kind: binding.EdgeElem, ID: string(e.ID),
+		Var: ep.Var, Iters: iterAnnotationOf(base), Kind: binding.EdgeElem, Idx: graph.ElemIdx(ei),
 	}})
 	n := 1
 	if base.steps != nil {
 		n = base.steps.n + 1
 	}
-	t2.steps = &stepNode{edge: e.ID, node: target, prev: base.steps, n: n}
+	t2.steps = &stepNode{edge: graph.ElemIdx(ei), node: graph.ElemIdx(target), prev: base.steps, n: n}
 	if ep.Where != nil {
-		tri, err := EvalPred(ep.Where, threadResolver{b.g, &t2})
+		tri, err := EvalPred(ep.Where, threadResolver{b.st, &t2})
 		if err != nil {
 			return err
 		}
@@ -588,13 +642,13 @@ func (b *bfs) accept(t thread) error {
 	if err := b.bud.addMatch(); err != nil {
 		return err
 	}
-	return b.emit(materializeThread(t, b.pathVar))
+	return b.emit(materializeThread(t, b.pathVar, b.st))
 }
 
 // materializeThread converts a completed thread into a path binding; shared
 // by the BFS engine and the automaton engine's path replayer so both
 // produce byte-identical bindings.
-func materializeThread(t thread, pathVar string) *binding.PathBinding {
+func materializeThread(t thread, pathVar string, src graph.Store) *binding.PathBinding {
 	final := appendEntries(t.entries, t.pending)
 	count := 0
 	if final != nil {
@@ -615,21 +669,22 @@ func materializeThread(t thread, pathVar string) *binding.PathBinding {
 	if t.steps != nil {
 		steps = t.steps.n
 	}
-	nodes := make([]graph.NodeID, steps+1)
-	edges := make([]graph.EdgeID, steps)
-	nodes[0] = t.first
-	for n := t.steps; n != nil; n = n.prev {
-		nodes[n.n] = n.node
-		edges[n.n-1] = n.edge
-	}
-	var path graph.Path
+	var path graph.IdxPath
 	if t.started {
-		path = graph.Path{Nodes: nodes, Edges: edges}
+		nodes := make([]graph.ElemIdx, steps+1)
+		edges := make([]graph.ElemIdx, steps)
+		nodes[0] = graph.ElemIdx(t.first)
+		for n := t.steps; n != nil; n = n.prev {
+			nodes[n.n] = n.node
+			edges[n.n-1] = n.edge
+		}
+		path = graph.IdxPath{Nodes: nodes, Edges: edges}
 	}
 	return &binding.PathBinding{
 		Entries: entries,
 		Tags:    tags,
 		Path:    path,
 		PathVar: pathVar,
+		Src:     src,
 	}
 }

@@ -47,31 +47,36 @@ import (
 // worker pools share one instead of rebuilding it per worker.
 type seedSolver struct {
 	pp  *plan.PathPlan
-	run func(graph.NodeID) error
+	run func(int) error
 	buf []*binding.PathBinding
 	// seen is the reusable per-seed dedup set (cleared between seeds —
 	// exact, since dedup keys never collide across seeds). Reusing it
 	// keeps the per-seed constant cost near zero on many-seed workloads.
-	seen map[string]struct{}
+	// Keys are the Keyer's compact binary form (its variable codes only
+	// grow, so one Keyer is consistent across all of the solver's seeds);
+	// the StringKeys reference mode uses the canonical textual key.
+	seen       map[string]struct{}
+	keyer      *binding.Keyer
+	stringKeys bool
 }
 
-func newSeedSolver(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget) *seedSolver {
-	ss := &seedSolver{pp: pp, seen: map[string]struct{}{}}
-	ss.run = seedRunner(s, st, pp, cfg, bud, func(b *binding.PathBinding) error {
+func newSeedSolver(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget) *seedSolver {
+	ss := &seedSolver{pp: pp, seen: map[string]struct{}{}, keyer: binding.NewKeyer(), stringKeys: cfg.StringKeys}
+	ss.run = seedRunner(st, pp, cfg, bud, func(b *binding.PathBinding) error {
 		ss.buf = append(ss.buf, b)
 		return nil
 	})
 	return ss
 }
 
-// solve returns the pattern's selected solutions anchored at one seed.
-// Per-seed reduction, deduplication and selection agree exactly with the
-// full pipeline restricted to this seed (see the package comment above).
-// Selector-free patterns skip the per-seed sort: their solution multiset
-// is order-independent downstream (Eval's canonical row sort is total
-// because deduplicated keys are unique, and joins probe by key), so the
-// engines' deterministic emission order stands.
-func (ss *seedSolver) solve(seed graph.NodeID) ([]*binding.Reduced, error) {
+// solve returns the pattern's selected solutions anchored at one seed
+// node index. Per-seed reduction, deduplication and selection agree
+// exactly with the full pipeline restricted to this seed (see the package
+// comment above). Selector-free patterns skip the per-seed sort: their
+// solution multiset is order-independent downstream (Eval's canonical row
+// sort is total because deduplicated keys are unique, and joins probe by
+// key), so the engines' deterministic emission order stands.
+func (ss *seedSolver) solve(seed int) ([]*binding.Reduced, error) {
 	ss.buf = ss.buf[:0]
 	if err := ss.run(seed); err != nil {
 		return nil, err
@@ -83,10 +88,18 @@ func (ss *seedSolver) solve(seed graph.NodeID) ([]*binding.Reduced, error) {
 	out := make([]*binding.Reduced, 0, len(ss.buf))
 	for _, b := range ss.buf {
 		r := b.Reduce()
-		if _, dup := ss.seen[r.Key()]; dup {
-			continue
+		if ss.stringKeys {
+			if _, dup := ss.seen[r.CanonKey()]; dup {
+				continue
+			}
+			ss.seen[r.CanonKey()] = struct{}{}
+		} else {
+			key := ss.keyer.Key(r)
+			if _, dup := ss.seen[string(key)]; dup {
+				continue
+			}
+			ss.seen[string(key)] = struct{}{}
 		}
-		ss.seen[r.Key()] = struct{}{}
 		out = append(out, r)
 	}
 	if ss.pp.Pattern.Selector.Kind == ast.NoSelector {
@@ -114,7 +127,7 @@ func sortRowsCanonical(rows []*Row, npaths int) {
 			if ra.Path.Len() != rb.Path.Len() {
 				return ra.Path.Len() < rb.Path.Len()
 			}
-			if ka, kb := ra.Key(), rb.Key(); ka != kb {
+			if ka, kb := ra.CanonKey(), rb.CanonKey(); ka != kb {
 				return ka < kb
 			}
 		}

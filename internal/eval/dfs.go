@@ -80,33 +80,41 @@ func (f *iterFrame) lookup(name string) (binding.Ref, bool) {
 }
 
 // scopeState tracks one active restrictor scope (TRAIL/ACYCLIC/SIMPLE).
+// Used-element sets are keyed by dense index.
 type scopeState struct {
 	restrictor ast.Restrictor
 	inited     bool
-	firstNode  graph.NodeID
+	firstNode  int
 	closed     bool // SIMPLE: the scope returned to its first node
-	usedEdges  map[graph.EdgeID]struct{}
-	usedNodes  map[graph.NodeID]struct{}
+	usedEdges  map[int]struct{}
+	usedNodes  map[int]struct{}
 }
 
 // dfs is the backtracking matcher. Every case of step restores all state it
 // mutated before returning. One machine explores every match anchored at a
-// single seed node; Enumerate runs one machine per seed.
+// single seed node; Enumerate runs one machine per seed. The machine is
+// integer-dense: positions, path elements and bindings are dense indices
+// against the stepper's arena — no id strings are built during search.
 type dfs struct {
-	g      graph.Store
+	st     graph.Stepper
 	prog   *plan.Prog
 	limits Limits
 	bud    *budget
-	seed   graph.NodeID
+	seed   int
 
-	pos     graph.NodeID
+	pos     int
 	started bool
 
-	entries    []binding.Entry
-	posEntries []binding.Entry // node entries pending for the current position
-	tags       []binding.Tag
-	pathNodes  []graph.NodeID
-	pathEdges  []graph.EdgeID
+	entries []binding.Entry
+	// posArena[posStart:] is the node-entry window pending for the current
+	// position. Windows are stack-disciplined (pushed entries are copied
+	// out at flush/accept and truncated on backtrack), so one growing
+	// arena serves the whole search with no per-step slice allocations.
+	posArena  []binding.Entry
+	posStart  int
+	tags      []binding.Tag
+	pathNodes []graph.ElemIdx
+	pathEdges []graph.ElemIdx
 
 	counters  []int
 	frames    []*iterFrame
@@ -138,9 +146,9 @@ type dfs struct {
 // newDFS builds a reusable matcher. Every run restores all machine state
 // by backtracking, so one machine serves any number of sequential seed
 // runs; limits accounting is shared across runs through the budget.
-func newDFS(s graph.Store, prog *plan.Prog, pathVar string, limits Limits, bud *budget, emit func(*binding.PathBinding) error) *dfs {
+func newDFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, bud *budget, emit func(*binding.PathBinding) error) *dfs {
 	return &dfs{
-		g:       s,
+		st:      st,
 		prog:    prog,
 		limits:  limits.withDefaults(),
 		bud:     bud,
@@ -151,9 +159,9 @@ func newDFS(s graph.Store, prog *plan.Prog, pathVar string, limits Limits, bud *
 	}
 }
 
-// run enumerates every match of the program anchored at the seed node,
-// invoking emit for each.
-func (m *dfs) run(seed graph.NodeID) error {
+// run enumerates every match of the program anchored at the seed node
+// index, invoking emit for each.
+func (m *dfs) run(seed int) error {
 	m.seed = seed
 	return m.step(m.prog.Start)
 }
@@ -162,7 +170,7 @@ func (m *dfs) run(seed graph.NodeID) error {
 
 type dfsResolver struct{ m *dfs }
 
-func (r dfsResolver) Graph() graph.Store { return r.m.g }
+func (r dfsResolver) Graph() graph.Store { return r.m.st }
 
 func (r dfsResolver) Elem(name string) (binding.Ref, bool) {
 	for i := len(r.m.frames) - 1; i >= 0; i-- {
@@ -259,8 +267,8 @@ func (m *dfs) step(pc int) error {
 	case plan.OpScopeStart:
 		s := &scopeState{
 			restrictor: in.Restrictor,
-			usedEdges:  map[graph.EdgeID]struct{}{},
-			usedNodes:  map[graph.NodeID]struct{}{},
+			usedEdges:  map[int]struct{}{},
+			usedNodes:  map[int]struct{}{},
 		}
 		if m.started {
 			s.init(m.pos)
@@ -296,7 +304,7 @@ func (m *dfs) step(pc int) error {
 	}
 }
 
-func (s *scopeState) init(first graph.NodeID) {
+func (s *scopeState) init(first int) {
 	s.inited = true
 	s.firstNode = first
 	s.usedNodes[first] = struct{}{}
@@ -307,23 +315,16 @@ func (s *scopeState) init(first graph.NodeID) {
 // machine per candidate start node).
 func (m *dfs) stepNode(in *plan.Instr) error {
 	if !m.started {
-		n := m.g.Node(m.seed)
-		if n == nil {
-			return nil
-		}
+		n := m.st.NodeByIndex(m.seed)
 		m.started = true
-		m.pos = n.ID
-		m.pathNodes = append(m.pathNodes, n.ID)
+		m.pos = m.seed
+		m.pathNodes = append(m.pathNodes, graph.ElemIdx(m.seed))
 		err := m.matchNodeHere(in, n)
 		m.pathNodes = m.pathNodes[:len(m.pathNodes)-1]
 		m.started = false
 		return err
 	}
-	n := m.g.Node(m.pos)
-	if n == nil {
-		return fmt.Errorf("eval: position %q vanished", m.pos)
-	}
-	return m.matchNodeHere(in, n)
+	return m.matchNodeHere(in, m.st.NodeByIndex(m.pos))
 }
 
 // matchNodeHere checks labels, binds the variable (implicit equi-join),
@@ -335,101 +336,118 @@ func (m *dfs) matchNodeHere(in *plan.Instr, n *graph.Node) error {
 	if np.Label != nil && !np.Label.Matches(n.Labels) {
 		return nil
 	}
-	undoBind, ok := m.bindElem(np.Var, binding.NodeElem, string(n.ID))
+	undo, ok := m.bindElem(np.Var, binding.NodeElem, m.pos)
 	if !ok {
 		return nil
 	}
-	savedPos := m.posEntries
-	m.pushPosEntry(np.Var, binding.NodeElem, string(n.ID))
+	savedArena := m.posArena
+	replaced, prevEntry := m.pushPosEntry(np.Var, binding.NodeElem, m.pos)
 	var err error
+	matched := true
 	if np.Where != nil {
 		var t value.Tri
 		t, err = EvalPred(np.Where, dfsResolver{m})
-		if err == nil && !t.IsTrue() {
-			m.posEntries = savedPos
-			undoBind()
-			return nil
-		}
+		matched = err == nil && t.IsTrue()
 	}
-	if err == nil {
+	if err == nil && matched {
 		err = m.step(in.Next)
 	}
-	m.posEntries = savedPos
-	undoBind()
+	m.posArena = savedArena
+	if replaced {
+		m.posArena[m.posStart] = prevEntry
+	}
+	m.undoBind(undo, np.Var)
 	return err
 }
 
 // pushPosEntry implements the §6.3 clean-up operationally: at one path
 // position, named node patterns each contribute an entry; anonymous node
 // patterns contribute a single entry only when no other pattern binds the
-// position.
-func (m *dfs) pushPosEntry(varName string, kind binding.ElemKind, id string) {
-	entry := binding.Entry{Var: varName, Iters: m.iterAnnotation(), Kind: kind, ID: id}
+// position. Entries go to the arena window of the current position; the
+// caller restores the arena length on backtrack and, when a named pattern
+// replaced a pending anonymous entry in place (replaced=true), puts the
+// returned previous entry back.
+func (m *dfs) pushPosEntry(varName string, kind binding.ElemKind, idx int) (replaced bool, prev binding.Entry) {
+	window := len(m.posArena) - m.posStart
 	if ast.IsAnonVar(varName) {
-		if len(m.posEntries) > 0 {
-			return // suppressed: another pattern already binds this position
+		if window > 0 {
+			return false, prev // suppressed: another pattern already binds this position
 		}
-		m.posEntries = append([]binding.Entry(nil), entry)
-		return
+	} else if window == 1 && ast.IsAnonVar(m.posArena[m.posStart].Var) {
+		prev = m.posArena[m.posStart]
+		m.posArena[m.posStart] = binding.Entry{Var: varName, Iters: m.iterAnnotation(), Kind: kind, Idx: graph.ElemIdx(idx)}
+		return true, prev
 	}
-	// Named pattern: replace a pending anonymous entry, else append.
-	if len(m.posEntries) == 1 && ast.IsAnonVar(m.posEntries[0].Var) {
-		m.posEntries = []binding.Entry{entry}
-		return
-	}
-	next := make([]binding.Entry, len(m.posEntries)+1)
-	copy(next, m.posEntries)
-	next[len(m.posEntries)] = entry
-	m.posEntries = next
+	m.posArena = append(m.posArena, binding.Entry{Var: varName, Iters: m.iterAnnotation(), Kind: kind, Idx: graph.ElemIdx(idx)})
+	return false, prev
 }
 
-// iterAnnotation snapshots the iteration indices of the enclosing frames.
-func (m *dfs) iterAnnotation() []int {
-	if len(m.frames) == 0 {
-		return nil
+// iterAnnotation snapshots the iteration indices of the enclosing frames
+// (inline in the annotation value — no allocation at the common depths).
+func (m *dfs) iterAnnotation() binding.IterAnn {
+	var a binding.IterAnn
+	for _, f := range m.frames {
+		a.Push(m.counters[f.counterIdx])
 	}
-	out := make([]int, len(m.frames))
-	for i, f := range m.frames {
-		out[i] = m.counters[f.counterIdx]
+	return a
+}
+
+// bindUndo says how to undo one bindElem call. Tokens instead of undo
+// closures: the machine's bind/undo pairs bracket balanced frame stacks,
+// so the undo can re-derive the frame — and a token allocates nothing.
+type bindUndo uint8
+
+// Undo kinds.
+const (
+	undoNone       bindUndo = iota // binding already existed (equi-join hit)
+	undoLocal                      // pop the innermost frame's local
+	undoLocalGroup                 // pop the local and the group entry
+	undoEnv                        // delete the environment binding
+)
+
+// undoBind reverses a successful bindElem. The frame stack is balanced
+// across the recursion between bind and undo, so the innermost frame is
+// the one that bound.
+func (m *dfs) undoBind(u bindUndo, varName string) {
+	switch u {
+	case undoLocal:
+		f := m.frames[len(m.frames)-1]
+		f.locals = f.locals[:len(f.locals)-1]
+	case undoLocalGroup:
+		f := m.frames[len(m.frames)-1]
+		f.locals = f.locals[:len(f.locals)-1]
+		m.groups[varName] = m.groups[varName][:len(m.groups[varName])-1]
+	case undoEnv:
+		delete(m.env, varName)
 	}
-	return out
 }
 
 // bindElem binds a variable to an element with implicit equi-join
-// semantics. It returns an undo function and whether the binding is
+// semantics. It returns the undo token and whether the binding is
 // consistent. Bindings inside a quantifier iteration go to the innermost
 // frame and accumulate in the variable's group list.
-func (m *dfs) bindElem(varName string, kind binding.ElemKind, id string) (func(), bool) {
-	ref := binding.Ref{Kind: kind, ID: id}
+func (m *dfs) bindElem(varName string, kind binding.ElemKind, idx int) (bindUndo, bool) {
+	ref := binding.Ref{Kind: kind, Idx: graph.ElemIdx(idx)}
 	anon := ast.IsAnonVar(varName)
 	if len(m.frames) > 0 {
 		f := m.frames[len(m.frames)-1]
 		if prev, ok := f.lookup(varName); ok {
-			if prev == ref {
-				return func() {}, true
-			}
-			return nil, false
+			return undoNone, prev == ref
 		}
 		// A variable declared outside all quantifiers never appears as a
 		// declaration site inside one (static check), so no env lookup here.
 		f.locals = append(f.locals, localBind{varName, ref})
 		if anon {
-			return func() { f.locals = f.locals[:len(f.locals)-1] }, true
+			return undoLocal, true
 		}
 		m.groups[varName] = append(m.groups[varName], ref)
-		return func() {
-			f.locals = f.locals[:len(f.locals)-1]
-			m.groups[varName] = m.groups[varName][:len(m.groups[varName])-1]
-		}, true
+		return undoLocalGroup, true
 	}
 	if prev, ok := m.env[varName]; ok {
-		if prev == ref {
-			return func() {}, true
-		}
-		return nil, false
+		return undoNone, prev == ref
 	}
 	m.env[varName] = ref
-	return func() { delete(m.env, varName) }, true
+	return undoEnv, true
 }
 
 // stepEdge traverses one edge from the current position in every admitted
@@ -452,11 +470,13 @@ func (m *dfs) stepEdge(in *plan.Instr) error {
 			return nil
 		}
 	}
-	// Flush pending node entries: the position is now final.
+	// Flush pending node entries: the position is now final. The arena
+	// window empties (posStart moves to the arena tip) and is restored by
+	// index on backtrack.
 	savedEntries := len(m.entries)
-	savedPos := m.posEntries
-	m.entries = append(m.entries, m.posEntries...)
-	m.posEntries = nil
+	savedPosStart := m.posStart
+	m.entries = append(m.entries, m.posArena[m.posStart:]...)
+	m.posStart = len(m.posArena)
 
 	ep := in.Edge
 	var firstErr error
@@ -464,65 +484,73 @@ func (m *dfs) stepEdge(in *plan.Instr) error {
 		// Automaton replay: consume exactly the next reconstructed step.
 		if len(m.pathEdges) < len(m.pathSteps) {
 			stp := m.pathSteps[len(m.pathEdges)]
-			if traversalAllowed(ep.Orientation, stp.edge, m.pos, stp.node) {
+			if m.traversalAllowed(ep.Orientation, stp.edge, m.pos, stp.node) {
 				firstErr = m.traverse(in, stp.edge, stp.node)
 			}
 		}
 	} else {
-		m.g.Incident(m.pos, func(e *graph.Edge) bool {
-			targets := m.traversals(e, ep.Orientation)
-			for _, tgt := range targets {
-				if err := m.traverse(in, e, tgt); err != nil {
-					firstErr = err
-					return false
+		m.st.Steps(m.pos, func(ei, oi int, kind graph.StepKind) bool {
+			// A directed self-loop admitted in both directions is taken
+			// twice, matching the paper's §4.2 "-" semantics of returning
+			// each edge once per direction (the duplicate reduces away
+			// downstream); all other steps have exactly one orientation.
+			if kind == graph.StepLoop {
+				if ep.Orientation.AllowsRight() {
+					if err := m.traverse(in, ei, oi); err != nil {
+						firstErr = err
+						return false
+					}
 				}
+				if ep.Orientation.AllowsLeft() {
+					if err := m.traverse(in, ei, oi); err != nil {
+						firstErr = err
+						return false
+					}
+				}
+				return true
+			}
+			if !stepAllowed(ep.Orientation, kind) {
+				return true
+			}
+			if err := m.traverse(in, ei, oi); err != nil {
+				firstErr = err
+				return false
 			}
 			return true
 		})
 	}
 
 	m.entries = m.entries[:savedEntries]
-	m.posEntries = savedPos
+	m.posStart = savedPosStart
 	return firstErr
 }
 
-// traversalAllowed checks one concrete traversal (from → to over e)
-// against an edge-pattern orientation; a directed self-loop may be taken
-// along or against its direction.
-func traversalAllowed(o ast.Orientation, e *graph.Edge, from, to graph.NodeID) bool {
+// traversalAllowed checks one concrete traversal (from → to over edge
+// index ei) against an edge-pattern orientation; a directed self-loop may
+// be taken along or against its direction.
+func (m *dfs) traversalAllowed(o ast.Orientation, ei, from, to int) bool {
+	e := m.st.EdgeByIndex(ei)
+	src, tgt := m.st.EdgeEnds(ei)
 	if e.Direction == graph.Directed {
-		if e.Source == from && e.Target == to && o.AllowsRight() {
+		if src == from && tgt == to && o.AllowsRight() {
 			return true
 		}
-		return e.Target == from && e.Source == to && o.AllowsLeft()
+		return tgt == from && src == to && o.AllowsLeft()
 	}
-	return o.AllowsUndirected() && e.Other(from) == to
-}
-
-// traversals lists the target nodes reachable over edge e from the current
-// position under the given orientation. A directed self-loop admitted in
-// both directions yields two traversals with identical targets (the
-// duplicate reduces away downstream, as §4.2 specifies for "-" patterns
-// returning each edge "once for each direction").
-func (m *dfs) traversals(e *graph.Edge, o ast.Orientation) []graph.NodeID {
-	var out []graph.NodeID
-	if e.Direction == graph.Directed {
-		if e.Source == m.pos && o.AllowsRight() {
-			out = append(out, e.Target)
-		}
-		if e.Target == m.pos && o.AllowsLeft() {
-			out = append(out, e.Source)
-		}
-	} else if o.AllowsUndirected() {
-		out = append(out, e.Other(m.pos))
+	if !o.AllowsUndirected() {
+		return false
 	}
-	return out
+	if src == from {
+		return tgt == to
+	}
+	return tgt == from && src == to
 }
 
 // traverse applies one edge traversal: label check, restrictor checks and
 // updates, binding, inline WHERE, recursion — and undoes everything.
-func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error {
+func (m *dfs) traverse(in *plan.Instr, ei, target int) error {
 	ep := in.Edge
+	e := m.st.EdgeByIndex(ei)
 	if ep.Label != nil && !ep.Label.Matches(e.Labels) {
 		return nil
 	}
@@ -540,7 +568,7 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 		for i := len(undos) - 1; i >= 0; i-- {
 			u := undos[i]
 			if u.removeEdge {
-				delete(u.s.usedEdges, e.ID)
+				delete(u.s.usedEdges, ei)
 			}
 			if u.removeNode {
 				delete(u.s.usedNodes, target)
@@ -550,7 +578,7 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 			}
 			if u.uninit {
 				delete(u.s.usedNodes, u.s.firstNode)
-				u.s.firstNode = ""
+				u.s.firstNode = 0
 				u.s.inited = false
 			}
 		}
@@ -568,11 +596,11 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 		}
 		switch s.restrictor {
 		case ast.Trail:
-			if _, used := s.usedEdges[e.ID]; used {
+			if _, used := s.usedEdges[ei]; used {
 				undoScopes()
 				return nil
 			}
-			s.usedEdges[e.ID] = struct{}{}
+			s.usedEdges[ei] = struct{}{}
 			u.removeEdge = true
 		case ast.Acyclic:
 			if _, used := s.usedNodes[target]; used {
@@ -596,7 +624,7 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 		}
 	}
 
-	undoBind, ok := m.bindElem(ep.Var, binding.EdgeElem, string(e.ID))
+	undo, ok := m.bindElem(ep.Var, binding.EdgeElem, ei)
 	if !ok {
 		undoScopes()
 		return nil
@@ -605,12 +633,12 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 	// Commit movement.
 	prevPos := m.pos
 	m.pos = target
-	m.pathEdges = append(m.pathEdges, e.ID)
-	m.pathNodes = append(m.pathNodes, target)
+	m.pathEdges = append(m.pathEdges, graph.ElemIdx(ei))
+	m.pathNodes = append(m.pathNodes, graph.ElemIdx(target))
 	savedEntries := len(m.entries)
-	m.entries = append(m.entries, binding.Entry{Var: ep.Var, Iters: m.iterAnnotation(), Kind: binding.EdgeElem, ID: string(e.ID)})
-	savedPosEntries := m.posEntries
-	m.posEntries = nil
+	m.entries = append(m.entries, binding.Entry{Var: ep.Var, Iters: m.iterAnnotation(), Kind: binding.EdgeElem, Idx: graph.ElemIdx(ei)})
+	savedPosStart := m.posStart
+	m.posStart = len(m.posArena)
 
 	var err error
 	passed := true
@@ -623,12 +651,12 @@ func (m *dfs) traverse(in *plan.Instr, e *graph.Edge, target graph.NodeID) error
 		err = m.step(in.Next)
 	}
 
-	m.posEntries = savedPosEntries
+	m.posStart = savedPosStart
 	m.entries = m.entries[:savedEntries]
 	m.pathNodes = m.pathNodes[:len(m.pathNodes)-1]
 	m.pathEdges = m.pathEdges[:len(m.pathEdges)-1]
 	m.pos = prevPos
-	undoBind()
+	m.undoBind(undo, ep.Var)
 	undoScopes()
 	return err
 }
@@ -641,16 +669,18 @@ func (m *dfs) accept() error {
 	if err := m.bud.addMatch(); err != nil {
 		return err
 	}
-	entries := make([]binding.Entry, 0, len(m.entries)+len(m.posEntries))
+	pending := m.posArena[m.posStart:]
+	entries := make([]binding.Entry, 0, len(m.entries)+len(pending))
 	entries = append(entries, m.entries...)
-	entries = append(entries, m.posEntries...)
+	entries = append(entries, pending...)
 	tags := append([]binding.Tag(nil), m.tags...)
-	nodes := append([]graph.NodeID(nil), m.pathNodes...)
-	edges := append([]graph.EdgeID(nil), m.pathEdges...)
+	nodes := append([]graph.ElemIdx(nil), m.pathNodes...)
+	edges := append([]graph.ElemIdx(nil), m.pathEdges...)
 	return m.emit(&binding.PathBinding{
 		Entries: entries,
 		Tags:    tags,
-		Path:    graph.Path{Nodes: nodes, Edges: edges},
+		Path:    graph.IdxPath{Nodes: nodes, Edges: edges},
 		PathVar: m.pathVar,
+		Src:     m.st,
 	})
 }

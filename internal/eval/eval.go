@@ -40,6 +40,13 @@ type Config struct {
 	// kept are the first n in streaming (pipeline) order; Eval then
 	// presents them in canonical order.
 	Limit int
+	// StringKeys is the A/B reference mode for the interned execution
+	// path: dedup sets and join indexes are keyed by materialized element
+	// id strings (the pre-interning encoding) instead of compact binary
+	// keys. Results are identical either way (the binary encodings are
+	// injective); the option exists for benchmarking the interning win and
+	// for differential testing.
+	StringKeys bool
 }
 
 // BoundKind discriminates what a result variable is bound to.
@@ -54,13 +61,36 @@ const (
 	BoundPath
 )
 
-// Bound is the value of one variable in a result row.
+// Bound is the value of one variable in a result row. Node/Edge ids and
+// the Path are materialized once, when the row is assembled; Idx keeps
+// the element's dense index (relative to the store the variable's pattern
+// matched against) so downstream expression evaluation and joins stay
+// integer-dense. Group entries stay interned and materialize on render.
 type Bound struct {
 	Kind  BoundKind
 	Node  graph.NodeID
 	Edge  graph.EdgeID
+	Idx   graph.ElemIdx
 	Group []binding.Ref
 	Path  graph.Path
+
+	// src resolves interned Group refs for display; set when the row is
+	// assembled.
+	src graph.Store
+}
+
+// GroupIDs materializes the element ids of a group binding in sequence
+// order (empty for non-group bindings). Group entries are stored interned;
+// this is the supported way to read their ids from a result row.
+func (b Bound) GroupIDs() []string {
+	if b.Kind != BoundGroup {
+		return nil
+	}
+	out := make([]string, len(b.Group))
+	for i, r := range b.Group {
+		out[i] = binding.ElemID(b.src, r.Kind, r.Idx)
+	}
+	return out
 }
 
 // String renders the binding for display.
@@ -73,7 +103,7 @@ func (b Bound) String() string {
 	case BoundGroup:
 		parts := make([]string, len(b.Group))
 		for i, r := range b.Group {
-			parts[i] = r.ID
+			parts[i] = binding.ElemID(b.src, r.Kind, r.Idx)
 		}
 		return "[" + strings.Join(parts, ",") + "]"
 	case BoundPath:
@@ -83,26 +113,43 @@ func (b Bound) String() string {
 	}
 }
 
+// rowVar is one bound variable of a row. Rows bind a handful of
+// variables, so an association list beats a map: one allocation per row
+// and linear scans that stay in cache.
+type rowVar struct {
+	name string
+	b    Bound
+}
+
 // Row is one joined match of the whole graph pattern.
 type Row struct {
-	vars map[string]Bound
+	vars []rowVar
 	// Bindings holds one reduced binding per path pattern, indexed by
 	// pattern (textual) order. During a join, patterns not yet joined are
 	// nil; every completed row has all entries set.
 	Bindings []*binding.Reduced
 }
 
-// Get returns the binding of a variable in this row.
-func (r *Row) Get(name string) (Bound, bool) {
-	b, ok := r.vars[name]
-	return b, ok
+// lookup finds a variable's binding by linear scan.
+func (r *Row) lookup(name string) (Bound, bool) {
+	for i := range r.vars {
+		if r.vars[i].name == name {
+			return r.vars[i].b, true
+		}
+	}
+	return Bound{}, false
 }
 
-// Vars lists the bound variables of the row (unordered).
+// Get returns the binding of a variable in this row.
+func (r *Row) Get(name string) (Bound, bool) {
+	return r.lookup(name)
+}
+
+// Vars lists the bound variables of the row (sorted).
 func (r *Row) Vars() []string {
 	out := make([]string, 0, len(r.vars))
-	for v := range r.vars {
-		out = append(out, v)
+	for i := range r.vars {
+		out = append(out, r.vars[i].name)
 	}
 	sort.Strings(out)
 	return out
@@ -153,7 +200,12 @@ func MatchPattern(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.Redu
 	for i, b := range raw {
 		reduced[i] = b.Reduce()
 	}
-	deduped := binding.Dedup(reduced)
+	var deduped []*binding.Reduced
+	if cfg.StringKeys {
+		deduped = binding.DedupStrings(reduced)
+	} else {
+		deduped = binding.Dedup(reduced)
+	}
 	selected := ApplySelector(pp.Pattern.Selector, deduped)
 	binding.SortStable(selected)
 	return selected, nil
@@ -165,20 +217,21 @@ func MatchPattern(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.Redu
 // with cfg.Parallelism > 1, distributes the seed runs over a worker pool
 // (see parallel.go). Search limits are shared across all seed runs.
 func Enumerate(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.PathBinding, error) {
+	st := graph.AsStepper(s)
 	bud := newBudget(cfg.Limits.withDefaults())
 	if cfg.Parallelism > 1 {
-		if seeds := seedNodes(s, pp); len(seeds) > 1 {
-			return enumerateParallel(s, pp, cfg, bud, seeds)
+		if seeds := seedNodes(st, pp); len(seeds) > 1 {
+			return enumerateParallel(st, pp, cfg, bud, seeds)
 		}
 	}
 	var out []*binding.PathBinding
-	run := seedRunner(s, nil, pp, cfg, bud, func(b *binding.PathBinding) error {
+	run := seedRunner(st, pp, cfg, bud, func(b *binding.PathBinding) error {
 		out = append(out, b)
 		return nil
 	})
 	var err error
-	forEachSeed(s, pp, func(id graph.NodeID) bool {
-		err = run(id)
+	forEachSeed(st, pp, func(i int) bool {
+		err = run(i)
 		return err == nil
 	})
 	if err != nil {
@@ -187,48 +240,51 @@ func Enumerate(s graph.Store, pp *plan.PathPlan, cfg Config) ([]*binding.PathBin
 	return out, nil
 }
 
-// forEachSeed streams the candidate start nodes in iteration order. When
-// the plan proved seed labels, the cheapest one (by the store's label
-// counts) restricts the candidates; the engines re-check the full node
-// pattern at each seed, so any sound label works.
-func forEachSeed(s graph.Store, pp *plan.PathPlan, f func(graph.NodeID) bool) {
-	if label, ok := graph.CheapestNodeLabel(s, pp.SeedLabels); ok {
-		s.NodesWithLabel(label, func(n *graph.Node) bool { return f(n.ID) })
+// forEachSeed streams the candidate start node indices in iteration
+// order. When the plan proved seed labels, the cheapest one (by the
+// store's label counts) restricts the candidates; the engines re-check
+// the full node pattern at each seed, so any sound label works.
+func forEachSeed(st graph.Stepper, pp *plan.PathPlan, f func(i int) bool) {
+	if label, ok := graph.CheapestNodeLabel(st, pp.SeedLabels); ok {
+		st.NodesWithLabelIdx(label, f)
 		return
 	}
-	s.Nodes(func(n *graph.Node) bool { return f(n.ID) })
+	for i, n := 0, st.NumNodes(); i < n; i++ {
+		if !f(i) {
+			return
+		}
+	}
 }
 
-// seedNodes materializes the candidate seeds, for distribution over the
-// parallel worker pool.
-func seedNodes(s graph.Store, pp *plan.PathPlan) []graph.NodeID {
-	var out []graph.NodeID
-	forEachSeed(s, pp, func(id graph.NodeID) bool {
-		out = append(out, id)
+// seedNodes materializes the candidate seed indices, for distribution
+// over the parallel worker pool.
+func seedNodes(st graph.Stepper, pp *plan.PathPlan) []int {
+	var out []int
+	forEachSeed(st, pp, func(i int) bool {
+		out = append(out, i)
 		return true
 	})
 	return out
 }
 
-// seedRunner returns a function running one engine pass per seed node,
-// selected by EngineFor: the automaton engine when the plan proved the
-// pattern eligible (product search plus replay, reused across seeds), the
-// level-synchronous BFS engine for the remaining selector-bounded
-// patterns, and the backtracking DFS machine otherwise. st optionally
-// supplies a pre-built indexed view of s, so a worker pool shares one
-// topology index instead of rebuilding it per worker (nil = build on
-// demand).
-func seedRunner(s graph.Store, st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, emit func(*binding.PathBinding) error) func(graph.NodeID) error {
+// seedRunner returns a function running one engine pass per seed node
+// index, selected by EngineFor: the automaton engine when the plan proved
+// the pattern eligible (product search plus replay, reused across seeds),
+// the level-synchronous BFS engine for the remaining selector-bounded
+// patterns, and the backtracking DFS machine otherwise. All engines run
+// on the store's indexed Stepper view (memoized per store, shared by
+// worker pools).
+func seedRunner(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, emit func(*binding.PathBinding) error) func(int) error {
 	engine, _ := EngineFor(pp, cfg)
 	switch engine {
 	case EngineAutomaton:
-		return newAutoEngine(s, st, pp, cfg, bud, emit).run
+		return newAutoEngine(st, pp, cfg, bud, emit).run
 	case EngineBFS:
-		return func(seed graph.NodeID) error {
-			return runBFS(s, pp.Prog, pp.Pattern.PathVar, cfg.Limits, pp.Pattern.Selector, seed, bud, emit)
+		return func(seed int) error {
+			return runBFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, pp.Pattern.Selector, seed, bud, emit)
 		}
 	default:
-		return newDFS(s, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, emit).run
+		return newDFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, emit).run
 	}
 }
 
@@ -247,15 +303,19 @@ func sharedVars(p *plan.Plan, pp *plan.PathPlan, bound map[string]bool) []string
 
 // joinPattern hash-joins one pattern's solutions into the accumulated
 // rows; with no shared variables it degenerates to a cross product.
-func joinPattern(p *plan.Plan, pp *plan.PathPlan, rows []*Row, solutions []*binding.Reduced, shared []string) []*Row {
+// byIdx selects the compact index-based join keys (sound only when every
+// pattern runs on one shared store).
+func joinPattern(p *plan.Plan, pp *plan.PathPlan, rows []*Row, solutions []*binding.Reduced, shared []string, byIdx bool) []*Row {
 	index := map[string][]*binding.Reduced{}
+	var buf []byte
 	for _, sol := range solutions {
-		k := joinKeyOfSolution(sol, shared)
-		index[k] = append(index[k], sol)
+		buf = appendJoinKeyOfSolution(buf[:0], sol, shared, byIdx)
+		index[string(buf)] = append(index[string(buf)], sol)
 	}
 	var next []*Row
 	for _, row := range rows {
-		for _, sol := range index[joinKeyOfRow(row, shared)] {
+		buf = appendJoinKeyOfRow(buf[:0], row, shared, byIdx)
+		for _, sol := range index[string(buf)] {
 			merged, ok := mergeRow(p, pp, row, sol)
 			if !ok {
 				continue
@@ -276,74 +336,104 @@ func markBound(bound map[string]bool, pp *plan.PathPlan) {
 	}
 }
 
-// appendKeyComponent appends one length-prefixed join-key component:
-// "<len(id)><kind-tag><id>". The explicit length keeps element ids
-// containing NUL bytes or leading kind-tag characters from bleeding into
-// the neighbouring component (two different binding tuples can otherwise
-// concatenate to the same key and join rows that never matched).
-func appendKeyComponent(b *strings.Builder, kind binding.ElemKind, id string) {
-	b.WriteString(strconv.Itoa(len(id)))
-	b.WriteString(kindTag(kind))
-	b.WriteString(id)
+// Join-key encodings. The compact form (byIdx) packs one fixed-width
+// component per shared variable — a kind byte (0 node, 1 edge) followed
+// by the 4-byte big-endian dense index — with a single 0xFF byte marking
+// an unbound conditional singleton. Parsing is determined left to right
+// (a component's first byte is 0, 1 or 0xFF and fixes its width), so the
+// encoding is prefix-free and two distinct binding tuples can never
+// concatenate to the same key. It is only sound when probe and build side
+// index against the same store; multi-graph joins (and the StringKeys
+// reference mode) use the materialized string form, which keeps the
+// pre-interning length-prefixed encoding: "<len(id)><kind-tag><id>" per
+// component, '?' for unbound.
+
+const unboundKeyByte = 0xFF
+
+// appendUnbound marks an unbound conditional singleton: 0xFF in the
+// compact form (no bound component starts with it), '?' in the string
+// form (bound components start with a digit) — the pre-interning byte.
+func appendUnbound(buf []byte, byIdx bool) []byte {
+	if byIdx {
+		return append(buf, unboundKeyByte)
+	}
+	return append(buf, '?')
 }
 
-// appendUnboundComponent marks an unbound (conditional singleton)
-// component; "?" cannot be confused with a bound component, which always
-// starts with a digit.
-func appendUnboundComponent(b *strings.Builder) { b.WriteByte('?') }
+// appendIdxComponent appends one compact bound component.
+func appendIdxComponent(b []byte, kind binding.ElemKind, idx graph.ElemIdx) []byte {
+	return append(b, byte(kind), byte(idx>>24), byte(idx>>16), byte(idx>>8), byte(idx))
+}
 
-// joinKeyOfSolution builds the hash key of a pattern solution over the
-// shared join variables.
-func joinKeyOfSolution(sol *binding.Reduced, shared []string) string {
-	if len(shared) == 0 {
-		return ""
-	}
-	var key strings.Builder
+// appendStringComponent appends one materialized bound component.
+func appendStringComponent(b []byte, kind binding.ElemKind, id string) []byte {
+	b = strconv.AppendInt(b, int64(len(id)), 10)
+	b = append(b, kindTag(kind))
+	return append(b, id...)
+}
+
+// AppendSolutionJoinKey exposes the live join-key encoding to experiment
+// tooling (benchgen S5 measures it against the retired string encoding);
+// it is appendJoinKeyOfSolution verbatim, so the A/B always measures
+// exactly what the engine runs.
+func AppendSolutionJoinKey(buf []byte, sol *binding.Reduced, shared []string, byIdx bool) []byte {
+	return appendJoinKeyOfSolution(buf, sol, shared, byIdx)
+}
+
+// appendJoinKeyOfSolution appends a pattern solution's hash key over the
+// shared join variables to buf.
+func appendJoinKeyOfSolution(buf []byte, sol *binding.Reduced, shared []string, byIdx bool) []byte {
 	for _, v := range shared {
 		ref, ok := sol.Singleton(v)
-		if !ok {
-			appendUnboundComponent(&key)
-			continue
-		}
-		appendKeyComponent(&key, ref.Kind, ref.ID)
-	}
-	return key.String()
-}
-
-func kindTag(k binding.ElemKind) string {
-	if k == binding.NodeElem {
-		return "n"
-	}
-	return "e"
-}
-
-// joinKeyOfRow builds the matching probe key from an accumulated row.
-func joinKeyOfRow(row *Row, shared []string) string {
-	if len(shared) == 0 {
-		return ""
-	}
-	var key strings.Builder
-	for _, v := range shared {
-		b := row.vars[v]
-		switch b.Kind {
-		case BoundNode:
-			appendKeyComponent(&key, binding.NodeElem, string(b.Node))
-		case BoundEdge:
-			appendKeyComponent(&key, binding.EdgeElem, string(b.Edge))
+		switch {
+		case !ok:
+			buf = appendUnbound(buf, byIdx)
+		case byIdx:
+			buf = appendIdxComponent(buf, ref.Kind, ref.Idx)
 		default:
-			appendUnboundComponent(&key)
+			buf = appendStringComponent(buf, ref.Kind, sol.RefID(ref))
 		}
 	}
-	return key.String()
+	return buf
+}
+
+func kindTag(k binding.ElemKind) byte {
+	if k == binding.NodeElem {
+		return 'n'
+	}
+	return 'e'
+}
+
+// appendJoinKeyOfRow appends the matching probe key of an accumulated row
+// to buf.
+func appendJoinKeyOfRow(buf []byte, row *Row, shared []string, byIdx bool) []byte {
+	for _, v := range shared {
+		b, _ := row.lookup(v)
+		switch {
+		case b.Kind != BoundNode && b.Kind != BoundEdge:
+			buf = appendUnbound(buf, byIdx)
+		case byIdx && b.Kind == BoundNode:
+			buf = appendIdxComponent(buf, binding.NodeElem, b.Idx)
+		case byIdx:
+			buf = appendIdxComponent(buf, binding.EdgeElem, b.Idx)
+		case b.Kind == BoundNode:
+			buf = appendStringComponent(buf, binding.NodeElem, string(b.Node))
+		default:
+			buf = appendStringComponent(buf, binding.EdgeElem, string(b.Edge))
+		}
+	}
+	return buf
 }
 
 // mergeRow extends a partial row with one pattern solution, checking the
-// implicit equi-joins on shared unconditional singletons.
+// implicit equi-joins on shared unconditional singletons. This is where a
+// match's element id strings are materialized — once per assembled row,
+// never during search. The equi-join check compares materialized ids, the
+// semantics multi-graph evaluation defines joins by; on a shared store the
+// ids are in bijection with the indices, so the comparison is identical.
 func mergeRow(p *plan.Plan, pp *plan.PathPlan, row *Row, sol *binding.Reduced) (*Row, bool) {
-	vars := make(map[string]Bound, len(row.vars)+4)
-	for k, v := range row.vars {
-		vars[k] = v
-	}
+	vars := make([]rowVar, len(row.vars), len(row.vars)+len(pp.Vars)+1)
+	copy(vars, row.vars)
 	for _, name := range pp.Vars {
 		info := p.Var(name)
 		if info == nil {
@@ -354,29 +444,37 @@ func mergeRow(p *plan.Plan, pp *plan.PathPlan, row *Row, sol *binding.Reduced) (
 		case info.Kind == plan.VarPath:
 			continue // handled below via PathVar
 		case info.Group:
-			b = Bound{Kind: BoundGroup, Group: sol.Group(name)}
+			b = Bound{Kind: BoundGroup, Group: sol.Group(name), src: sol.Src}
 		default:
 			ref, ok := sol.Singleton(name)
 			if !ok {
 				b = Bound{Kind: BoundNull} // conditional singleton, unbound
 			} else if ref.Kind == binding.NodeElem {
-				b = Bound{Kind: BoundNode, Node: graph.NodeID(ref.ID)}
+				b = Bound{Kind: BoundNode, Node: graph.NodeID(sol.RefID(ref)), Idx: ref.Idx, src: sol.Src}
 			} else {
-				b = Bound{Kind: BoundEdge, Edge: graph.EdgeID(ref.ID)}
+				b = Bound{Kind: BoundEdge, Edge: graph.EdgeID(sol.RefID(ref)), Idx: ref.Idx, src: sol.Src}
 			}
 		}
-		if prev, exists := vars[name]; exists {
+		prevAt := -1
+		for i := range vars {
+			if vars[i].name == name {
+				prevAt = i
+				break
+			}
+		}
+		if prevAt >= 0 {
 			// Implicit equi-join across path patterns (static analysis
 			// guarantees these are unconditional singletons).
+			prev := vars[prevAt].b
 			if prev.Kind != b.Kind || prev.Node != b.Node || prev.Edge != b.Edge {
 				return nil, false
 			}
 			continue
 		}
-		vars[name] = b
+		vars = append(vars, rowVar{name, b})
 	}
 	if pv := pp.Pattern.PathVar; pv != "" {
-		vars[pv] = Bound{Kind: BoundPath, Path: sol.Path}
+		vars = append(vars, rowVar{pv, Bound{Kind: BoundPath, Path: sol.Path.Materialize(sol.Src), src: sol.Src}})
 	}
 	bindings := make([]*binding.Reduced, len(p.Paths))
 	copy(bindings, row.Bindings)
@@ -385,18 +483,20 @@ func mergeRow(p *plan.Plan, pp *plan.PathPlan, row *Row, sol *binding.Reduced) (
 }
 
 // rowEdgeIsomorphic reports whether every edge occurrence across the row's
-// path bindings is distinct (§7.1's edge-isomorphic match mode).
+// path bindings is distinct (§7.1's edge-isomorphic match mode). Distinct-
+// ness is by element id, which multi-graph evaluation defines identity by.
 func rowEdgeIsomorphic(row *Row) bool {
 	seen := map[string]struct{}{}
 	for _, rb := range row.Bindings {
-		for _, col := range rb.Cols {
+		for i, col := range rb.Cols {
 			if col.Kind != binding.EdgeElem {
 				continue
 			}
-			if _, dup := seen[col.ID]; dup {
+			id := rb.ColID(i)
+			if _, dup := seen[id]; dup {
 				return false
 			}
-			seen[col.ID] = struct{}{}
+			seen[id] = struct{}{}
 		}
 	}
 	return true
@@ -426,22 +526,62 @@ func (r rowResolver) GraphFor(name string) graph.Store {
 }
 
 func (r rowResolver) Elem(name string) (binding.Ref, bool) {
-	b, ok := r.row.vars[name]
+	b, ok := r.row.lookup(name)
 	if !ok {
 		return binding.Ref{}, false
 	}
+	var kind binding.ElemKind
 	switch b.Kind {
 	case BoundNode:
-		return binding.Ref{Kind: binding.NodeElem, ID: string(b.Node)}, true
+		kind = binding.NodeElem
 	case BoundEdge:
-		return binding.Ref{Kind: binding.EdgeElem, ID: string(b.Edge)}, true
+		kind = binding.EdgeElem
 	default:
 		return binding.Ref{}, false
+	}
+	// The row's index is relative to the store whose pattern bound the
+	// variable (join-order dependent); lookups route to the variable's
+	// declaring store (GraphFor). When the two differ — multi-graph
+	// evaluation, or a caller-supplied projection store — the index is
+	// not portable, so re-intern the materialized id against the target.
+	// An id the target does not contain resolves out of range: property
+	// reads yield NULL, exactly like the pre-interning id lookup did.
+	target := graphOf(r, name)
+	idx := b.Idx
+	if target != b.src && b.src != nil {
+		var ok2 bool
+		if kind == binding.NodeElem {
+			idx, ok2 = target.InternNode(b.Node)
+		} else {
+			idx, ok2 = target.InternEdge(b.Edge)
+		}
+		if !ok2 {
+			idx = ^graph.ElemIdx(0)
+		}
+	}
+	return binding.Ref{Kind: kind, Idx: idx}, true
+}
+
+// ElemID serves element identity straight from the row's materialized
+// ids (multi-graph comparisons are defined over ids, and the id is exact
+// even when the routed store lacks the element).
+func (r rowResolver) ElemID(name string) (string, bool) {
+	b, ok := r.row.lookup(name)
+	if !ok {
+		return "", false
+	}
+	switch b.Kind {
+	case BoundNode:
+		return string(b.Node), true
+	case BoundEdge:
+		return string(b.Edge), true
+	default:
+		return "", false
 	}
 }
 
 func (r rowResolver) Group(name string) ([]binding.Ref, bool) {
-	b, ok := r.row.vars[name]
+	b, ok := r.row.lookup(name)
 	if !ok || b.Kind != BoundGroup {
 		return nil, false
 	}

@@ -442,8 +442,18 @@ func TestRowAccessors(t *testing.T) {
 	}
 }
 
-// Bound.String renders every kind.
+// Bound.String renders every kind. Group bindings materialize through the
+// row's source store, so the case builds one.
 func TestBoundString(t *testing.T) {
+	g := graph.New()
+	if err := g.AddNode("a1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []graph.EdgeID{"t1", "t2"} {
+		if err := g.AddEdge(e, "a1", "a1", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
 	cases := []struct {
 		b    Bound
 		want string
@@ -451,7 +461,7 @@ func TestBoundString(t *testing.T) {
 		{Bound{Kind: BoundNull}, "NULL"},
 		{Bound{Kind: BoundNode, Node: "a1"}, "a1"},
 		{Bound{Kind: BoundEdge, Edge: "t1"}, "t1"},
-		{Bound{Kind: BoundGroup, Group: []binding.Ref{{ID: "t1"}, {ID: "t2"}}}, "[t1,t2]"},
+		{Bound{Kind: BoundGroup, Group: []binding.Ref{{Kind: binding.EdgeElem, Idx: 0}, {Kind: binding.EdgeElem, Idx: 1}}, src: g}, "[t1,t2]"},
 		{Bound{Kind: BoundPath, Path: graph.Path{Nodes: []graph.NodeID{"a"}}}, "path(a)"},
 	}
 	for _, c := range cases {

@@ -45,6 +45,25 @@ func graphOf(r Resolver, name string) graph.Store {
 	return r.Graph()
 }
 
+// elemIDResolver is optionally implemented by resolvers that can
+// materialize a bound element's id directly (the row resolver: its
+// Bounds carry the id strings). Identity comparisons prefer it — the id
+// is exact even when the variable's routed store does not contain the
+// element, which an index round-trip cannot represent.
+type elemIDResolver interface {
+	ElemID(name string) (string, bool)
+}
+
+// elemIDOf materializes the id behind a resolved element reference.
+func elemIDOf(r Resolver, name string, ref binding.Ref) string {
+	if ir, ok := r.(elemIDResolver); ok {
+		if id, ok2 := ir.ElemID(name); ok2 {
+			return id
+		}
+	}
+	return refID(graphOf(r, name), ref)
+}
+
 // EvalPred evaluates an expression as a predicate under Kleene 3VL. A
 // filter passes only when the result is TRUE.
 func EvalPred(e ast.Expr, r Resolver) (value.Tri, error) {
@@ -89,6 +108,9 @@ func EvalPred(e ast.Expr, r Resolver) (value.Tri, error) {
 			return l.Xor(rr), nil
 		case ast.OpEq, ast.OpNe:
 			// Element-reference equality (GQL mode; validated statically).
+			// Identity is by element id (multi-graph evaluation compares
+			// elements across stores by id, §7.1), so the refs' stores
+			// must agree before indices can be compared directly.
 			if lv, lok := x.L.(*ast.VarRef); lok {
 				if rv, rok := x.R.(*ast.VarRef); rok {
 					le, lb := r.Elem(lv.Name)
@@ -96,7 +118,8 @@ func EvalPred(e ast.Expr, r Resolver) (value.Tri, error) {
 					if !lb || !rb {
 						return value.Unknown, nil
 					}
-					same := le.Kind == re.Kind && le.ID == re.ID
+					same := le.Kind == re.Kind &&
+						elemIDOf(r, lv.Name, le) == elemIDOf(r, rv.Name, re)
 					if x.Op == ast.OpNe {
 						return value.TriOf(!same), nil
 					}
@@ -133,7 +156,7 @@ func EvalPred(e ast.Expr, r Resolver) (value.Tri, error) {
 		if !ok {
 			return value.Unknown, nil
 		}
-		edge := graphOf(r, x.Var).Edge(graph.EdgeID(ref.ID))
+		edge := edgeOf(graphOf(r, x.Var), ref)
 		if edge == nil {
 			return value.Unknown, fmt.Errorf("eval: %q is not bound to an edge", x.Var)
 		}
@@ -148,48 +171,54 @@ func EvalPred(e ast.Expr, r Resolver) (value.Tri, error) {
 		if !nok || !eok {
 			return value.Unknown, nil
 		}
-		edge := graphOf(r, x.EdgeVar).Edge(graph.EdgeID(eref.ID))
+		edge := edgeOf(graphOf(r, x.EdgeVar), eref)
 		if edge == nil {
 			return value.Unknown, fmt.Errorf("eval: %q is not bound to an edge", x.EdgeVar)
 		}
+		nodeID := elemIDOf(r, x.NodeVar, nref)
 		var res value.Tri
 		if edge.Direction != graph.Directed {
 			// Undirected edges have no source/destination roles.
 			res = value.False
 		} else if x.Dest {
-			res = value.TriOf(string(edge.Target) == nref.ID)
+			res = value.TriOf(string(edge.Target) == nodeID)
 		} else {
-			res = value.TriOf(string(edge.Source) == nref.ID)
+			res = value.TriOf(string(edge.Source) == nodeID)
 		}
 		if x.Negate {
 			res = res.Not()
 		}
 		return res, nil
 	case *ast.Same:
-		var first binding.Ref
+		// Identity by element id: exact on one store (ids and indices are
+		// in bijection) and the defined semantics across stores.
+		var firstKind binding.ElemKind
+		var firstID string
 		for i, v := range x.Vars {
 			ref, ok := r.Elem(v)
 			if !ok {
 				return value.Unknown, fmt.Errorf("eval: SAME argument %q is unbound", v)
 			}
+			id := elemIDOf(r, v, ref)
 			if i == 0 {
-				first = ref
-			} else if ref.Kind != first.Kind || ref.ID != first.ID {
+				firstKind, firstID = ref.Kind, id
+			} else if ref.Kind != firstKind || id != firstID {
 				return value.False, nil
 			}
 		}
 		return value.True, nil
 	case *ast.AllDifferent:
-		seen := make(map[binding.Ref]string, len(x.Vars))
+		seen := make(map[string]struct{}, len(x.Vars))
 		for _, v := range x.Vars {
 			ref, ok := r.Elem(v)
 			if !ok {
 				return value.Unknown, fmt.Errorf("eval: ALL_DIFFERENT argument %q is unbound", v)
 			}
-			if _, dup := seen[ref]; dup {
+			key := string(kindTag(ref.Kind)) + elemIDOf(r, v, ref)
+			if _, dup := seen[key]; dup {
 				return value.False, nil
 			}
-			seen[ref] = v
+			seen[key] = struct{}{}
 		}
 		return value.True, nil
 	case *ast.Literal:
@@ -353,19 +382,21 @@ func evalAggregate(agg *ast.Aggregate, r Resolver) (value.Value, error) {
 	}
 	refs, _ := r.Group(name)
 	if prop == "" || prop == "*" {
+		gg := graphOf(r, name)
 		if agg.Kind == value.AggListagg {
 			// LISTAGG(e, sep): join the element identifiers (§3's
 			// LISTAGG(e.ID, ', ') reconstructing the matched path).
 			ids := make([]value.Value, 0, len(refs))
 			for _, ref := range refs {
-				ids = append(ids, value.Str(ref.ID))
+				ids = append(ids, value.Str(refID(gg, ref)))
 			}
 			if agg.Distinct {
 				ids = distinctValues(ids)
 			}
 			return value.ListAgg(ids, agg.Sep), nil
 		}
-		// COUNT(e) / COUNT(e.*): count elements.
+		// COUNT(e) / COUNT(e.*): count elements. Group refs share one
+		// store, so distinctness by (kind, index) is distinctness by id.
 		if agg.Distinct {
 			seen := map[binding.Ref]struct{}{}
 			for _, ref := range refs {
@@ -406,17 +437,31 @@ func distinctValues(vals []value.Value) []value.Value {
 	return out
 }
 
-// propOf reads a property from a bound element.
+// propOf reads a property from a bound element — a slice index into the
+// store's dense arena, not an id map lookup.
 func propOf(g graph.Store, ref binding.Ref, prop string) value.Value {
 	switch ref.Kind {
 	case binding.NodeElem:
-		if n := g.Node(graph.NodeID(ref.ID)); n != nil {
+		if n := g.NodeAt(ref.Idx); n != nil {
 			return n.Prop(prop)
 		}
 	case binding.EdgeElem:
-		if e := g.Edge(graph.EdgeID(ref.ID)); e != nil {
+		if e := g.EdgeAt(ref.Idx); e != nil {
 			return e.Prop(prop)
 		}
 	}
 	return value.Null
+}
+
+// refID materializes a bound element's id against the variable's store.
+func refID(g graph.Store, ref binding.Ref) string {
+	return binding.ElemID(g, ref.Kind, ref.Idx)
+}
+
+// edgeOf resolves an edge ref, or nil when the ref is not an edge.
+func edgeOf(g graph.Store, ref binding.Ref) *graph.Edge {
+	if ref.Kind != binding.EdgeElem {
+		return nil
+	}
+	return g.EdgeAt(ref.Idx)
 }

@@ -31,21 +31,32 @@ func (r mapResolver) Group(name string) ([]binding.Ref, bool) {
 }
 
 func fig1Resolver() mapResolver {
+	g := dataset.Fig1()
+	node := func(id graph.NodeID) binding.Ref {
+		i, ok := g.InternNode(id)
+		if !ok {
+			panic("unknown node " + id)
+		}
+		return binding.Ref{Kind: binding.NodeElem, Idx: i}
+	}
+	edge := func(id graph.EdgeID) binding.Ref {
+		i, ok := g.InternEdge(id)
+		if !ok {
+			panic("unknown edge " + string(id))
+		}
+		return binding.Ref{Kind: binding.EdgeElem, Idx: i}
+	}
 	return mapResolver{
-		g: dataset.Fig1(),
+		g: g,
 		elems: map[string]binding.Ref{
-			"a":  {Kind: binding.NodeElem, ID: "a1"},
-			"b":  {Kind: binding.NodeElem, ID: "a4"},
-			"t":  {Kind: binding.EdgeElem, ID: "t1"},
-			"h":  {Kind: binding.EdgeElem, ID: "hp1"},
-			"a2": {Kind: binding.NodeElem, ID: "a3"},
+			"a":  node("a1"),
+			"b":  node("a4"),
+			"t":  edge("t1"),
+			"h":  edge("hp1"),
+			"a2": node("a3"),
 		},
 		groups: map[string][]binding.Ref{
-			"es": {
-				{Kind: binding.EdgeElem, ID: "t1"},
-				{Kind: binding.EdgeElem, ID: "t2"},
-				{Kind: binding.EdgeElem, ID: "t3"},
-			},
+			"es": {edge("t1"), edge("t2"), edge("t3")},
 		},
 	}
 }
@@ -248,9 +259,10 @@ func TestAggregateErrors(t *testing.T) {
 }
 
 func TestIsDirectedOnNonEdge(t *testing.T) {
+	// An out-of-range index models a dangling reference.
 	r := mapResolver{
 		g:     dataset.Fig1(),
-		elems: map[string]binding.Ref{"x": {Kind: binding.EdgeElem, ID: "ghost"}},
+		elems: map[string]binding.Ref{"x": {Kind: binding.EdgeElem, Idx: 1 << 20}},
 	}
 	e, _ := parser.ParseExpr(`x IS DIRECTED`)
 	if _, err := EvalPred(e, r); err == nil {

@@ -56,7 +56,7 @@ func renderResult(res *Result) []string {
 		}
 		b.WriteByte('#')
 		for _, rb := range row.Bindings {
-			b.WriteString(rb.Key())
+			b.WriteString(rb.CanonKey())
 			b.WriteByte('#')
 		}
 		out[i] = b.String()
@@ -109,7 +109,7 @@ func naiveJoinReference(t *testing.T, per [][]*binding.Reduced, p *plan.Plan) []
 			var b strings.Builder
 			b.WriteByte('#')
 			for _, sol := range pick {
-				b.WriteString(sol.Key())
+				b.WriteString(sol.CanonKey())
 				b.WriteByte('#')
 			}
 			out = append(out, b.String())

@@ -1,6 +1,9 @@
 package eval
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"gpml/internal/binding"
@@ -8,37 +11,69 @@ import (
 	"gpml/internal/plan"
 )
 
-// Regression battery for the join-key encoding. The previous encoding
-// concatenated "<kind-tag><id>\x00" per shared variable, so element ids
-// containing NUL bytes or embedded kind-tag characters could make two
-// different binding tuples concatenate to the same hash key — e.g.
-// (x:"a\x00nb", y:"c") and (x:"a", y:"b\x00nc") both encoded to
-// "na\x00nb\x00nc\x00". The length-prefixed encoding keeps every
-// component self-delimiting.
+// Key-encoding battery for the dedup and join keys. Two encodings exist:
+// the compact binary forms (varint-packed dedup keys, fixed-width
+// index join components) used by the interned execution path, and the
+// materialized string forms (the pre-interning encoding, kept as the
+// StringKeys reference mode and for multi-graph joins). The adversarial
+// ids below — NUL bytes, kind-tag prefixes, shared prefixes, digit
+// prefixes, the literal unbound marker — were chosen to break naive
+// concatenation encodings; the differential fuzz proves the compact keys
+// introduce no new collisions (and lose none): two binding tuples share a
+// compact key exactly when they share a string key.
 
-func nodeRef(id string) binding.ReducedCol {
-	return binding.ReducedCol{Kind: binding.NodeElem, ID: id}
+// adversarialIDs is the id alphabet; every one is a node in keyGraph.
+var adversarialIDs = []string{
+	"a", "a\x00nb", "b\x00nc", "c", "n", "e", "?", "", "1n", "1", "nz",
+	"ab", "abc", "0n?", "\x00", "n\x00",
 }
 
-func solutionOf(vars map[string]string) *binding.Reduced {
-	r := &binding.Reduced{}
+// keyGraph builds a store whose node set is the adversarial alphabet
+// (plus a few edges so edge components can be exercised too).
+func keyGraph(t testing.TB) graph.Store {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, id := range adversarialIDs {
+		b.Node(id, []string{"N"})
+	}
+	for i, id := range adversarialIDs[:4] {
+		b.Edge("edge-"+id, id, adversarialIDs[(i+1)%4], []string{"E"})
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func solutionOf(t testing.TB, s graph.Store, vars map[string]string) *binding.Reduced {
+	t.Helper()
+	r := &binding.Reduced{Src: s}
 	for v, id := range vars {
-		col := nodeRef(id)
-		col.Var = v
-		r.Cols = append(r.Cols, col)
+		idx, ok := s.InternNode(graph.NodeID(id))
+		if !ok {
+			t.Fatalf("unknown node %q", id)
+		}
+		r.Cols = append(r.Cols, binding.ReducedCol{Var: v, Kind: binding.NodeElem, Idx: idx})
 	}
 	return r
 }
 
-func rowOf(vars map[string]string) *Row {
-	row := &Row{vars: map[string]Bound{}}
+func rowOf(t testing.TB, s graph.Store, vars map[string]string) *Row {
+	t.Helper()
+	row := &Row{}
 	for v, id := range vars {
-		row.vars[v] = Bound{Kind: BoundNode, Node: graph.NodeID(id)}
+		idx, ok := s.InternNode(graph.NodeID(id))
+		if !ok {
+			t.Fatalf("unknown node %q", id)
+		}
+		row.vars = append(row.vars, rowVar{v, Bound{Kind: BoundNode, Node: graph.NodeID(id), Idx: idx, src: s}})
 	}
 	return row
 }
 
 func TestJoinKeyAdversarialIDs(t *testing.T) {
+	g := keyGraph(t)
 	shared := []string{"x", "y"}
 	cases := []struct {
 		name string
@@ -46,20 +81,23 @@ func TestJoinKeyAdversarialIDs(t *testing.T) {
 		b    map[string]string // row-side bindings
 	}{
 		{"nul-shifts-boundary", map[string]string{"x": "a\x00nb", "y": "c"}, map[string]string{"x": "a", "y": "b\x00nc"}},
-		{"leading-kind-tag", map[string]string{"x": "na", "y": "b"}, map[string]string{"x": "n", "y": "ab"}},
-		{"empty-vs-tag-only", map[string]string{"x": "", "y": "nn"}, map[string]string{"x": "n", "y": "n"}},
-		{"digit-prefix", map[string]string{"x": "1n", "y": "z"}, map[string]string{"x": "1", "y": "nz"}},
+		{"leading-kind-tag", map[string]string{"x": "nz", "y": "ab"}, map[string]string{"x": "n", "y": "abc"}},
+		{"empty-vs-tag-only", map[string]string{"x": "", "y": "n"}, map[string]string{"x": "n", "y": ""}},
+		{"digit-prefix", map[string]string{"x": "1n", "y": "c"}, map[string]string{"x": "1", "y": "c"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			solKey := joinKeyOfSolution(solutionOf(tc.a), shared)
-			rowKey := joinKeyOfRow(rowOf(tc.b), shared)
-			if solKey == rowKey {
-				t.Errorf("distinct binding tuples %v and %v encode to the same key %q", tc.a, tc.b, solKey)
-			}
-			// Sanity: equal tuples must still collide on purpose.
-			if joinKeyOfSolution(solutionOf(tc.a), shared) != joinKeyOfRow(rowOf(tc.a), shared) {
-				t.Errorf("equal binding tuple %v encodes differently on the two join sides", tc.a)
+			for _, byIdx := range []bool{true, false} {
+				solKey := string(appendJoinKeyOfSolution(nil, solutionOf(t, g, tc.a), shared, byIdx))
+				rowKey := string(appendJoinKeyOfRow(nil, rowOf(t, g, tc.b), shared, byIdx))
+				if solKey == rowKey {
+					t.Errorf("byIdx=%v: distinct binding tuples %v and %v encode to the same key %q", byIdx, tc.a, tc.b, solKey)
+				}
+				// Sanity: equal tuples must still collide on purpose.
+				same := string(appendJoinKeyOfRow(nil, rowOf(t, g, tc.a), shared, byIdx))
+				if string(appendJoinKeyOfSolution(nil, solutionOf(t, g, tc.a), shared, byIdx)) != same {
+					t.Errorf("byIdx=%v: equal binding tuple %v encodes differently on the two join sides", byIdx, tc.a)
+				}
 			}
 		})
 	}
@@ -67,21 +105,137 @@ func TestJoinKeyAdversarialIDs(t *testing.T) {
 
 // TestJoinKeyUnboundDistinct pins the unbound marker: a conditional
 // singleton left unbound must not collide with any bound element,
-// including one whose id is literally "?".
+// including ids chosen to mimic the marker in either encoding.
 func TestJoinKeyUnboundDistinct(t *testing.T) {
+	g := keyGraph(t)
 	shared := []string{"x"}
-	unbound := joinKeyOfSolution(&binding.Reduced{}, shared)
-	for _, id := range []string{"?", "", "0n?"} {
-		if bound := joinKeyOfSolution(solutionOf(map[string]string{"x": id}), shared); bound == unbound {
-			t.Errorf("bound id %q collides with the unbound marker %q", id, unbound)
+	for _, byIdx := range []bool{true, false} {
+		unbound := string(appendJoinKeyOfSolution(nil, &binding.Reduced{Src: g}, shared, byIdx))
+		for _, id := range []string{"?", "", "0n?"} {
+			if bound := string(appendJoinKeyOfSolution(nil, solutionOf(t, g, map[string]string{"x": id}), shared, byIdx)); bound == unbound {
+				t.Errorf("byIdx=%v: bound id %q collides with the unbound marker %q", byIdx, id, unbound)
+			}
+		}
+	}
+}
+
+// TestJoinKeyDifferentialFuzz is the adversarial differential suite: over
+// random binding tuples drawn from the adversarial alphabet, the compact
+// index keys and the materialized string keys must induce exactly the
+// same equivalence classes — no new collisions (a compact collision
+// without a string collision) and no lost ones (ids are in bijection with
+// indices, so the reverse would be a materialization bug).
+func TestJoinKeyDifferentialFuzz(t *testing.T) {
+	g := keyGraph(t)
+	shared := []string{"x", "y", "z"}
+	rng := rand.New(rand.NewSource(7))
+	randTuple := func() map[string]string {
+		vars := map[string]string{}
+		for _, v := range shared {
+			if rng.Intn(5) == 0 {
+				continue // leave unbound
+			}
+			vars[v] = adversarialIDs[rng.Intn(len(adversarialIDs))]
+		}
+		return vars
+	}
+	type keyed struct {
+		tuple map[string]string
+		idx   string
+		str   string
+	}
+	var all []keyed
+	for i := 0; i < 400; i++ {
+		tuple := randTuple()
+		var idxKey, strKey string
+		if i%2 == 0 { // alternate sides so sol/sol, sol/row and row/row pairs occur
+			sol := solutionOf(t, g, tuple)
+			idxKey = string(appendJoinKeyOfSolution(nil, sol, shared, true))
+			strKey = string(appendJoinKeyOfSolution(nil, sol, shared, false))
+		} else {
+			row := rowOf(t, g, tuple)
+			idxKey = string(appendJoinKeyOfRow(nil, row, shared, true))
+			strKey = string(appendJoinKeyOfRow(nil, row, shared, false))
+		}
+		all = append(all, keyed{tuple, idxKey, strKey})
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if (all[i].idx == all[j].idx) != (all[i].str == all[j].str) {
+				t.Fatalf("key encodings disagree on %v vs %v: idx %v, str %v",
+					all[i].tuple, all[j].tuple, all[i].idx == all[j].idx, all[i].str == all[j].str)
+			}
+		}
+	}
+}
+
+// TestDedupKeyDifferentialFuzz does the same for the dedup keys: over
+// random reduced bindings (columns, multiset tags, paths) on the
+// adversarial graph, the compact Keyer must be exactly injective — keys
+// collide iff the bindings are structurally identical — and in particular
+// introduce no collision the canonical string key lacks. (The reverse
+// direction is deliberately not required: the textual key itself can
+// collide on adversarial ids — an empty node id makes a no-path binding
+// and a single-node path render identically — which the binary keys fix.)
+func TestDedupKeyDifferentialFuzz(t *testing.T) {
+	g := keyGraph(t)
+	rng := rand.New(rand.NewSource(11))
+	nNodes, nEdges := g.NumNodes(), g.NumEdges()
+	randReduced := func() *binding.Reduced {
+		r := &binding.Reduced{Src: g}
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			v := []string{"x", "y", "□"}[rng.Intn(3)]
+			if rng.Intn(2) == 0 {
+				r.Cols = append(r.Cols, binding.ReducedCol{Var: v, Kind: binding.NodeElem, Idx: graph.ElemIdx(rng.Intn(nNodes))})
+			} else {
+				r.Cols = append(r.Cols, binding.ReducedCol{Var: v, Kind: binding.EdgeElem, Idx: graph.ElemIdx(rng.Intn(nEdges))})
+			}
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			r.Tags = append(r.Tags, binding.Tag{Union: rng.Intn(2), Branch: rng.Intn(3)})
+		}
+		if rng.Intn(4) > 0 {
+			steps := rng.Intn(3)
+			r.Path.Nodes = append(r.Path.Nodes, graph.ElemIdx(rng.Intn(nNodes)))
+			for i := 0; i < steps; i++ {
+				r.Path.Edges = append(r.Path.Edges, graph.ElemIdx(rng.Intn(nEdges)))
+				r.Path.Nodes = append(r.Path.Nodes, graph.ElemIdx(rng.Intn(nNodes)))
+			}
+		}
+		return r
+	}
+	keyer := binding.NewKeyer()
+	type keyed struct {
+		r   *binding.Reduced
+		bin string
+	}
+	var all []keyed
+	for i := 0; i < 300; i++ {
+		r := randReduced()
+		all = append(all, keyed{r, string(keyer.Key(r))})
+	}
+	structEq := func(a, b *binding.Reduced) bool {
+		return reflect.DeepEqual(a.Cols, b.Cols) && reflect.DeepEqual(a.Tags, b.Tags) &&
+			reflect.DeepEqual(a.Path, b.Path)
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			binEq := all[i].bin == all[j].bin
+			if binEq != structEq(all[i].r, all[j].r) {
+				t.Fatalf("binary dedup key equality diverges from structural equality:\n  a=%#v\n  b=%#v\n  binary equal: %v",
+					all[i].r, all[j].r, binEq)
+			}
+			if binEq && all[i].r.CanonKey() != all[j].r.CanonKey() {
+				t.Fatalf("new collision: binary keys equal but canon keys differ:\n  a=%#v\n  b=%#v", all[i].r, all[j].r)
+			}
 		}
 	}
 }
 
 // TestJoinAdversarialIDsEndToEnd runs a two-pattern join over a graph
 // whose element ids are built from NUL bytes and kind-tag characters, on
-// both join pipelines: the equi-join on x and y must produce exactly the
-// rows where both endpoints truly coincide.
+// both join pipelines and both key modes: the equi-join on x and y must
+// produce exactly the rows where both endpoints truly coincide.
 func TestJoinAdversarialIDsEndToEnd(t *testing.T) {
 	b := graph.NewBuilder()
 	ids := []string{"a", "a\x00nb", "b\x00nc", "c", "n", "?"}
@@ -100,7 +254,7 @@ func TestJoinAdversarialIDsEndToEnd(t *testing.T) {
 	b.Edge("eB3", "?", "c", []string{"B"})
 	g := b.MustBuild()
 	p := compile(t, `MATCH (x)-[e1:A]->(y), (x)-[e2:B]->(y)`, plan.Options{})
-	for _, cfg := range []Config{{}, {DisableBindJoin: true}} {
+	for _, cfg := range []Config{{}, {DisableBindJoin: true}, {StringKeys: true}, {DisableBindJoin: true, StringKeys: true}} {
 		res, err := EvalPlan(g, p, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -112,6 +266,102 @@ func TestJoinAdversarialIDsEndToEnd(t *testing.T) {
 		y, _ := res.Rows[0].Get("y")
 		if string(x.Node) != "a" || string(y.Node) != "c" {
 			t.Fatalf("cfg %+v: joined (%q, %q), want (a, c)", cfg, x.Node, y.Node)
+		}
+	}
+}
+
+// TestStringKeysDifferential runs a battery of single- and multi-pattern
+// queries over the Fig-1-shaped key graph in both key modes and asserts
+// byte-identical formatted results — the whole-pipeline version of the
+// key-encoding differential.
+func TestStringKeysDifferential(t *testing.T) {
+	g := keyGraph(t)
+	queries := []string{
+		`MATCH (x:N)-[e:E]->(y)`,
+		`MATCH (x:N)-[e:E]->(y), (y)-[f:E]->(z)`,
+		`MATCH TRAIL (x)-[e]->*(y)`,
+	}
+	for _, src := range queries {
+		p := compile(t, src, plan.Options{})
+		base, err := EvalPlan(g, p, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		ref, err := EvalPlan(g, p, Config{StringKeys: true})
+		if err != nil {
+			t.Fatalf("%s (StringKeys): %v", src, err)
+		}
+		if got, want := formatRows(t, base), formatRows(t, ref); got != want {
+			t.Errorf("%s: interned and string-key results differ:\n%s\n--- vs ---\n%s", src, got, want)
+		}
+	}
+}
+
+func formatRows(t *testing.T, res *Result) string {
+	t.Helper()
+	out := ""
+	for _, row := range res.Rows {
+		for _, v := range row.Vars() {
+			b, _ := row.Get(v)
+			out += fmt.Sprintf("%s=%s;", v, b)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestMultiGraphPostfilterRouting pins multi-graph index routing: the
+// bind-join planner may bind a shared variable from a store other than
+// its textually-first declaring one, and the postfilter must still read
+// the element's properties from the declaring store by id — dense indices
+// are not portable across stores. The two stores below deliberately place
+// the shared node at different indices; planner on, planner off and the
+// StringKeys reference mode must agree.
+func TestMultiGraphPostfilterRouting(t *testing.T) {
+	// Store A: many Hub nodes first — the pattern scanning store A is
+	// deliberately expensive, so the cost-ordered planner joins the
+	// store-B pattern first and y's row binding carries store B's index —
+	// and "target" lands at a high index whose flag property is the one
+	// the postfilter must see.
+	ba := graph.NewBuilder()
+	for i := 0; i < 50; i++ {
+		ba.Node(fmt.Sprintf("fillerA%d", i), []string{"Hub"}, "flag", "no")
+	}
+	ba.Node("target", []string{"Mid"}, "flag", "yes")
+	ba.Node("endA", []string{"Plain"})
+	for i := 0; i < 50; i++ {
+		ba.Edge(fmt.Sprintf("ea%d", i), fmt.Sprintf("fillerA%d", i), "target", []string{"E"})
+	}
+	ga := ba.MustBuild()
+
+	// Store B: "target" is its very first node (index 0), with a
+	// conflicting flag value that must NOT win.
+	bb := graph.NewBuilder()
+	bb.Node("target", []string{"Sel"}, "flag", "no")
+	bb.Node("endB", []string{"Plain"})
+	bb.Edge("eb", "target", "endB", []string{"F"})
+	gb := bb.MustBuild()
+
+	p := compile(t, `MATCH (x:Hub)-[e1:E]->(y:Mid), (y)-[e2:F]->(z:Plain) WHERE y.flag='yes'`, plan.Options{})
+	stores := []graph.Store{ga, gb}
+	var want string
+	for _, cfg := range []Config{{}, {DisableBindJoin: true}, {StringKeys: true}} {
+		res, err := EvalPlanOn(stores, p, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if len(res.Rows) != 50 {
+			t.Fatalf("cfg %+v: got %d rows, want 50 (y.flag must resolve against store A)", cfg, len(res.Rows))
+		}
+		y, _ := res.Rows[0].Get("y")
+		if string(y.Node) != "target" {
+			t.Fatalf("cfg %+v: y = %q, want target", cfg, y.Node)
+		}
+		got := formatRows(t, res)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("cfg %+v: rows diverge:\n%s\n--- vs ---\n%s", cfg, got, want)
 		}
 	}
 }

@@ -107,29 +107,19 @@ func runSeedPool(workers, n int, stop <-chan struct{}, newWorker func() func(int
 	return errs
 }
 
-// stepperFor builds the shared indexed topology view when the pattern
-// runs on the automaton engine; the workers' engines share it (it is
-// immutable and safe for concurrent readers).
-func stepperFor(s graph.Store, pp *plan.PathPlan, cfg Config) graph.Stepper {
-	if engine, _ := EngineFor(pp, cfg); engine == EngineAutomaton {
-		return graph.AsStepper(s)
-	}
-	return nil
-}
-
 // enumerateParallel distributes the seed runs over cfg.Parallelism workers
 // and merges the per-seed outputs back in seed order, making the result
-// byte-identical to sequential evaluation.
-func enumerateParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget, seeds []graph.NodeID) ([]*binding.PathBinding, error) {
+// byte-identical to sequential evaluation. All workers share the store's
+// indexed view (immutable, safe for concurrent readers).
+func enumerateParallel(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, seeds []int) ([]*binding.PathBinding, error) {
 	workers := cfg.Parallelism
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	st := stepperFor(s, pp, cfg)
 	perSeed := make([][]*binding.PathBinding, len(seeds))
 	errs := runSeedPool(workers, len(seeds), nil, func() func(int) error {
 		var out []*binding.PathBinding
-		run := seedRunner(s, st, pp, cfg, bud, func(b *binding.PathBinding) error {
+		run := seedRunner(st, pp, cfg, bud, func(b *binding.PathBinding) error {
 			out = append(out, b)
 			return nil
 		})

@@ -19,16 +19,16 @@ func ApplySelector(sel ast.Selector, in []*binding.Reduced) []*binding.Reduced {
 		return in
 	}
 	type partition struct {
-		key   [2]graph.NodeID
+		key   [2]graph.ElemIdx
 		items []*binding.Reduced
 	}
-	index := map[[2]graph.NodeID]int{}
+	index := map[[2]graph.ElemIdx]int{}
 	var parts []*partition
 	for _, r := range in {
 		if len(r.Path.Nodes) == 0 {
 			continue
 		}
-		key := [2]graph.NodeID{r.Path.First(), r.Path.Last()}
+		key := [2]graph.ElemIdx{r.Path.First(), r.Path.Last()}
 		i, ok := index[key]
 		if !ok {
 			i = len(parts)

@@ -87,30 +87,46 @@ func StreamPlanOn(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg C
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Per-variable lookup routing: the first store whose pattern declares
+	// the variable (the EvalPlanOn contract). Stores are normalized to
+	// their indexed views — the same object the engines stamp into each
+	// binding's Src — so on the single-store fast path the row resolver
+	// can see that a binding's index is already relative to the routed
+	// store and skip re-interning.
 	varGraph := map[string]graph.Store{}
 	for i, pp := range p.Paths {
 		for _, v := range pp.Vars {
 			if _, ok := varGraph[v]; !ok {
-				varGraph[v] = stores[i]
+				varGraph[v] = graph.AsStepper(stores[i])
 			}
+		}
+	}
+	// Compact index-based join keys need every pattern on one shared
+	// store; multi-graph evaluation (and the StringKeys reference mode)
+	// joins by materialized element id.
+	byIdx := !cfg.StringKeys
+	for i := 1; i < len(stores); i++ {
+		if stores[i] != stores[0] {
+			byIdx = false
+			break
 		}
 	}
 	var cur Cursor
 	if len(p.Paths) > 1 && cfg.DisableBindJoin {
-		c, err := newClassicJoinCursor(ctx, stores, p, cfg)
+		c, err := newClassicJoinCursor(ctx, stores, p, cfg, byIdx)
 		if err != nil {
 			return nil, err
 		}
 		cur = c
 	} else if len(p.Paths) > 1 {
-		cur = newBindJoinCursor(ctx, stores, p, cfg)
+		cur = newBindJoinCursor(ctx, stores, p, cfg, byIdx)
 	} else {
 		pp := p.Paths[0]
 		cur = &matchCursor{
 			src:    newPatternSource(ctx, stores[0], pp, cfg),
 			p:      p,
 			pp:     pp,
-			prefix: &Row{vars: map[string]Bound{}},
+			prefix: &Row{},
 		}
 	}
 	// Post-join stages: all row-local, all streaming.
@@ -120,7 +136,7 @@ func StreamPlanOn(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg C
 		}}
 	}
 	if p.Post != nil {
-		g := stores[0]
+		g := graph.AsStepper(stores[0])
 		cur = &filterCursor{src: cur, keep: func(row *Row) (bool, error) {
 			t, err := EvalPred(p.Post, rowResolver{g, varGraph, row})
 			if err != nil {
@@ -188,14 +204,15 @@ type solSource interface {
 // Parallelism > 1. Either owns a fresh budget wired to the pipeline's
 // cancellation hook.
 func newPatternSource(ctx context.Context, s graph.Store, pp *plan.PathPlan, cfg Config) solSource {
-	seeds := seedNodes(s, pp)
+	st := graph.AsStepper(s)
+	seeds := seedNodes(st, pp)
 	if cfg.Parallelism > 1 && len(seeds) > 1 {
-		return newParallelSolStream(ctx, s, pp, cfg, seeds)
+		return newParallelSolStream(ctx, st, pp, cfg, seeds)
 	}
 	bud := newBudget(cfg.Limits.withDefaults())
 	bud.check = cancelCheck(ctx, nil)
 	return &syncSolSource{
-		solver: newSeedSolver(s, nil, pp, cfg, bud),
+		solver: newSeedSolver(st, pp, cfg, bud),
 		seeds:  seeds,
 	}
 }
@@ -209,7 +226,7 @@ func newPatternSource(ctx context.Context, s graph.Store, pp *plan.PathPlan, cfg
 // O(#solutions) buffering).
 type syncSolSource struct {
 	solver *seedSolver
-	seeds  []graph.NodeID
+	seeds  []int
 	at     int
 	buf    []*binding.Reduced
 	bufAt  int
@@ -250,13 +267,13 @@ type solStream struct {
 }
 
 // newParallelSolStream starts the worker pool and ordering emitter.
-func newParallelSolStream(ctx context.Context, s graph.Store, pp *plan.PathPlan, cfg Config, seeds []graph.NodeID) *solStream {
+func newParallelSolStream(ctx context.Context, st graph.Stepper, pp *plan.PathPlan, cfg Config, seeds []int) *solStream {
 	ps := &solStream{ctx: ctx, ch: make(chan []*binding.Reduced, 8), stop: make(chan struct{})}
 	bud := newBudget(cfg.Limits.withDefaults())
 	bud.check = cancelCheck(ctx, ps.stop)
 	go func() {
 		defer close(ps.ch)
-		ps.setErr(ps.runParallel(s, pp, cfg, bud, seeds))
+		ps.setErr(ps.runParallel(st, pp, cfg, bud, seeds))
 	}()
 	return ps
 }
@@ -317,7 +334,7 @@ func (ps *solStream) close() {
 // that channel and reorder bookkeeping amortizes to nothing on
 // many-seed workloads — and stop claiming when the stream stops;
 // mid-seed runs abort through the shared budget's cancellation hook.
-func (ps *solStream) runParallel(s graph.Store, pp *plan.PathPlan, cfg Config, bud *budget, seeds []graph.NodeID) error {
+func (ps *solStream) runParallel(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, seeds []int) error {
 	workers := cfg.Parallelism
 	if workers > len(seeds) {
 		workers = len(seeds)
@@ -341,7 +358,6 @@ func (ps *solStream) runParallel(s graph.Store, pp *plan.PathPlan, cfg Config, b
 		starts = append(starts, at)
 	}
 	nchunks := len(starts) - 1
-	st := stepperFor(s, pp, cfg)
 	type seedResult struct {
 		i    int
 		sols []*binding.Reduced
@@ -350,7 +366,7 @@ func (ps *solStream) runParallel(s graph.Store, pp *plan.PathPlan, cfg Config, b
 	var errs []error
 	go func() {
 		errs = runSeedPool(workers, nchunks, ps.stop, func() func(int) error {
-			solver := newSeedSolver(s, st, pp, cfg, bud)
+			solver := newSeedSolver(st, pp, cfg, bud)
 			return func(ci int) error {
 				lo, hi := starts[ci], starts[ci+1]
 				var batch []*binding.Reduced
@@ -518,7 +534,7 @@ func (c *sliceCursor) Close() error { return nil }
 // exactly (the DisableBindJoin A/B reference): every pattern is
 // materialized eagerly in textual order — budgets, limit errors and all —
 // then hash-joined. Only the result delivery streams.
-func newClassicJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config) (Cursor, error) {
+func newClassicJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config, byIdx bool) (Cursor, error) {
 	perPattern := make([][]*binding.Reduced, len(p.Paths))
 	for i, pp := range p.Paths {
 		sols, err := matchPatternStream(ctx, stores[i], pp, cfg)
@@ -527,11 +543,11 @@ func newClassicJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Pla
 		}
 		perPattern[i] = sols
 	}
-	rows := []*Row{{vars: map[string]Bound{}}}
+	rows := []*Row{{}}
 	bound := map[string]bool{}
 	for patIdx, solutions := range perPattern {
 		pp := p.Paths[patIdx]
-		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound))
+		rows = joinPattern(p, pp, rows, solutions, sharedVars(p, pp, bound), byIdx)
 		markBound(bound, pp)
 		if len(rows) == 0 {
 			break
@@ -545,8 +561,9 @@ func newClassicJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Pla
 
 // newBindJoinCursor builds the cost-ordered bind-join pipeline as a chain
 // of join-step cursors: rows stream through every step, and each step
-// only does the per-seed work its input rows demand.
-func newBindJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config) Cursor {
+// only does the per-seed work its input rows demand. byIdx selects the
+// compact index-based join keys (single shared store).
+func newBindJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg Config, byIdx bool) Cursor {
 	steps := plan.OrderJoin(p, storeStatsFor(stores))
 	bound := map[string]bool{}
 	var cur Cursor
@@ -561,18 +578,18 @@ func newBindJoinCursor(ctx context.Context, stores []graph.Store, p *plan.Plan, 
 				src:    newPatternSource(ctx, stores[step.Pattern], pp, cfg),
 				p:      p,
 				pp:     pp,
-				prefix: &Row{vars: map[string]Bound{}},
+				prefix: &Row{},
 			}
 		case step.SeedVar != "" && bound[step.SeedVar]:
 			cur = &bindStepCursor{
 				ctx: ctx, s: stores[step.Pattern], p: p, pp: pp, cfg: cfg,
-				seedVar: step.SeedVar, shared: shared, left: cur,
-				memo: map[graph.NodeID]*seedIndex{},
+				seedVar: step.SeedVar, shared: shared, byIdx: byIdx, left: cur,
+				memo: map[int]*seedIndex{},
 			}
 		default:
 			cur = &hashStepCursor{
 				ctx: ctx, s: stores[step.Pattern], p: p, pp: pp, cfg: cfg,
-				shared: shared, left: cur,
+				shared: shared, byIdx: byIdx, left: cur,
 			}
 		}
 		markBound(bound, pp)
@@ -586,11 +603,12 @@ type seedIndex struct {
 	byKey map[string][]*binding.Reduced
 }
 
-func buildSeedIndex(sols []*binding.Reduced, shared []string) *seedIndex {
+func buildSeedIndex(sols []*binding.Reduced, shared []string, byIdx bool) *seedIndex {
 	idx := &seedIndex{byKey: make(map[string][]*binding.Reduced, len(sols))}
+	var buf []byte
 	for _, sol := range sols {
-		k := joinKeyOfSolution(sol, shared)
-		idx.byKey[k] = append(idx.byKey[k], sol)
+		buf = appendJoinKeyOfSolution(buf[:0], sol, shared, byIdx)
+		idx.byKey[string(buf)] = append(idx.byKey[string(buf)], sol)
 	}
 	return idx
 }
@@ -610,6 +628,7 @@ type bindStepCursor struct {
 	cfg     Config
 	seedVar string
 	shared  []string
+	byIdx   bool
 	left    Cursor
 
 	// bud is the step's shared search budget: limits accounting spans
@@ -617,11 +636,11 @@ type bindStepCursor struct {
 	// exactly like the materializing pipeline's per-step budget did.
 	bud    *budget
 	solver *seedSolver
-	memo   map[graph.NodeID]*seedIndex
-	// st caches the shared topology index across parallel chunks (a nil
-	// stepper is valid — non-automaton patterns — so a flag tracks it).
+	memo   map[int]*seedIndex
+	// st is the step's indexed topology view (memoized per store, shared
+	// with parallel chunk workers).
 	st     graph.Stepper
-	stDone bool
+	keyBuf []byte
 
 	// chunk is the prefetched left rows awaiting expansion; row/cands/ci
 	// is the in-flight expansion head.
@@ -692,13 +711,17 @@ func (c *bindStepCursor) refill() error {
 		c.chunk = append(c.chunk, row)
 	}
 	if c.cfg.Parallelism > 1 && len(c.chunk) > 1 {
-		var seeds []graph.NodeID
-		seen := map[graph.NodeID]bool{}
+		var seeds []int
+		seen := map[int]bool{}
 		for _, row := range c.chunk {
-			if b, ok := row.vars[c.seedVar]; ok && b.Kind == BoundNode {
-				if _, cached := c.memo[b.Node]; !cached && !seen[b.Node] {
-					seen[b.Node] = true
-					seeds = append(seeds, b.Node)
+			if b, ok := row.lookup(c.seedVar); ok && b.Kind == BoundNode {
+				si, ok := c.seedIdxOf(b)
+				if !ok {
+					continue
+				}
+				if _, cached := c.memo[si]; !cached && !seen[si] {
+					seen[si] = true
+					seeds = append(seeds, si)
 				}
 			}
 		}
@@ -708,11 +731,24 @@ func (c *bindStepCursor) refill() error {
 				return err
 			}
 			for i, seed := range seeds {
-				c.memo[seed] = buildSeedIndex(perSeed[i], c.shared)
+				c.memo[seed] = buildSeedIndex(perSeed[i], c.shared, c.byIdx)
 			}
 		}
 	}
 	return nil
+}
+
+// seedIdxOf resolves a row's seed binding to a node index in the step's
+// store. On the shared-store fast path the row's interned index is used
+// directly; multi-graph evaluation (and the StringKeys reference mode)
+// joins by id, so the id is re-interned against this pattern's store —
+// an id unknown here joins nothing, like the materializing pipeline.
+func (c *bindStepCursor) seedIdxOf(b Bound) (int, bool) {
+	if c.byIdx {
+		return int(b.Idx), true
+	}
+	i, ok := c.s.InternNode(b.Node)
+	return int(i), ok
 }
 
 // candidates returns the step solutions joinable with one row: the row's
@@ -723,46 +759,43 @@ func (c *bindStepCursor) refill() error {
 // solution binds it to a node and no join key can match (the check
 // mirrors the materializing pipeline's defensive fallback).
 func (c *bindStepCursor) candidates(row *Row) ([]*binding.Reduced, error) {
-	b, ok := row.vars[c.seedVar]
+	b, ok := row.lookup(c.seedVar)
 	if !ok || b.Kind != BoundNode {
 		return nil, nil
 	}
-	idx, cached := c.memo[b.Node]
+	si, ok := c.seedIdxOf(b)
+	if !ok {
+		return nil, nil
+	}
+	idx, cached := c.memo[si]
 	if !cached {
 		if c.solver == nil {
-			if !c.stDone {
-				c.st = stepperFor(c.s, c.pp, c.cfg)
-				c.stDone = true
-			}
-			c.solver = newSeedSolver(c.s, c.st, c.pp, c.cfg, c.budget())
+			c.solver = newSeedSolver(c.stepper(), c.pp, c.cfg, c.budget())
 		}
-		sols, err := c.solver.solve(b.Node)
+		sols, err := c.solver.solve(si)
 		if err != nil {
 			return nil, err
 		}
-		idx = buildSeedIndex(sols, c.shared)
-		c.memo[b.Node] = idx
+		idx = buildSeedIndex(sols, c.shared, c.byIdx)
+		c.memo[si] = idx
 	}
-	return idx.byKey[joinKeyOfRow(row, c.shared)], nil
+	c.keyBuf = appendJoinKeyOfRow(c.keyBuf[:0], row, c.shared, c.byIdx)
+	return idx.byKey[string(c.keyBuf)], nil
 }
 
 // solveSeedsParallel runs the per-seed pipeline for a chunk's unseen
 // seeds on a worker pool (one solver per worker, budget shared with the
 // sequential solver's step budget semantics).
-func (c *bindStepCursor) solveSeedsParallel(seeds []graph.NodeID) ([][]*binding.Reduced, error) {
+func (c *bindStepCursor) solveSeedsParallel(seeds []int) ([][]*binding.Reduced, error) {
 	workers := c.cfg.Parallelism
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	if !c.stDone {
-		c.st = stepperFor(c.s, c.pp, c.cfg)
-		c.stDone = true
-	}
-	st := c.st
+	st := c.stepper()
 	bud := c.budget()
 	out := make([][]*binding.Reduced, len(seeds))
 	errs := runSeedPool(workers, len(seeds), nil, func() func(int) error {
-		solver := newSeedSolver(c.s, st, c.pp, c.cfg, bud)
+		solver := newSeedSolver(st, c.pp, c.cfg, bud)
 		return func(i int) error {
 			sols, err := solver.solve(seeds[i])
 			if err != nil {
@@ -778,6 +811,14 @@ func (c *bindStepCursor) solveSeedsParallel(seeds []graph.NodeID) ([][]*binding.
 		}
 	}
 	return out, nil
+}
+
+// stepper lazily resolves the step's indexed topology view.
+func (c *bindStepCursor) stepper() graph.Stepper {
+	if c.st == nil {
+		c.st = graph.AsStepper(c.s)
+	}
+	return c.st
 }
 
 // budget lazily builds the step's shared budget, wired to the pipeline
@@ -804,10 +845,12 @@ type hashStepCursor struct {
 	pp     *plan.PathPlan
 	cfg    Config
 	shared []string
+	byIdx  bool
 	left   Cursor
 
-	built bool
-	index map[string][]*binding.Reduced
+	built  bool
+	index  map[string][]*binding.Reduced
+	keyBuf []byte
 
 	row   *Row
 	cands []*binding.Reduced
@@ -837,13 +880,14 @@ func (c *hashStepCursor) Next() (*Row, error) {
 			}
 			c.index = make(map[string][]*binding.Reduced, len(sols))
 			for _, sol := range sols {
-				k := joinKeyOfSolution(sol, c.shared)
-				c.index[k] = append(c.index[k], sol)
+				c.keyBuf = appendJoinKeyOfSolution(c.keyBuf[:0], sol, c.shared, c.byIdx)
+				c.index[string(c.keyBuf)] = append(c.index[string(c.keyBuf)], sol)
 			}
 			c.built = true
 		}
 		c.row = row
-		c.cands = c.index[joinKeyOfRow(row, c.shared)]
+		c.keyBuf = appendJoinKeyOfRow(c.keyBuf[:0], row, c.shared, c.byIdx)
+		c.cands = c.index[string(c.keyBuf)]
 		c.ci = 0
 	}
 }

@@ -174,13 +174,14 @@ func BuildGraphView(g graph.Store, res *eval.Result) (*GraphView, error) {
 	}
 	for _, row := range res.Rows {
 		for _, rb := range row.Bindings {
-			for _, col := range rb.Cols {
+			for i, col := range rb.Cols {
+				id := rb.ColID(i)
 				if col.Kind == binding.NodeElem {
-					nodes[graph.NodeID(col.ID)] = struct{}{}
+					nodes[graph.NodeID(id)] = struct{}{}
 				} else {
-					edges[graph.EdgeID(col.ID)] = struct{}{}
+					edges[graph.EdgeID(id)] = struct{}{}
 				}
-				note(col.ID, col.Var)
+				note(id, col.Var)
 			}
 		}
 	}

@@ -29,6 +29,12 @@ type CSR struct {
 	incOther []int32
 	incKind  []StepKind
 
+	// edgeSrc and edgeTgt hold each edge's endpoint node indices (as
+	// presented: equal for self-loops), so traversal checks and path
+	// replay never round-trip through ids.
+	edgeSrc []int32
+	edgeTgt []int32
+
 	// labelNodes maps a label to the indices of nodes carrying it, in
 	// insertion order.
 	labelNodes map[string][]int32
@@ -75,8 +81,12 @@ func Snapshot(g *Graph) *CSR {
 	// Count degrees, then lay out the incidence arena. A self-loop is
 	// incident once, matching the map backend's Incident contract.
 	deg := make([]int32, len(c.nodes))
+	c.edgeSrc = make([]int32, len(c.edges))
+	c.edgeTgt = make([]int32, len(c.edges))
 	for i := range c.edges {
 		e := &c.edges[i]
+		c.edgeSrc[i] = c.nodeIdx[e.Source]
+		c.edgeTgt[i] = c.nodeIdx[e.Target]
 		deg[c.nodeIdx[e.Source]]++
 		if e.Source != e.Target {
 			deg[c.nodeIdx[e.Target]]++
@@ -203,6 +213,21 @@ func (c *CSR) Degree(n NodeID) int {
 		return 0
 	}
 	return int(c.incOff[i+1] - c.incOff[i])
+}
+
+// EdgeEnds returns the dense endpoint indices of the edge at index i.
+func (c *CSR) EdgeEnds(i int) (src, tgt int) {
+	return int(c.edgeSrc[i]), int(c.edgeTgt[i])
+}
+
+// NodesWithLabelIdx iterates the dense indices of the nodes carrying the
+// label, in insertion order, straight off the inverted index.
+func (c *CSR) NodesWithLabelIdx(label string, f func(i int) bool) {
+	for _, i := range c.labelNodes[label] {
+		if !f(int(i)) {
+			return
+		}
+	}
 }
 
 // NodesWithLabel iterates the nodes carrying the label from the inverted

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gpml/internal/value"
 )
@@ -129,6 +130,14 @@ type Graph struct {
 	statsMu     sync.Mutex
 	statsValid  bool
 	cachedStats StoreStats
+
+	// Derived read-only views, built lazily and discarded on mutation:
+	// the interner table (intern.go) and the indexed stepper view
+	// (indexed.go). derivedMu serializes rebuilds; readers take one
+	// atomic load.
+	derivedMu sync.Mutex
+	intern    atomic.Pointer[internTable]
+	stepper   atomic.Pointer[stepIndex]
 }
 
 // New returns an empty graph.
@@ -202,11 +211,16 @@ func (g *Graph) addEdge(id EdgeID, src, dst NodeID, dir Direction, labels []stri
 	return nil
 }
 
-// invalidateStats drops the memoized label statistics after a mutation.
+// invalidateStats drops the memoized label statistics and the derived
+// interner/stepper views after a mutation. Mutations are append-only, so
+// the next builds assign every pre-existing element the same dense index
+// it had before (ElemIdx stability).
 func (g *Graph) invalidateStats() {
 	g.statsMu.Lock()
 	g.statsValid = false
 	g.statsMu.Unlock()
+	g.intern.Store(nil)
+	g.stepper.Store(nil)
 }
 
 // Node returns the node with the given id, or nil.

@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // StepKind classifies one traversal step relative to the current node.
 // The evaluator's product search matches it against the seven edge-pattern
 // orientations without consulting the edge's endpoint ids.
@@ -42,22 +44,50 @@ type Stepper interface {
 	NodeByIndex(i int) *Node
 	// EdgeByIndex returns the edge at a dense index (insertion order).
 	EdgeByIndex(i int) *Edge
+	// EdgeEnds returns the dense endpoint indices of the edge at index i
+	// (source and target as presented; equal for self-loops), so
+	// orientation checks and path replay stay in index space.
+	EdgeEnds(i int) (src, tgt int)
 	// Steps iterates the traversal steps available from node index i: the
 	// dense edge index, the neighbour's dense index, and the step kind.
 	// A directed self-loop yields a single StepLoop step and an undirected
 	// self-loop a single StepUndirected step, mirroring Incident's
 	// visit-once contract. f returns false to stop.
 	Steps(i int, f func(edge, other int, kind StepKind) bool)
+	// NodesWithLabelIdx iterates the dense indices of the nodes carrying
+	// the label, in insertion order — the seed path of the engines.
+	NodesWithLabelIdx(label string, f func(i int) bool)
 }
 
 // AsStepper returns the store's native indexed view when it provides one
-// (the CSR snapshot does), or builds a transient index with one pass over
-// the store's nodes and edges.
+// (the CSR snapshot does), the memoized adapter for the map backend
+// (built once per graph generation, not once per call — repeated planned
+// queries share it), or a transient index built with one pass over an
+// arbitrary third-party store.
 func AsStepper(s Store) Stepper {
 	if st, ok := s.(Stepper); ok {
 		return st
 	}
+	if g, ok := s.(*Graph); ok {
+		return g.memoStepper()
+	}
 	return buildStepIndex(s)
+}
+
+// memoStepper returns the graph's memoized indexed view, building it on
+// first use after a mutation (invalidateStats drops it).
+func (g *Graph) memoStepper() *stepIndex {
+	if ix := g.stepper.Load(); ix != nil {
+		return ix
+	}
+	g.derivedMu.Lock()
+	defer g.derivedMu.Unlock()
+	if ix := g.stepper.Load(); ix != nil {
+		return ix
+	}
+	ix := buildStepIndex(g)
+	g.stepper.Store(ix)
+	return ix
 }
 
 // indexedStep is one precomputed traversal step of the generic adapter.
@@ -75,7 +105,14 @@ type stepIndex struct {
 	nodes []*Node
 	idx   map[NodeID]int
 	edges []*Edge
+	eidx  map[EdgeID]int
+	ends  [][2]int32
 	adj   [][]indexedStep
+
+	// labelIdx memoizes per-label dense seed lists (the underlying store's
+	// NodesWithLabel order), built on first use per label.
+	labelMu  sync.Mutex
+	labelIdx map[string][]int32
 }
 
 func buildStepIndex(s Store) *stepIndex {
@@ -84,6 +121,7 @@ func buildStepIndex(s Store) *stepIndex {
 		nodes: make([]*Node, 0, s.NumNodes()),
 		idx:   make(map[NodeID]int, s.NumNodes()),
 		edges: make([]*Edge, 0, s.NumEdges()),
+		eidx:  make(map[EdgeID]int, s.NumEdges()),
 	}
 	s.Nodes(func(n *Node) bool {
 		ix.idx[n.ID] = len(ix.nodes)
@@ -91,10 +129,13 @@ func buildStepIndex(s Store) *stepIndex {
 		return true
 	})
 	ix.adj = make([][]indexedStep, len(ix.nodes))
+	ix.ends = make([][2]int32, 0, s.NumEdges())
 	s.Edges(func(e *Edge) bool {
 		ei := int32(len(ix.edges))
+		ix.eidx[e.ID] = len(ix.edges)
 		ix.edges = append(ix.edges, e)
 		si, ti := ix.idx[e.Source], ix.idx[e.Target]
+		ix.ends = append(ix.ends, [2]int32{int32(si), int32(ti)})
 		switch {
 		case e.Direction == Undirected:
 			ix.adj[si] = append(ix.adj[si], indexedStep{ei, int32(ti), StepUndirected})
@@ -124,6 +165,11 @@ func (ix *stepIndex) NodeByIndex(i int) *Node { return ix.nodes[i] }
 // EdgeByIndex returns the edge at a dense index.
 func (ix *stepIndex) EdgeByIndex(i int) *Edge { return ix.edges[i] }
 
+// EdgeEnds returns the endpoint indices of the edge at a dense index.
+func (ix *stepIndex) EdgeEnds(i int) (src, tgt int) {
+	return int(ix.ends[i][0]), int(ix.ends[i][1])
+}
+
 // Steps iterates the precomputed steps of node index i.
 func (ix *stepIndex) Steps(i int, f func(edge, other int, kind StepKind) bool) {
 	for _, st := range ix.adj[i] {
@@ -131,6 +177,70 @@ func (ix *stepIndex) Steps(i int, f func(edge, other int, kind StepKind) bool) {
 			return
 		}
 	}
+}
+
+// NodesWithLabelIdx iterates the label's node indices, memoizing the list
+// per label (the adapter may be shared across queries and goroutines).
+func (ix *stepIndex) NodesWithLabelIdx(label string, f func(i int) bool) {
+	ix.labelMu.Lock()
+	list, ok := ix.labelIdx[label]
+	if !ok {
+		for _, n := range ix.labelNodes(label) {
+			list = append(list, int32(n))
+		}
+		if ix.labelIdx == nil {
+			ix.labelIdx = map[string][]int32{}
+		}
+		ix.labelIdx[label] = list
+	}
+	ix.labelMu.Unlock()
+	for _, i := range list {
+		if !f(int(i)) {
+			return
+		}
+	}
+}
+
+// labelNodes scans the underlying store's label iteration once.
+func (ix *stepIndex) labelNodes(label string) []int {
+	var out []int
+	ix.Store.NodesWithLabel(label, func(n *Node) bool {
+		if i, ok := ix.idx[n.ID]; ok {
+			out = append(out, i)
+		}
+		return true
+	})
+	return out
+}
+
+// The adapter's interner answers from its own snapshot tables (the
+// embedded Store would work too; these avoid a second map for stores
+// whose own interner is lazy).
+func (ix *stepIndex) InternNode(id NodeID) (ElemIdx, bool) {
+	i, ok := ix.idx[id]
+	return ElemIdx(i), ok
+}
+
+// InternEdge maps an edge id to its dense index.
+func (ix *stepIndex) InternEdge(id EdgeID) (ElemIdx, bool) {
+	i, ok := ix.eidx[id]
+	return ElemIdx(i), ok
+}
+
+// NodeAt returns the node at a dense index, or nil when out of range.
+func (ix *stepIndex) NodeAt(i ElemIdx) *Node {
+	if int(i) >= len(ix.nodes) {
+		return nil
+	}
+	return ix.nodes[i]
+}
+
+// EdgeAt returns the edge at a dense index, or nil when out of range.
+func (ix *stepIndex) EdgeAt(i ElemIdx) *Edge {
+	if int(i) >= len(ix.edges) {
+		return nil
+	}
+	return ix.edges[i]
 }
 
 // statically assert the adapter and the CSR satisfy Stepper.

@@ -1,0 +1,125 @@
+package graph
+
+// The ID interner: every Store assigns each node and edge a stable dense
+// index (ElemIdx), and the whole execution path — binding entries, dedup
+// keys, join keys, engine positions — runs on those integers. Element id
+// strings are materialized only when a result row (or a canonical sort
+// key) is rendered.
+//
+// Index assignment is insertion order on every backend, so the map graph
+// and a CSR snapshot of it agree index-for-index: bindings produced
+// against one backend materialize to the same ids against the other.
+// Since both backends are append-only (elements are never removed),
+// indices are stable across mutations of the map backend; its lazily
+// built table is simply discarded and rebuilt — to identical prefixes —
+// after each mutation.
+
+// ElemIdx is the stable dense index of a node or edge within one Store.
+// Node and edge index spaces are separate (a Ref carries the element
+// kind). Indices are only meaningful relative to the store that issued
+// them; cross-store equality goes through the materialized ids.
+type ElemIdx uint32
+
+// internTable is the map backend's lazily built interner: dense element
+// slices in insertion order plus the reverse id → index maps. It is
+// immutable once built; *Graph swaps the whole table atomically.
+type internTable struct {
+	nodes   []*Node
+	edges   []*Edge
+	nodeIdx map[NodeID]ElemIdx
+	edgeIdx map[EdgeID]ElemIdx
+}
+
+func buildInternTable(g *Graph) *internTable {
+	t := &internTable{
+		nodes:   make([]*Node, 0, len(g.nodeOrder)),
+		edges:   make([]*Edge, 0, len(g.edgeOrder)),
+		nodeIdx: make(map[NodeID]ElemIdx, len(g.nodeOrder)),
+		edgeIdx: make(map[EdgeID]ElemIdx, len(g.edgeOrder)),
+	}
+	for i, id := range g.nodeOrder {
+		t.nodes = append(t.nodes, g.nodes[id])
+		t.nodeIdx[id] = ElemIdx(i)
+	}
+	for i, id := range g.edgeOrder {
+		t.edges = append(t.edges, g.edges[id])
+		t.edgeIdx[id] = ElemIdx(i)
+	}
+	return t
+}
+
+// interner returns the memoized intern table, building it on first use
+// after a mutation. Concurrent readers share one build under the
+// derived-state mutex; afterwards lookups are a single atomic load.
+func (g *Graph) interner() *internTable {
+	if t := g.intern.Load(); t != nil {
+		return t
+	}
+	g.derivedMu.Lock()
+	defer g.derivedMu.Unlock()
+	if t := g.intern.Load(); t != nil {
+		return t
+	}
+	t := buildInternTable(g)
+	g.intern.Store(t)
+	return t
+}
+
+// InternNode maps a node id to its stable dense index.
+func (g *Graph) InternNode(id NodeID) (ElemIdx, bool) {
+	i, ok := g.interner().nodeIdx[id]
+	return i, ok
+}
+
+// InternEdge maps an edge id to its stable dense index.
+func (g *Graph) InternEdge(id EdgeID) (ElemIdx, bool) {
+	i, ok := g.interner().edgeIdx[id]
+	return i, ok
+}
+
+// NodeAt returns the node at a dense index, or nil when out of range.
+func (g *Graph) NodeAt(i ElemIdx) *Node {
+	t := g.interner()
+	if int(i) >= len(t.nodes) {
+		return nil
+	}
+	return t.nodes[i]
+}
+
+// EdgeAt returns the edge at a dense index, or nil when out of range.
+func (g *Graph) EdgeAt(i ElemIdx) *Edge {
+	t := g.interner()
+	if int(i) >= len(t.edges) {
+		return nil
+	}
+	return t.edges[i]
+}
+
+// InternNode answers from the CSR's dense index (the snapshot layout is
+// the interner).
+func (c *CSR) InternNode(id NodeID) (ElemIdx, bool) {
+	i, ok := c.nodeIdx[id]
+	return ElemIdx(i), ok
+}
+
+// InternEdge answers from the CSR's dense index.
+func (c *CSR) InternEdge(id EdgeID) (ElemIdx, bool) {
+	i, ok := c.edgeIdx[id]
+	return ElemIdx(i), ok
+}
+
+// NodeAt returns the node at a dense index, or nil when out of range.
+func (c *CSR) NodeAt(i ElemIdx) *Node {
+	if int(i) >= len(c.nodes) {
+		return nil
+	}
+	return &c.nodes[i]
+}
+
+// EdgeAt returns the edge at a dense index, or nil when out of range.
+func (c *CSR) EdgeAt(i ElemIdx) *Edge {
+	if int(i) >= len(c.edges) {
+		return nil
+	}
+	return &c.edges[i]
+}

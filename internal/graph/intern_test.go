@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// internFixture builds a graph with a few labels, multi-edges, self-loops
+// and an undirected edge — every structural case the interner must index.
+func internFixture(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < 20; i++ {
+		labels := []string{"N"}
+		if i%3 == 0 {
+			labels = append(labels, "Third")
+		}
+		if err := g.AddNode(NodeID(fmt.Sprintf("n%d", i)), labels, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 19; i++ {
+		if err := g.AddEdge(EdgeID(fmt.Sprintf("e%d", i)), NodeID(fmt.Sprintf("n%d", i)), NodeID(fmt.Sprintf("n%d", i+1)), []string{"E"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge("loop", "n0", "n0", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUndirectedEdge("und", "n1", "n5", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestInternerConformance: the map backend's lazy table and the CSR
+// snapshot's native layout must agree index-for-index (both assign in
+// insertion order), and Intern/Lookup must round-trip on both.
+func TestInternerConformance(t *testing.T) {
+	g := internFixture(t)
+	snap := Snapshot(g)
+	for _, s := range []struct {
+		name string
+		st   Store
+	}{{"map", g}, {"csr", snap}} {
+		t.Run(s.name, func(t *testing.T) {
+			i := 0
+			g.Nodes(func(n *Node) bool {
+				idx, ok := s.st.InternNode(n.ID)
+				if !ok || int(idx) != i {
+					t.Fatalf("InternNode(%q) = (%d, %v), want (%d, true)", n.ID, idx, ok, i)
+				}
+				if got := s.st.NodeAt(idx); got == nil || got.ID != n.ID {
+					t.Fatalf("NodeAt(%d) round-trip: got %v, want %q", idx, got, n.ID)
+				}
+				i++
+				return true
+			})
+			i = 0
+			g.Edges(func(e *Edge) bool {
+				idx, ok := s.st.InternEdge(e.ID)
+				if !ok || int(idx) != i {
+					t.Fatalf("InternEdge(%q) = (%d, %v), want (%d, true)", e.ID, idx, ok, i)
+				}
+				if got := s.st.EdgeAt(idx); got == nil || got.ID != e.ID {
+					t.Fatalf("EdgeAt(%d) round-trip: got %v, want %q", idx, got, e.ID)
+				}
+				i++
+				return true
+			})
+			// Unknown ids and out-of-range indices answer negatively, not
+			// by panicking.
+			if _, ok := s.st.InternNode("missing"); ok {
+				t.Error("InternNode on an unknown id must report !ok")
+			}
+			if _, ok := s.st.InternEdge("missing"); ok {
+				t.Error("InternEdge on an unknown id must report !ok")
+			}
+			if s.st.NodeAt(ElemIdx(1<<30)) != nil || s.st.EdgeAt(ElemIdx(1<<30)) != nil {
+				t.Error("out-of-range lookups must return nil")
+			}
+		})
+	}
+}
+
+// TestInternerStableAcrossMutation: mutating the map backend discards the
+// lazy table, but the rebuilt table assigns every pre-existing element the
+// same index (insertion order is append-only).
+func TestInternerStableAcrossMutation(t *testing.T) {
+	g := internFixture(t)
+	before := map[NodeID]ElemIdx{}
+	g.Nodes(func(n *Node) bool {
+		idx, _ := g.InternNode(n.ID)
+		before[n.ID] = idx
+		return true
+	})
+	if err := g.AddNode("late", []string{"N"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range before {
+		if got, ok := g.InternNode(id); !ok || got != want {
+			t.Fatalf("index of %q changed after mutation: %d -> %d", id, want, got)
+		}
+	}
+	if idx, ok := g.InternNode("late"); !ok || int(idx) != g.NumNodes()-1 {
+		t.Fatalf("new node interned at %d, want %d", idx, g.NumNodes()-1)
+	}
+}
+
+// TestInternerConcurrent hammers the lazy build from many goroutines (run
+// under -race): all must observe one consistent table.
+func TestInternerConcurrent(t *testing.T) {
+	g := internFixture(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := NodeID(fmt.Sprintf("n%d", i))
+				idx, ok := g.InternNode(id)
+				if !ok || int(idx) != i {
+					errs <- fmt.Errorf("worker %d: InternNode(%q) = (%d, %v)", w, id, idx, ok)
+					return
+				}
+				if n := g.NodeAt(idx); n == nil || n.ID != id {
+					errs <- fmt.Errorf("worker %d: NodeAt(%d) mismatch", w, idx)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAsStepperMemoized: repeated AsStepper calls on the map backend reuse
+// one adapter until a mutation invalidates it; native steppers pass
+// through unchanged.
+func TestAsStepperMemoized(t *testing.T) {
+	g := internFixture(t)
+	st1 := AsStepper(g)
+	st2 := AsStepper(g)
+	if st1 != st2 {
+		t.Fatalf("AsStepper must memoize the map backend's adapter")
+	}
+	if err := g.AddNode("invalidate", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st3 := AsStepper(g)
+	if st3 == st1 {
+		t.Fatalf("mutation must invalidate the memoized adapter")
+	}
+	if _, ok := st3.NodeIndex("invalidate"); !ok {
+		t.Fatalf("rebuilt adapter must see the new node")
+	}
+	snap := Snapshot(g)
+	if AsStepper(snap) != Stepper(snap) {
+		t.Fatalf("a native Stepper must be returned as-is")
+	}
+}
+
+// TestStepperEdgeEnds: endpoint indices agree with the interner on both
+// backends, including self-loops and undirected edges.
+func TestStepperEdgeEnds(t *testing.T) {
+	g := internFixture(t)
+	for _, st := range []Stepper{AsStepper(g), Snapshot(g)} {
+		g.Edges(func(e *Edge) bool {
+			ei, _ := st.InternEdge(e.ID)
+			src, tgt := st.EdgeEnds(int(ei))
+			wantSrc, _ := st.InternNode(e.Source)
+			wantTgt, _ := st.InternNode(e.Target)
+			if src != int(wantSrc) || tgt != int(wantTgt) {
+				t.Fatalf("EdgeEnds(%q) = (%d,%d), want (%d,%d)", e.ID, src, tgt, wantSrc, wantTgt)
+			}
+			return true
+		})
+	}
+}
+
+// TestNodesWithLabelIdx: the dense label iteration agrees with the
+// id-based one on both backends (order included) and memoizes correctly
+// on the adapter.
+func TestNodesWithLabelIdx(t *testing.T) {
+	g := internFixture(t)
+	for _, s := range []struct {
+		name string
+		st   Stepper
+	}{{"adapter", AsStepper(g)}, {"csr", Snapshot(g)}} {
+		for _, label := range []string{"N", "Third", "absent"} {
+			var want []int
+			s.st.NodesWithLabel(label, func(n *Node) bool {
+				i, _ := s.st.InternNode(n.ID)
+				want = append(want, int(i))
+				return true
+			})
+			for pass := 0; pass < 2; pass++ { // second pass hits the memo
+				var got []int
+				s.st.NodesWithLabelIdx(label, func(i int) bool {
+					got = append(got, i)
+					return true
+				})
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s %s pass %d: NodesWithLabelIdx = %v, want %v", s.name, label, pass, got, want)
+				}
+			}
+		}
+	}
+}

@@ -149,6 +149,56 @@ func (p Path) ValidIn(g *Graph) error {
 	return nil
 }
 
+// IdxPath is a path in interned form: dense node and edge indices
+// relative to one Store. The engines build and deduplicate paths in this
+// representation; Materialize resolves it to element ids when a result
+// row is rendered. A zero IdxPath (no nodes) is the "no path" marker the
+// unstarted-search case uses; a single-node path has one node and no
+// edges.
+type IdxPath struct {
+	Nodes []ElemIdx // len(Nodes) == len(Edges)+1 when non-empty
+	Edges []ElemIdx
+}
+
+// Len returns the number of edges in the path.
+func (p IdxPath) Len() int { return len(p.Edges) }
+
+// First returns the first node index; it panics on an empty path.
+func (p IdxPath) First() ElemIdx { return p.Nodes[0] }
+
+// Last returns the final node index.
+func (p IdxPath) Last() ElemIdx { return p.Nodes[len(p.Nodes)-1] }
+
+// Materialize resolves the interned path to element ids against the
+// store that issued the indices.
+func (p IdxPath) Materialize(s Store) Path {
+	if len(p.Nodes) == 0 {
+		return Path{}
+	}
+	nodes := make([]NodeID, len(p.Nodes))
+	for i, n := range p.Nodes {
+		nodes[i] = s.NodeAt(n).ID
+	}
+	edges := make([]EdgeID, len(p.Edges))
+	for i, e := range p.Edges {
+		edges[i] = s.EdgeAt(e).ID
+	}
+	return Path{Nodes: nodes, Edges: edges}
+}
+
+// AppendKeyString appends the materialized path's canonical key (the
+// Path.Key format) to a builder, for canonical sort keys.
+func (p IdxPath) AppendKeyString(b *strings.Builder, s Store) {
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteByte('|')
+			b.WriteString(string(s.EdgeAt(p.Edges[i-1]).ID))
+			b.WriteByte('|')
+		}
+		b.WriteString(string(s.NodeAt(n).ID))
+	}
+}
+
 // Key returns a canonical identity key for the path.
 func (p Path) Key() string {
 	var b strings.Builder

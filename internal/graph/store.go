@@ -41,6 +41,19 @@ type Store interface {
 	// LabelStats reports element cardinalities per label, for cost
 	// estimates and reporting.
 	LabelStats() StoreStats
+
+	// The ID interner (see intern.go): every element has a stable dense
+	// index assigned in insertion order, and the execution path runs on
+	// those integers end to end. InternNode/InternEdge map an id to its
+	// index (ok=false for unknown ids); NodeAt/EdgeAt are the Lookup
+	// direction and return nil when the index is out of range. The CSR
+	// snapshot answers from its native dense layout; the map backend
+	// builds its table lazily and discards it on mutation (indices stay
+	// stable because insertion is append-only).
+	InternNode(id NodeID) (ElemIdx, bool)
+	InternEdge(id EdgeID) (ElemIdx, bool)
+	NodeAt(i ElemIdx) *Node
+	EdgeAt(i ElemIdx) *Edge
 }
 
 // StoreStats summarizes a store's cardinalities. Implementations may
