@@ -10,8 +10,9 @@
 // additionally prints the §6.2 normalized pattern. -explain reports which
 // engine (dfs, bfs, or the pattern automaton) evaluates each path pattern
 // and why, plus the cost-ordered join plan of multi-pattern statements;
-// -no-automaton pins evaluation to the enumerating engines and
-// -no-bind-join to the enumerate-then-hash-join pipeline. -first N
+// -no-automaton pins evaluation to the enumerating engines,
+// -no-bind-join to the enumerate-then-hash-join pipeline, and
+// -no-vectorize to the row-at-a-time operators. -first N
 // streams only the first N rows (LIMIT pushdown: enumeration stops once
 // they are produced) and -timeout aborts evaluation after a duration via
 // streaming cancellation.
@@ -41,6 +42,7 @@ func main() {
 		explain    = flag.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
 		noAuto     = flag.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
 		noBindJoin = flag.Bool("no-bind-join", false, "disable the cost-ordered bind-join planner (A/B comparison)")
+		noVec      = flag.Bool("no-vectorize", false, "disable the vectorized batch pipeline (A/B comparison)")
 		timeout    = flag.Duration("timeout", 0, "abort evaluation after this duration (streaming cancellation; 0 = none)")
 		first      = flag.Int("first", 0, "stream only the first N rows (LIMIT pushdown; 0 = all rows)")
 	)
@@ -87,6 +89,9 @@ func main() {
 	}
 	if *noBindJoin {
 		evalOpts = append(evalOpts, gpml.NoBindJoin())
+	}
+	if *noVec {
+		evalOpts = append(evalOpts, gpml.NoVectorize())
 	}
 	q, err := gpml.Compile(query, opts...)
 	if err != nil {

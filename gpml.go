@@ -134,6 +134,7 @@ type Query struct {
 	noAuto     bool
 	noBindJoin bool
 	strKeys    bool
+	noVec      bool
 	limit      int
 	ctx        context.Context
 }
@@ -150,6 +151,7 @@ type options struct {
 	noAuto     bool
 	noBindJoin bool
 	strKeys    bool
+	noVec      bool
 	limit      int
 	ctx        context.Context
 }
@@ -162,6 +164,7 @@ func (o options) config() eval.Config {
 		DisableAutomaton: o.noAuto,
 		DisableBindJoin:  o.noBindJoin,
 		StringKeys:       o.strKeys,
+		DisableVectorize: o.noVec,
 		Limit:            o.limit,
 	}
 }
@@ -242,6 +245,16 @@ func StringKeys() Option { return func(o *options) { o.strKeys = true } }
 // testing.
 func NoBindJoin() Option { return func(o *options) { o.noBindJoin = true } }
 
+// NoVectorize disables the vectorized batch pipeline, forcing eligible
+// statements (flat chains on one shared store) back onto the
+// row-at-a-time operators. Successful evaluations return identical rows
+// in identical order either way; under tight search Limits the pipelines
+// may differ only in whether the budget trips, because a LIMIT-bound
+// batch run computes up to one batch of rows ahead of the cut. The
+// option exists for A/B benchmarking (benchgen experiment S6 measures
+// the batching win with it) and differential testing.
+func NoVectorize() Option { return func(o *options) { o.noVec = true } }
+
 // Compile parses, normalizes, analyzes and plans a GPML MATCH statement.
 func Compile(src string, opts ...Option) (*Query, error) {
 	var o options
@@ -252,7 +265,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, strKeys: o.strKeys, limit: o.limit, ctx: o.ctx}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, strKeys: o.strKeys, noVec: o.noVec, limit: o.limit, ctx: o.ctx}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -280,7 +293,7 @@ func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
 
 // options seeds an option set from the query's compile-time defaults.
 func (q *Query) options(opts []Option) options {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, strKeys: q.strKeys, limit: q.limit, ctx: q.ctx}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, strKeys: q.strKeys, noVec: q.noVec, limit: q.limit, ctx: q.ctx}
 	for _, f := range opts {
 		f(&o)
 	}

@@ -1,0 +1,60 @@
+package binding
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpml/internal/graph"
+)
+
+// TestColKeyerAgreesWithKeyer pins the batch pipeline's dedup contract:
+// for rows of one flat-chain template, ColKeyer over the position tuple
+// makes exactly the same equal/distinct decisions as Keyer over the
+// corresponding Reduced bindings.
+func TestColKeyerAgreesWithKeyer(t *testing.T) {
+	// One template: (a)-[e]->(□) — columns node/edge/node, fixed names.
+	vars := []string{"a", "e", "□"}
+	kinds := []ElemKind{NodeElem, EdgeElem, NodeElem}
+	toReduced := func(tuple []graph.ElemIdx) *Reduced {
+		r := &Reduced{Path: graph.IdxPath{
+			Nodes: []graph.ElemIdx{tuple[0], tuple[2]},
+			Edges: []graph.ElemIdx{tuple[1]},
+		}}
+		for i, v := range tuple {
+			r.Cols = append(r.Cols, ReducedCol{Var: vars[i], Kind: kinds[i], Idx: v})
+		}
+		return r
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var tuples [][]graph.ElemIdx
+	for i := 0; i < 500; i++ {
+		// Small value range on purpose: plenty of collisions to compare,
+		// including varint width boundaries around 128.
+		tuples = append(tuples, []graph.ElemIdx{
+			graph.ElemIdx(rng.Intn(130)),
+			graph.ElemIdx(rng.Intn(130)),
+			graph.ElemIdx(rng.Intn(130)),
+		})
+	}
+
+	keyer := NewKeyer()
+	var col ColKeyer
+	rowKeys := map[string]string{} // keyer key -> colkeyer key
+	colKeys := map[string]string{}
+	for _, tuple := range tuples {
+		rk := string(keyer.Key(toReduced(tuple)))
+		ck := string(col.Key(tuple))
+		if prev, ok := rowKeys[rk]; ok && prev != ck {
+			t.Fatalf("Keyer-equal tuples got distinct ColKeyer keys: %v", tuple)
+		}
+		rowKeys[rk] = ck
+		if prev, ok := colKeys[ck]; ok && prev != rk {
+			t.Fatalf("ColKeyer-equal tuples got distinct Keyer keys: %v", tuple)
+		}
+		colKeys[ck] = rk
+	}
+	if len(rowKeys) != len(colKeys) {
+		t.Fatalf("distinct-key counts diverge: keyer %d, colkeyer %d", len(rowKeys), len(colKeys))
+	}
+}

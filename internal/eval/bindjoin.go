@@ -173,6 +173,30 @@ func ExplainJoin(s graph.Store, p *plan.Plan, cfg Config) []string {
 		out = append(out, fmt.Sprintf("join stats: nodes=%d edges=%d avg-degree=%.3g",
 			st.Nodes, st.Edges, st.AvgDegree()))
 	}
+	if core := plan.DetectCyclicCore(p, stats); core != nil {
+		choice := "intersect"
+		note := "[worst-case-optimal; needs sorted adjacency (CSR), falls back otherwise]"
+		rem := plan.OrderJoinRemainder(p, stats, core)
+		switch {
+		case cfg.DisableVectorize:
+			choice, note = "bind-join", "[vectorized pipeline disabled by config]"
+		case cfg.DisableIntersect:
+			choice, note = "bind-join", "[intersect disabled by config]"
+		case cfg.Limit > 0:
+			choice, note = "bind-join", "[intersect skipped: LIMIT preserves bind-join row order]"
+		case !core.UseIntersect():
+			choice, note = "bind-join", "[cost model prefers bind-join]"
+		case !allSeeded(remSeedable(p, core), rem, p):
+			choice, note = "bind-join", "[intersect skipped: unseeded remainder pattern]"
+		}
+		out = append(out, fmt.Sprintf("join core: %s %s %s", choice, core, note))
+		if choice == "intersect" {
+			for k, step := range rem {
+				out = append(out, fmt.Sprintf("join step %d: %s [streaming]", k, step))
+			}
+			return out
+		}
+	}
 	for k, step := range plan.OrderJoin(p, stats) {
 		note := "[streaming]"
 		if k > 0 && step.SeedVar == "" {

@@ -47,6 +47,19 @@ type Config struct {
 	// injective); the option exists for benchmarking the interning win and
 	// for differential testing.
 	StringKeys bool
+	// DisableVectorize forces statements eligible for the batch pipeline
+	// (flat chains on one shared store; see batch.go) back onto the
+	// row-at-a-time pipeline; used for A/B comparison and differential
+	// testing. Successful evaluations are identical either way, row order
+	// included; under tight Limits the pipelines may differ only in
+	// whether they hit the budget (a LIMIT-bound batch run computes up to
+	// one batch of rows ahead of the cut).
+	DisableVectorize bool
+	// DisableIntersect keeps cyclic join cores on bind-joins even when
+	// the cost model favors the worst-case-optimal intersection operator
+	// (intersect.go); used for A/B comparison and differential testing.
+	// Collected (canonically sorted) results are identical either way.
+	DisableIntersect bool
 }
 
 // BoundKind discriminates what a result variable is bound to.

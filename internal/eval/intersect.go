@@ -1,0 +1,324 @@
+package eval
+
+import (
+	"context"
+	"math"
+
+	"gpml/internal/ast"
+	"gpml/internal/graph"
+	"gpml/internal/plan"
+)
+
+// Worst-case-optimal intersection for cyclic join cores. Bind-joins
+// enumerate a cyclic core (triangle, 4-cycle, diamond) through an
+// intermediate that can be asymptotically larger than the output; the
+// leapfrog-style operator here instead assigns the core's node variables
+// one at a time in plan.CorePlan's elimination order, intersecting the
+// sorted adjacency lists (graph.SortedStepper) of the already-bound
+// neighbour endpoints with galloping seeks. Once all node variables are
+// assigned, each core pattern contributes its distinct matching edges
+// between its (now fixed) endpoints, and the cross product of those edge
+// lists is emitted as columnar batch rows.
+//
+// The emitted row multiset is exactly the bind-join core's (the join of
+// the per-pattern solution sets on shared node variables); only the raw
+// stream order differs, which is why the dispatcher gates the operator to
+// Limit == 0 — every collected (canonically sorted) result is identical.
+// The match budget counts emitted core rows rather than per-pattern raw
+// matches, the same class of budget-accounting divergence the
+// DisableBindJoin reference pipeline documents.
+
+// corePat is one core pattern with its endpoints resolved to elimination
+// slots.
+type corePat struct {
+	pp       *plan.PathPlan
+	headSlot int
+	tailSlot int
+	label    ast.LabelExpr
+	orient   ast.Orientation
+	edgeBuf  []graph.ElemIdx
+}
+
+// slotConstraint is one core pattern constraining a slot's candidates
+// through the sorted adjacency of its already-bound other endpoint.
+// fromTail means the bound endpoint is the pattern's tail, so step kinds
+// flip direction relative to the pattern's orientation.
+type slotConstraint struct {
+	st        graph.SortedStepper
+	pat       *corePat
+	boundSlot int
+	fromTail  bool
+
+	// Window of the bound endpoint's sorted adjacency, set when the
+	// enumeration enters this slot; pos advances monotonically.
+	others []int32
+	edges  []int32
+	kinds  []graph.StepKind
+	pos    int
+}
+
+// admits checks one adjacency entry's step kind against the pattern
+// orientation, flipped when traversing from the tail endpoint. Self-loops
+// and undirected steps are direction-symmetric, so only In/Out flip.
+func (c *slotConstraint) admits(k graph.StepKind) bool {
+	if c.fromTail {
+		switch k {
+		case graph.StepOut:
+			k = graph.StepIn
+		case graph.StepIn:
+			k = graph.StepOut
+		}
+	}
+	return stepAllowed(c.pat.orient, k)
+}
+
+// seekAdmissible gallops to the smallest neighbour >= target reachable
+// through an entry this pattern admits (kind and edge label). Idempotent
+// at a fixed target; pos only moves forward.
+func (c *slotConstraint) seekAdmissible(target int32) (int32, bool) {
+	c.pos = graph.SeekGE(c.others, c.pos, target)
+	for c.pos < len(c.others) {
+		v := c.others[c.pos]
+		for j := c.pos; j < len(c.others) && c.others[j] == v; j++ {
+			if c.admits(c.kinds[j]) && c.edgeOK(j) {
+				return v, true
+			}
+		}
+		// No admissible entry in this neighbour's run; skip it.
+		for c.pos < len(c.others) && c.others[c.pos] == v {
+			c.pos++
+		}
+	}
+	return 0, false
+}
+
+func (c *slotConstraint) edgeOK(j int) bool {
+	return c.pat.label == nil || c.pat.label.Matches(c.st.EdgeByIndex(int(c.edges[j])).Labels)
+}
+
+// intersectSource enumerates a cyclic core's rows as batches: 3 columns
+// (head, edge, tail) per core pattern, in core.Patterns order. Batches
+// cut at seed (first-slot candidate) boundaries, first batch at one row.
+type intersectSource struct {
+	st         graph.SortedStepper
+	bud        *budget
+	vars       []string
+	pats       []*corePat
+	bySlot     [][]*slotConstraint
+	nodeLabels [][]ast.LabelExpr
+	seeds      []int
+	seedAt     int
+	assign     []int32
+	curEdge    []graph.ElemIdx
+	out        *Batch
+	first      bool
+	ticks      int
+}
+
+func newIntersectSource(ctx context.Context, st graph.SortedStepper, p *plan.Plan, core *plan.CorePlan, cfg Config) *intersectSource {
+	s := &intersectSource{
+		st:     st,
+		vars:   core.Vars,
+		assign: make([]int32, len(core.Vars)),
+		out:    newBatch(3 * len(core.Patterns)),
+		first:  true,
+	}
+	s.bud = newBudget(cfg.Limits.withDefaults())
+	s.bud.check = cancelCheck(ctx, nil)
+
+	slot := map[string]int{}
+	for i, v := range core.Vars {
+		slot[v] = i
+	}
+	for _, pi := range core.Patterns {
+		ch := p.Paths[pi].Chain
+		s.pats = append(s.pats, &corePat{
+			pp:       p.Paths[pi],
+			headSlot: slot[ch.Nodes[0].Var],
+			tailSlot: slot[ch.Nodes[1].Var],
+			label:    ch.Edges[0].Label,
+			orient:   ch.Edges[0].Orientation,
+		})
+	}
+	s.curEdge = make([]graph.ElemIdx, len(s.pats))
+
+	s.nodeLabels = make([][]ast.LabelExpr, len(core.Vars))
+	s.bySlot = make([][]*slotConstraint, len(core.Vars))
+	for _, cp := range s.pats {
+		if l := cp.pp.Chain.Nodes[0].Label; l != nil {
+			s.nodeLabels[cp.headSlot] = append(s.nodeLabels[cp.headSlot], l)
+		}
+		if l := cp.pp.Chain.Nodes[1].Label; l != nil {
+			s.nodeLabels[cp.tailSlot] = append(s.nodeLabels[cp.tailSlot], l)
+		}
+		if cp.headSlot < cp.tailSlot {
+			s.bySlot[cp.tailSlot] = append(s.bySlot[cp.tailSlot],
+				&slotConstraint{st: st, pat: cp, boundSlot: cp.headSlot})
+		} else {
+			s.bySlot[cp.headSlot] = append(s.bySlot[cp.headSlot],
+				&slotConstraint{st: st, pat: cp, boundSlot: cp.tailSlot, fromTail: true})
+		}
+	}
+
+	// First-slot candidates: the cheapest proven label over the patterns
+	// incident to the slot, or every node.
+	var labels []string
+	for _, cp := range s.pats {
+		if cp.headSlot == 0 {
+			labels = append(labels, cp.pp.SeedLabels...)
+		}
+		if cp.tailSlot == 0 {
+			labels = append(labels, cp.pp.TailLabels...)
+		}
+	}
+	if label, ok := graph.CheapestNodeLabel(st, labels); ok {
+		st.NodesWithLabelIdx(label, func(i int) bool {
+			s.seeds = append(s.seeds, i)
+			return true
+		})
+	} else {
+		for i, n := 0, st.NumNodes(); i < n; i++ {
+			s.seeds = append(s.seeds, i)
+		}
+	}
+	return s
+}
+
+// nodeOK applies every core pattern's node-label constraint on a slot.
+func (s *intersectSource) nodeOK(slot int, v int32) bool {
+	ls := s.nodeLabels[slot]
+	if len(ls) == 0 {
+		return true
+	}
+	n := s.st.NodeByIndex(int(v))
+	for _, l := range ls {
+		if !l.Matches(n.Labels) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignSlot extends the partial assignment to slot k by leapfrog
+// intersection of the bound neighbours' adjacency windows.
+func (s *intersectSource) assignSlot(k int) error {
+	if k == len(s.vars) {
+		return s.emitProduct()
+	}
+	if s.ticks++; s.ticks%cancelCheckInterval == 0 {
+		if err := s.bud.checkCancel(); err != nil {
+			return err
+		}
+	}
+	cons := s.bySlot[k]
+	for _, c := range cons {
+		c.others, c.edges, c.kinds = s.st.SortedSteps(int(s.assign[c.boundSlot]))
+		c.pos = 0
+	}
+	var target int32
+	for {
+		// Leapfrog: raise target until every constraint admits it.
+		for {
+			raised := false
+			for _, c := range cons {
+				v, ok := c.seekAdmissible(target)
+				if !ok {
+					return nil
+				}
+				if v > target {
+					target = v
+					raised = true
+				}
+			}
+			if !raised {
+				break
+			}
+		}
+		if s.nodeOK(k, target) {
+			s.assign[k] = target
+			if err := s.assignSlot(k + 1); err != nil {
+				return err
+			}
+			// Deeper slots clobbered the windows of their own constraints,
+			// not ours; only pos state matters here and it is ours alone.
+		}
+		if target == math.MaxInt32 {
+			return nil
+		}
+		target++
+	}
+}
+
+// emitProduct collects, per core pattern, the distinct edges matching the
+// now-fixed endpoint assignment (scanning the head's sorted window — each
+// connecting edge appears exactly once there, self-loops included) and
+// emits the cross product as rows.
+func (s *intersectSource) emitProduct() error {
+	for _, cp := range s.pats {
+		cp.edgeBuf = cp.edgeBuf[:0]
+		h, t := s.assign[cp.headSlot], s.assign[cp.tailSlot]
+		others, edges, kinds := s.st.SortedSteps(int(h))
+		for j := graph.SeekGE(others, 0, t); j < len(others) && others[j] == t; j++ {
+			if !stepAllowed(cp.orient, kinds[j]) {
+				continue
+			}
+			if cp.label != nil && !cp.label.Matches(s.st.EdgeByIndex(int(edges[j])).Labels) {
+				continue
+			}
+			cp.edgeBuf = append(cp.edgeBuf, graph.ElemIdx(edges[j]))
+		}
+		if len(cp.edgeBuf) == 0 {
+			return nil
+		}
+	}
+	return s.product(0)
+}
+
+func (s *intersectSource) product(pi int) error {
+	if pi == len(s.pats) {
+		if err := s.bud.addMatch(); err != nil {
+			return err
+		}
+		for i, cp := range s.pats {
+			base := 3 * i
+			s.out.cols[base] = append(s.out.cols[base], graph.ElemIdx(s.assign[cp.headSlot]))
+			s.out.cols[base+1] = append(s.out.cols[base+1], s.curEdge[i])
+			s.out.cols[base+2] = append(s.out.cols[base+2], graph.ElemIdx(s.assign[cp.tailSlot]))
+		}
+		s.out.sel = append(s.out.sel, int32(len(s.out.sel)))
+		return nil
+	}
+	for _, e := range s.pats[pi].edgeBuf {
+		s.curEdge[pi] = e
+		if err := s.product(pi + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *intersectSource) NextBatch() (*Batch, error) {
+	s.out.clear()
+	target := batchSize
+	if s.first {
+		target = 1
+	}
+	for s.seedAt < len(s.seeds) && s.out.rows() < target {
+		v := int32(s.seeds[s.seedAt])
+		s.seedAt++
+		if !s.nodeOK(0, v) {
+			continue
+		}
+		s.assign[0] = v
+		if err := s.assignSlot(1); err != nil {
+			return nil, err
+		}
+	}
+	s.first = false
+	if s.out.rows() == 0 {
+		return nil, nil
+	}
+	return s.out, nil
+}
+
+func (s *intersectSource) Close() error { return nil }

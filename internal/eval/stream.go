@@ -111,6 +111,12 @@ func StreamPlanOn(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg C
 			break
 		}
 	}
+	// The vectorized batch pipeline takes over whole statements in its
+	// fragment (flat chains, shared store); it builds its own post-join
+	// stages and boundary adapter, so it returns directly.
+	if cur, ok := newBatchPipeline(ctx, stores, p, cfg, byIdx); ok {
+		return cur, nil
+	}
 	var cur Cursor
 	if len(p.Paths) > 1 && cfg.DisableBindJoin {
 		c, err := newClassicJoinCursor(ctx, stores, p, cfg, byIdx)

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 )
 
@@ -38,6 +39,23 @@ type CSR struct {
 	// labelNodes maps a label to the indices of nodes carrying it, in
 	// insertion order.
 	labelNodes map[string][]int32
+
+	// Sorted adjacency view for intersection joins. sortEdge/sortOther/
+	// sortKind are a permutation of the incEdge/incOther/incKind window of
+	// each node, sharing incOff, reordered so that within a node the steps
+	// ascend by (neighbour index, edge index). Invariant: for every node i
+	// and every incOff[i] <= a < b < incOff[i+1],
+	//
+	//	(sortOther[a], sortEdge[a]) < (sortOther[b], sortEdge[b])
+	//
+	// lexicographically. Equal-neighbour runs therefore preserve edge
+	// insertion order, and the multiset of (edge, other, kind) triples per
+	// node is identical to the Steps order. The leapfrog intersection
+	// operator gallops over sortOther; Steps and Incident keep serving the
+	// insertion-ordered arena so enumeration order is unchanged.
+	sortEdge  []int32
+	sortOther []int32
+	sortKind  []StepKind
 
 	stats StoreStats
 }
@@ -126,7 +144,46 @@ func Snapshot(g *Graph) *CSR {
 			fill[ti]++
 		}
 	}
+	c.buildSortedAdjacency()
 	return c
+}
+
+// buildSortedAdjacency derives the per-node (neighbour, edge)-sorted
+// permutation of the incidence arena. The arena was filled in edge
+// insertion order, so within a window equal neighbours ascend by edge
+// index and the result is fully deterministic.
+func (c *CSR) buildSortedAdjacency() {
+	n := len(c.incEdge)
+	c.sortEdge = make([]int32, n)
+	c.sortOther = make([]int32, n)
+	c.sortKind = make([]StepKind, n)
+	// Pack (neighbour, arena index) into one word per step and sort windows
+	// of the packed array: the arena index is unique, so the order is total,
+	// and within a node's window arena positions ascend by edge index, so
+	// the packed order equals (other, edge) order. slices.Sort on integers
+	// keeps snapshot construction allocation-flat (a per-node sort.Slice
+	// closure costs an allocation per node).
+	keys := make([]uint64, n)
+	for a, o := range c.incOther {
+		keys[a] = uint64(uint32(o))<<32 | uint64(uint32(a))
+	}
+	for i := range c.nodes {
+		slices.Sort(keys[c.incOff[i]:c.incOff[i+1]])
+	}
+	for at, key := range keys {
+		src := int32(uint32(key))
+		c.sortEdge[at] = c.incEdge[src]
+		c.sortOther[at] = c.incOther[src]
+		c.sortKind[at] = c.incKind[src]
+	}
+}
+
+// SortedSteps returns node i's adjacency window sorted by (neighbour,
+// edge): parallel slices of neighbour indices, edge indices, and step
+// kinds. The slices alias the snapshot and must not be mutated.
+func (c *CSR) SortedSteps(i int) (others, edges []int32, kinds []StepKind) {
+	lo, hi := c.incOff[i], c.incOff[i+1]
+	return c.sortOther[lo:hi], c.sortEdge[lo:hi], c.sortKind[lo:hi]
 }
 
 // NodeIndex maps a node id to its dense index.

@@ -1,0 +1,65 @@
+package graph
+
+// SortedStepper extends Stepper with a (neighbour, edge)-sorted view of
+// each node's adjacency, the access path the leapfrog intersection
+// operator needs: candidate neighbour sets arrive as sorted []int32
+// slices that can be galloped over with SeekGE.
+//
+// Only the CSR snapshot implements it — the sorted permutation is built
+// once at Snapshot time (see the sortedness invariant documented on the
+// CSR struct). The map backend's memoized step index stays
+// insertion-ordered, so queries on it fall back to bind-joins.
+type SortedStepper interface {
+	Stepper
+	// SortedSteps returns node i's adjacency window sorted ascending by
+	// (neighbour index, edge index): parallel slices of neighbour
+	// indices, edge indices, and step kinds. The returned slices alias
+	// internal storage and must not be mutated.
+	SortedSteps(i int) (others, edges []int32, kinds []StepKind)
+}
+
+// AsSorted returns the store's sorted-adjacency view when its indexed
+// form provides one (the CSR snapshot does).
+func AsSorted(s Store) (SortedStepper, bool) {
+	ss, ok := AsStepper(s).(SortedStepper)
+	return ss, ok
+}
+
+// SeekGE returns the smallest j in [from, len(others)) with
+// others[j] >= target, galloping (doubling probe distance, then binary
+// search within the bracketed window). On sorted adjacency this makes a
+// multi-way intersection step O(log gap) instead of O(gap), which is
+// what turns leapfrog's worst-case-optimal bound into practical wins on
+// skewed degree distributions.
+func SeekGE(others []int32, from int, target int32) int {
+	n := len(others)
+	if from >= n || others[from] >= target {
+		return from
+	}
+	// Gallop: find a bracket (from+step/2, from+step] containing the
+	// first element >= target.
+	step := 1
+	lo, hi := from, from+1
+	for hi < n && others[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Binary search in (lo, hi]: others[lo] < target, so the answer is in
+	// lo+1..hi.
+	lo++
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if others[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+var _ SortedStepper = (*CSR)(nil)

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gpml/internal/value"
+)
+
+// checkSortedAdjacency asserts the CSR sorted-adjacency invariant: per
+// node, SortedSteps ascends strictly by (other, edge), is a permutation
+// of the Steps multiset, and keeps edge insertion order within
+// equal-neighbour runs.
+func checkSortedAdjacency(t *testing.T, name string, c *CSR) {
+	t.Helper()
+	for i := 0; i < c.NumNodes(); i++ {
+		others, edges, kinds := c.SortedSteps(i)
+		if len(others) != len(edges) || len(edges) != len(kinds) {
+			t.Fatalf("%s: node %d: ragged sorted slices", name, i)
+		}
+		type step struct {
+			other, edge int32
+			kind        StepKind
+		}
+		var ref []step
+		c.Steps(i, func(edge, other int, kind StepKind) bool {
+			ref = append(ref, step{int32(other), int32(edge), kind})
+			return true
+		})
+		if len(ref) != len(others) {
+			t.Fatalf("%s: node %d: %d sorted steps, Steps has %d", name, i, len(others), len(ref))
+		}
+		// Strict (other, edge) ascent; a (node, edge, direction) triple
+		// occurs at most once in the arena, so ties are impossible.
+		for k := 1; k < len(others); k++ {
+			if others[k] < others[k-1] || (others[k] == others[k-1] && edges[k] <= edges[k-1]) {
+				t.Fatalf("%s: node %d: not sorted at %d: (%d,%d) after (%d,%d)",
+					name, i, k, others[k], edges[k], others[k-1], edges[k-1])
+			}
+		}
+		// Multiset equality with the insertion-ordered view.
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].other != ref[b].other {
+				return ref[a].other < ref[b].other
+			}
+			return ref[a].edge < ref[b].edge
+		})
+		for k := range ref {
+			if ref[k].other != others[k] || ref[k].edge != edges[k] || ref[k].kind != kinds[k] {
+				t.Fatalf("%s: node %d: sorted view diverges from Steps at %d: (%d,%d,%v) vs (%d,%d,%v)",
+					name, i, k, others[k], edges[k], kinds[k], ref[k].other, ref[k].edge, ref[k].kind)
+			}
+		}
+	}
+}
+
+// TestCSRSortedAdjacencyInvariant pins the invariant after a direct build
+// and after snapshot-from-map conversion of a mutated graph, over the
+// structural corner cases (multi-edges, self-loops, undirected edges) and
+// a random multigraph.
+func TestCSRSortedAdjacencyInvariant(t *testing.T) {
+	g := conformanceGraph(t)
+	checkSortedAdjacency(t, "conformance", Snapshot(g))
+
+	// Mutate the map graph and re-snapshot: the sorted view must be
+	// rebuilt from the new arena, not carried over.
+	if err := g.AddNode("z", []string{"Account"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("ez1", "z", "a", []string{"Transfer"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("ez2", "a", "z", []string{"Transfer"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkSortedAdjacency(t, "resnapshot", Snapshot(g))
+
+	// Random multigraph with parallel edges, self-loops and a mix of
+	// directions, dense enough for every node to have a wide window.
+	rng := rand.New(rand.NewSource(42))
+	rg := New()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := rg.AddNode(NodeID(fmt.Sprintf("n%d", i)), []string{"N"}, map[string]value.Value{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		src := NodeID(fmt.Sprintf("n%d", rng.Intn(n)))
+		tgt := NodeID(fmt.Sprintf("n%d", rng.Intn(n)))
+		id := EdgeID(fmt.Sprintf("e%d", i))
+		var err error
+		if rng.Intn(4) == 0 {
+			err = rg.AddUndirectedEdge(id, src, tgt, []string{"E"}, nil)
+		} else {
+			err = rg.AddEdge(id, src, tgt, []string{"E"}, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSortedAdjacency(t, "random", Snapshot(rg))
+}
+
+// TestAsSorted pins which stores expose the sorted view: the CSR snapshot
+// does, the map backend (and its memoized step index) does not.
+func TestAsSorted(t *testing.T) {
+	g := conformanceGraph(t)
+	if _, ok := AsSorted(g); ok {
+		t.Error("map backend unexpectedly reports sorted adjacency")
+	}
+	if _, ok := AsSorted(Snapshot(g)); !ok {
+		t.Error("CSR snapshot must report sorted adjacency")
+	}
+}
+
+// TestSeekGE checks the galloping search against a linear scan on every
+// (from, target) combination of a list with duplicates and gaps.
+func TestSeekGE(t *testing.T) {
+	list := []int32{2, 2, 3, 7, 7, 7, 9, 14, 14, 20}
+	for from := 0; from <= len(list); from++ {
+		for target := int32(0); target <= 22; target++ {
+			want := len(list)
+			for j := from; j < len(list); j++ {
+				if list[j] >= target {
+					want = j
+					break
+				}
+			}
+			if got := SeekGE(list, from, target); got != want {
+				t.Fatalf("SeekGE(from=%d, target=%d) = %d, want %d", from, target, got, want)
+			}
+		}
+	}
+	if got := SeekGE(nil, 0, 5); got != 0 {
+		t.Fatalf("SeekGE on empty = %d, want 0", got)
+	}
+}

@@ -1,0 +1,57 @@
+package plan
+
+import "gpml/internal/ast"
+
+// FlatChain is the shape the vectorized batch pipeline executes natively:
+// a strict node/edge alternation with no quantifiers, unions,
+// parentheses, restrictors, selectors, or element-level WHERE clauses.
+// Every match binds exactly one element per position, so a solution is a
+// fixed-width tuple of element indices — the columnar representation the
+// batch operators move between each other. Nodes holds positions 0..k,
+// Edges positions 1..k (Edges[i] connects Nodes[i] to Nodes[i+1]).
+type FlatChain struct {
+	Nodes []*ast.NodePattern
+	Edges []*ast.EdgePattern
+}
+
+// flatChain extracts the chain shape from a compiled pattern, or nil when
+// the pattern uses any construct outside the flat fragment. It walks the
+// instruction graph rather than the AST: the program is the executable
+// truth, and any non-chain construct (quantifier, union, paren WHERE,
+// restrictor scope) compiles to an opcode other than node/edge/accept.
+func flatChain(pp *ast.PathPattern, prog *Prog) *FlatChain {
+	if pp.Selector.Kind != ast.NoSelector {
+		return nil
+	}
+	c := &FlatChain{}
+	pc := prog.Start
+	for hops := 0; hops <= 2*maxFlatChainLen+1; hops++ {
+		in := &prog.Instrs[pc]
+		switch in.Op {
+		case OpNode:
+			if len(c.Nodes) != len(c.Edges) || in.Node.Where != nil {
+				return nil
+			}
+			c.Nodes = append(c.Nodes, in.Node)
+		case OpEdge:
+			if len(c.Nodes) != len(c.Edges)+1 || in.Edge.Where != nil {
+				return nil
+			}
+			c.Edges = append(c.Edges, in.Edge)
+		case OpAccept:
+			if len(c.Nodes) != len(c.Edges)+1 {
+				return nil
+			}
+			return c
+		default:
+			return nil
+		}
+		pc = in.Next
+	}
+	return nil // longer than any chain the batch pipeline should handle
+}
+
+// maxFlatChainLen caps the chain length the batch pipeline takes on;
+// longer chains (which cannot come from hand-written flat patterns at any
+// plausible size) stay on the row pipeline.
+const maxFlatChainLen = 64

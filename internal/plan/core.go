@@ -1,0 +1,297 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gpml/internal/ast"
+	"gpml/internal/graph"
+)
+
+// Cyclic-core detection for worst-case-optimal joins. Bind-joins handle
+// acyclic multi-pattern statements well — each step's shared variable
+// prunes as it enumerates — but on cyclic cores (the §4.2 triangle shape)
+// every bind-join order materializes an intermediate that is
+// asymptotically larger than the output. A leapfrog-style multi-way
+// intersection over the variables of the cycle avoids that blow-up. This
+// file finds the cyclic core of the join graph and orders the remaining
+// patterns around it; the eval layer supplies the intersection executor.
+
+// CorePlan describes the cyclic core of a multi-pattern join: the
+// single-edge flat-chain patterns forming a 2-edge-connected subgraph of
+// the variable join graph, the node variables of that subgraph in
+// elimination order, and the cost-model estimates the dispatch decision
+// is based on.
+type CorePlan struct {
+	// Patterns indexes Plan.Paths, ascending. Every core pattern is a
+	// single-edge flat chain with distinct named singleton endpoints.
+	Patterns []int
+	// Vars is the intersection's variable elimination order: each
+	// variable after the first is constrained by at least one core
+	// pattern whose other endpoint precedes it.
+	Vars []string
+	// BindCost estimates the intermediate-row work of solving the core
+	// with bind-joins; WCOCost estimates the leapfrog work. The
+	// intersection operator is dispatched when WCOCost <= BindCost.
+	BindCost float64
+	WCOCost  float64
+}
+
+// UseIntersect reports the cost-model decision: dispatch the core to the
+// intersection operator (rather than leaving it to bind-joins).
+func (c *CorePlan) UseIntersect() bool { return c.WCOCost <= c.BindCost }
+
+// String renders the core for Explain output.
+func (c *CorePlan) String() string {
+	pats := make([]string, len(c.Patterns))
+	for i, p := range c.Patterns {
+		pats[i] = fmt.Sprint(p)
+	}
+	return fmt.Sprintf("patterns %s vars=%s est-bind=%.3g est-wco=%.3g",
+		strings.Join(pats, ","), strings.Join(c.Vars, ","), c.BindCost, c.WCOCost)
+}
+
+// coreEdge is one candidate pattern viewed as an edge of the variable
+// join graph.
+type coreEdge struct {
+	pattern    int
+	head, tail string
+}
+
+// DetectCyclicCore finds the cyclic core of the statement's join graph:
+// the largest set of single-edge flat-chain patterns in which every
+// endpoint variable is shared by at least two core patterns (the 2-core
+// of the variable multigraph), restricted to one connected component.
+// Returns nil when no core of at least three patterns over at least
+// three variables exists — smaller shapes gain nothing over bind-joins.
+// stats aligns with p.Paths as in OrderJoin.
+func DetectCyclicCore(p *Plan, stats []graph.StoreStats) *CorePlan {
+	var cands []coreEdge
+	for i, pp := range p.Paths {
+		if pp.Chain == nil || len(pp.Chain.Edges) != 1 {
+			continue
+		}
+		head, tail := pp.Chain.Nodes[0].Var, pp.Chain.Nodes[1].Var
+		if ast.IsAnonVar(head) || ast.IsAnonVar(tail) || head == tail {
+			continue
+		}
+		// The edge variable must not itself join other patterns (the
+		// intersection joins on node variables only), nor repeat an
+		// endpoint variable — that equality is kind-mismatched and the
+		// pattern matches nothing, which the intersection would not see.
+		if ev := pp.Chain.Edges[0].Var; !ast.IsAnonVar(ev) &&
+			(ev == head || ev == tail || len(p.Var(ev).Patterns) > 1) {
+			continue
+		}
+		cands = append(cands, coreEdge{pattern: i, head: head, tail: tail})
+	}
+	if len(cands) < 3 {
+		return nil
+	}
+
+	// Peel to the 2-core: drop patterns with an endpoint of degree < 2
+	// until a fixpoint. What survives is a union of cycles (every
+	// variable has two or more incident core patterns).
+	alive := make([]bool, len(cands))
+	deg := map[string]int{}
+	for i, c := range cands {
+		alive[i] = true
+		deg[c.head]++
+		deg[c.tail]++
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, c := range cands {
+			if alive[i] && (deg[c.head] < 2 || deg[c.tail] < 2) {
+				alive[i] = false
+				deg[c.head]--
+				deg[c.tail]--
+				changed = true
+			}
+		}
+	}
+
+	// Keep one connected component: the one containing the earliest
+	// surviving pattern, grown by shared variables.
+	first := -1
+	for i := range cands {
+		if alive[i] {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	inComp := map[string]bool{cands[first].head: true, cands[first].tail: true}
+	comp := []int{first}
+	taken := map[int]bool{first: true}
+	for grew := true; grew; {
+		grew = false
+		for i, c := range cands {
+			if !alive[i] || taken[i] {
+				continue
+			}
+			if inComp[c.head] || inComp[c.tail] {
+				taken[i] = true
+				inComp[c.head], inComp[c.tail] = true, true
+				comp = append(comp, i)
+				grew = true
+			}
+		}
+	}
+	sort.Ints(comp)
+	if len(comp) < 3 || len(inComp) < 3 {
+		return nil
+	}
+
+	core := &CorePlan{}
+	compDeg := map[string]int{}
+	for _, i := range comp {
+		core.Patterns = append(core.Patterns, cands[i].pattern)
+		compDeg[cands[i].head]++
+		compDeg[cands[i].tail]++
+	}
+	core.Vars = eliminationOrder(cands, comp, compDeg)
+	core.BindCost, core.WCOCost = coreCosts(p, stats, core.Patterns)
+	return core
+}
+
+// eliminationOrder picks the intersection's variable order: start at the
+// highest-degree variable (ties to the one appearing first scanning core
+// patterns head-then-tail), then repeatedly append the variable with the
+// most already-ordered neighbours (same tie-break). Every variable after
+// the first therefore has at least one bound neighbour, so candidate
+// generation always intersects adjacency lists rather than scanning.
+func eliminationOrder(cands []coreEdge, comp []int, deg map[string]int) []string {
+	var appear []string
+	seen := map[string]bool{}
+	note := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			appear = append(appear, v)
+		}
+	}
+	for _, i := range comp {
+		note(cands[i].head)
+		note(cands[i].tail)
+	}
+	ordered := map[string]bool{}
+	var out []string
+	boundNeighbours := func(v string) int {
+		n := 0
+		for _, i := range comp {
+			c := cands[i]
+			if c.head == v && ordered[c.tail] || c.tail == v && ordered[c.head] {
+				n++
+			}
+		}
+		return n
+	}
+	for len(out) < len(appear) {
+		best := ""
+		bestKey := [2]int{-1, -1}
+		for _, v := range appear {
+			if ordered[v] {
+				continue
+			}
+			key := [2]int{boundNeighbours(v), deg[v]}
+			if len(out) == 0 {
+				key[0] = 0 // nothing bound yet: rank on degree alone
+			}
+			if key[0] > bestKey[0] || (key[0] == bestKey[0] && key[1] > bestKey[1]) {
+				best, bestKey = v, key
+			}
+		}
+		ordered[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// coreCosts estimates solving the core by bind-joins versus by leapfrog
+// intersection. The bind-join estimate simulates the greedy order over
+// the core alone and charges each step its seeded enumeration work — on a
+// cycle the closing pattern's input is the uncut intermediate, which is
+// exactly what the intersection avoids. The intersection estimate charges
+// the cheapest pattern's scan once, widened by a logarithmic galloping
+// factor in the average fanout. Both are heuristic; they only gate the
+// dispatch, surfaced by Explain.
+func coreCosts(p *Plan, stats []graph.StoreStats, patterns []int) (bind, wco float64) {
+	costs := make([]PatternCost, len(patterns))
+	for k, i := range patterns {
+		var st graph.StoreStats
+		if i < len(stats) {
+			st = stats[i]
+		}
+		costs[k] = EstimateCost(p.Paths[i], st)
+	}
+	sort.Slice(costs, func(a, b int) bool { return costs[a].Rows < costs[b].Rows })
+	rows := costs[0].Rows
+	bind = rows
+	fan := 0.0
+	for _, c := range costs[1:] {
+		bind += rows * math.Max(1, c.PerSeed)
+		rows *= math.Max(c.PerSeed, 1e-9)
+	}
+	for _, c := range costs {
+		fan += c.PerSeed
+	}
+	fan /= float64(len(costs))
+	wco = costs[0].Rows * (1 + math.Log2(1+fan))
+	return bind, wco
+}
+
+// OrderJoinRemainder orders the patterns outside the intersection core,
+// treating every variable the core binds as already bound: the first
+// remainder step can therefore already be a seeded bind-join off a core
+// variable. The step order mirrors OrderJoin's greedy search.
+func OrderJoinRemainder(p *Plan, stats []graph.StoreStats, core *CorePlan) []JoinStep {
+	n := len(p.Paths)
+	costs := make([]PatternCost, n)
+	for i, pp := range p.Paths {
+		var st graph.StoreStats
+		if i < len(stats) {
+			st = stats[i]
+		}
+		costs[i] = EstimateCost(pp, st)
+	}
+	bound := map[string]bool{}
+	used := make([]bool, n)
+	for _, i := range core.Patterns {
+		used[i] = true
+		pp := p.Paths[i]
+		for _, v := range pp.Vars {
+			bound[v] = true
+		}
+		if pv := pp.Pattern.PathVar; pv != "" {
+			bound[pv] = true
+		}
+	}
+	steps := make([]JoinStep, 0, n-len(core.Patterns))
+	for len(steps) < n-len(core.Patterns) {
+		best := -1
+		var bestStep JoinStep
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			step := stepFor(p, i, costs[i], bound, used, false)
+			if best < 0 || betterStep(step, bestStep) {
+				best, bestStep = i, step
+			}
+		}
+		steps = append(steps, bestStep)
+		used[best] = true
+		pp := p.Paths[best]
+		for _, v := range pp.Vars {
+			bound[v] = true
+		}
+		if pv := pp.Pattern.PathVar; pv != "" {
+			bound[pv] = true
+		}
+	}
+	return steps
+}

@@ -174,6 +174,49 @@ func TestForEachStopNoLeak(t *testing.T) {
 	}
 }
 
+// TestStreamCyclicCloseAbandonedNoLeak is the batch-pipeline variant of
+// the abandonment test: a cyclic three-pattern statement on a CSR
+// snapshot runs the worst-case-optimal intersection operator plus a
+// batch probe, sequential and parallel; abandoning or cancelling the
+// stream mid-batch must shut down promptly and leak nothing.
+func TestStreamCyclicCloseAbandonedNoLeak(t *testing.T) {
+	snap := gpml.Snapshot(leakGraph())
+	q := gpml.MustCompile(`MATCH (a)-[:Transfer]->(b), (b)-[:Transfer]->(c), (c)-[:Transfer]->(a), (a)-[:Transfer]->(d)`)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		rows, err := q.Stream(context.Background(), snap, gpml.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3 && rows.Next(); i++ {
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		settleGoroutines(t, baseline)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err = q.Stream(ctx, snap, gpml.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("parallelism %d: no first row: %v", par, rows.Err())
+		}
+		cancel()
+		for rows.Next() {
+		}
+		if err := rows.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: want context.Canceled, got %v", par, err)
+		}
+		rows.Close()
+		settleGoroutines(t, baseline)
+	}
+}
+
 // TestStreamCollectMatchesEval pins the public equivalence: Stream +
 // Collect is byte-identical to Eval, across engines, selectors, joins
 // and parallelism.
