@@ -10,6 +10,8 @@
 // additionally prints the §6.2 normalized pattern. -explain reports which
 // engine (dfs, bfs, or the pattern automaton) evaluates each path pattern
 // and why, plus the cost-ordered join plan of multi-pattern statements;
+// -csr evaluates on an immutable CSR snapshot and -overlay on an
+// epoch-snapshot overlay store (the live-mutation serving configuration);
 // -no-automaton pins evaluation to the enumerating engines,
 // -no-bind-join to the enumerate-then-hash-join pipeline, and
 // -no-vectorize to the row-at-a-time operators. -first N
@@ -38,6 +40,7 @@ func main() {
 		normalized = flag.Bool("normalized", false, "print the normalized pattern before results")
 		maxMatches = flag.Int("max-matches", 0, "cap on raw matches per pattern (0 = default)")
 		csr        = flag.Bool("csr", false, "evaluate on an immutable CSR snapshot of the graph")
+		overlay    = flag.Bool("overlay", false, "evaluate on an epoch-snapshot overlay store layered over a CSR snapshot")
 		parallel   = flag.Int("parallel", 0, "evaluation workers over seed nodes (<2 = sequential)")
 		explain    = flag.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
 		noAuto     = flag.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
@@ -74,7 +77,11 @@ func main() {
 		opts = append(opts, gpml.WithLimits(gpml.Limits{MaxMatches: *maxMatches}))
 	}
 	var evalOpts []gpml.Option
-	if *csr {
+	if *overlay {
+		// The serving-engine configuration: queries pin epoch snapshots of
+		// the overlay, exactly as a process applying live mutations would.
+		evalOpts = append(evalOpts, gpml.WithStore(gpml.NewOverlay(g)))
+	} else if *csr {
 		evalOpts = append(evalOpts, gpml.WithStore(gpml.Snapshot(g)))
 	} else {
 		// Explain and evaluation read cardinality statistics off the

@@ -12,6 +12,7 @@ import (
 	"gpml"
 	"gpml/internal/dataset"
 	"gpml/internal/eval"
+	"gpml/internal/graph"
 	"gpml/internal/pgq"
 )
 
@@ -172,6 +173,80 @@ func (c *conformanceCase) writeGolden(t *testing.T) {
 	}
 }
 
+// overlayEquivalent rebuilds g as an Overlay whose final state is
+// element-for-element and order-for-order identical to g: a CSR base
+// holding a prefix of the nodes (and the longest edge prefix confined to
+// them), with the remainder applied as a delta batch. A second batch adds
+// and deletes a scratch subgraph and applies a no-op relabel, so the
+// served epoch carries tombstones and an override record on top of live
+// delta — the state compaction has to fold correctly. Conformance goldens
+// must come out byte-identical on it.
+func overlayEquivalent(t *testing.T, g *gpml.Graph) *gpml.Overlay {
+	t.Helper()
+	nodeIDs, edgeIDs := g.NodeIDs(), g.EdgeIDs()
+	nPrefix := len(nodeIDs) * 2 / 3
+	prefix := make(map[gpml.NodeID]bool, nPrefix)
+	base := gpml.NewGraph()
+	for _, id := range nodeIDs[:nPrefix] {
+		n := g.Node(id)
+		if err := base.AddNode(id, n.Labels, n.Props); err != nil {
+			t.Fatal(err)
+		}
+		prefix[id] = true
+	}
+	addEdge := func(add func(gpml.EdgeID, gpml.NodeID, gpml.NodeID, []string, map[string]gpml.Value) error, id gpml.EdgeID) {
+		e := g.Edge(id)
+		if err := add(id, e.Source, e.Target, e.Labels, e.Props); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ePrefix := 0
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		if !prefix[e.Source] || !prefix[e.Target] {
+			break // the rest become delta edges, in order
+		}
+		if e.Direction == graph.Undirected {
+			addEdge(base.AddUndirectedEdge, id)
+		} else {
+			addEdge(base.AddEdge, id)
+		}
+		ePrefix++
+	}
+	ov := gpml.NewOverlay(base)
+	b := ov.Begin()
+	for _, id := range nodeIDs[nPrefix:] {
+		n := g.Node(id)
+		b.AddNode(id, n.Labels, n.Props)
+	}
+	for _, id := range edgeIDs[ePrefix:] {
+		e := g.Edge(id)
+		if e.Direction == graph.Undirected {
+			b.AddUndirectedEdge(id, e.Source, e.Target, e.Labels, e.Props)
+		} else {
+			b.AddEdge(id, e.Source, e.Target, e.Labels, e.Props)
+		}
+	}
+	if err := ov.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	// Scratch churn: tombstoned delta elements (the deleted scratch node
+	// detaches its edge into the live graph) plus an identity relabel
+	// override on a base node. Net state change: none.
+	anchor := nodeIDs[0]
+	if err := ov.Apply(ov.Begin().
+		AddNode("__scratch", []string{"Scratch"}, nil).
+		AddEdge("__scratch_e", "__scratch", anchor, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.Apply(ov.Begin().
+		DeleteNode("__scratch").
+		SetNodeLabels(anchor, g.Node(anchor).Labels)); err != nil {
+		t.Fatal(err)
+	}
+	return ov
+}
+
 // gqlResult evaluates the case through the GQL frontend (catalog +
 // session) on the given store.
 func gqlResult(t *testing.T, c *conformanceCase, s gpml.Store, cfg eval.Config) string {
@@ -278,12 +353,23 @@ func TestConformanceCorpus(t *testing.T) {
 				t.Fatalf("%s: unknown graph %q", path, c.graph)
 			}
 			g := build()
+			// The overlay axis: base-only (pure CSR behind the epoch
+			// machinery), base+delta (live delta with tombstones and an
+			// override), and post-compaction (delta folded into a fresh
+			// base with dead holes). Each must reproduce the goldens
+			// byte-identically.
+			ovDelta := overlayEquivalent(t, g)
+			ovCompacted := overlayEquivalent(t, g)
+			ovCompacted.Compact()
 			stores := []struct {
 				name string
 				s    gpml.Store
 			}{
 				{"map", g},
 				{"csr", gpml.Snapshot(g)},
+				{"overlay-base", gpml.NewOverlay(g)},
+				{"overlay-delta", ovDelta},
+				{"overlay-compacted", ovCompacted},
 			}
 			configs := []struct {
 				name string

@@ -1,0 +1,66 @@
+package gpml_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments walks every Go package in the module and fails if
+// one lacks a package comment (godoc synopsis). CI runs this in the docs
+// job: a new package cannot land without stating its role. Generated or
+// vendored trees would be skipped here if the module grew any.
+func TestPackageComments(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgDirs := map[string][]string{} // dir -> go files (tests excluded)
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgDirs[dir] = append(pkgDirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 10 {
+		t.Fatalf("found only %d package dirs, the walk is broken", len(pkgDirs))
+	}
+	for dir, files := range pkgDirs {
+		rel, _ := filepath.Rel(root, dir)
+		documented := false
+		fset := token.NewFileSet()
+		for _, path := range files {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package comment in any of its files", rel)
+		}
+	}
+}

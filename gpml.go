@@ -56,6 +56,18 @@ type (
 	// CSR is an immutable compressed-sparse-row snapshot of a Graph with a
 	// label → nodes inverted index and precomputed cardinality statistics.
 	CSR = graph.CSR
+	// Overlay is the epoch-snapshot delta store: an immutable CSR base plus
+	// an in-memory delta, serving readers lock-free epoch snapshots while
+	// writers batch mutations and a background compactor folds the delta
+	// into a fresh base. See NewOverlay.
+	Overlay = graph.Overlay
+	// Batch stages mutations for one atomic Overlay.Apply.
+	Batch = graph.Batch
+	// OverlaySnap is one immutable epoch of an Overlay; it is a full Store,
+	// so queries pin and evaluate against it like a CSR.
+	OverlaySnap = graph.OverlaySnap
+	// OverlayOption configures NewOverlay.
+	OverlayOption = graph.OverlayOption
 	// StoreStats summarizes a store's per-label cardinalities.
 	StoreStats = graph.StoreStats
 	// Node is a graph node with labels and properties.
@@ -104,6 +116,43 @@ func Snapshot(g *Graph) *CSR { return graph.Snapshot(g) }
 
 // NewBuilder returns a fluent graph builder.
 func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// NewOverlay layers a mutable epoch-snapshot delta store over a CSR
+// snapshot of g (which may be nil for an initially empty store). The
+// overlay serves live mutation under read traffic: queries evaluate
+// against lock-free epoch-pinned snapshots (a running query never
+// observes a mix of epochs), writers stage batches via Begin and publish
+// them atomically via Apply, and a background compactor merges the delta
+// into a fresh CSR base once it outgrows the compaction threshold while
+// readers keep draining whatever epoch they pinned.
+//
+//	ov := gpml.NewOverlay(g)
+//	b := ov.Begin().
+//	    AddNode("a9", []string{"Account"}, nil).
+//	    AddEdge("t9", "a9", "a1", []string{"Transfer"}, nil)
+//	if err := ov.Apply(b); err != nil { ... }
+//	res, err := q.EvalStore(ov) // pins the then-current epoch
+//
+// Element indices are stable across epochs and compactions, so compiled
+// queries, interned bindings, and all engine fast paths run unchanged on
+// every epoch.
+func NewOverlay(g *Graph, opts ...OverlayOption) *Overlay {
+	if g == nil {
+		g = graph.New()
+	}
+	return graph.NewOverlay(graph.Snapshot(g), opts...)
+}
+
+// NewOverlayFromCSR layers the overlay over an existing CSR snapshot
+// without rebuilding it.
+func NewOverlayFromCSR(base *CSR, opts ...OverlayOption) *Overlay {
+	return graph.NewOverlay(base, opts...)
+}
+
+// WithCompactThreshold sets the delta size (new elements + tombstones +
+// overrides) at which Apply triggers background compaction; n <= 0
+// disables automatic compaction (Overlay.Compact still works).
+func WithCompactThreshold(n int) OverlayOption { return graph.WithCompactThreshold(n) }
 
 // Fig1 builds the paper's Figure 1 banking graph.
 func Fig1() *Graph { return dataset.Fig1() }
@@ -412,10 +461,12 @@ func (r *Rows) Collect() (*Result, error) {
 // abandoning the iterator (Close, or a LIMIT via WithLimit) stops all
 // upstream work. A nil ctx falls back to WithContext, then Background.
 // The store resolves like Eval: WithStore wins, then the s argument,
-// then a store fixed at Compile time. The store must not be mutated
-// while the stream is open (evaluation now spans the whole iteration,
-// not just the Stream call); CSR snapshots are immutable and always
-// safe.
+// then a store fixed at Compile time. A map-backed *Graph must not be
+// mutated while the stream is open (evaluation spans the whole
+// iteration, not just the Stream call); CSR snapshots are immutable and
+// always safe, and an Overlay is pinned to its current epoch when the
+// stream starts, so concurrent Apply and compaction never disturb an
+// open stream.
 func (q *Query) Stream(ctx context.Context, s Store, opts ...Option) (*Rows, error) {
 	o := q.options(opts)
 	if ctx != nil {

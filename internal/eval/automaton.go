@@ -84,6 +84,9 @@ func Explain(p *plan.Plan, cfg Config) []string { return ExplainStore(nil, p, cf
 // streaming behaviour. The store, when non-nil, supplies the cardinality
 // statistics the join cost model ranks patterns with.
 func ExplainStore(s graph.Store, p *plan.Plan, cfg Config) []string {
+	if s != nil {
+		s = graph.Pin(s)
+	}
 	out := make([]string, len(p.Paths), len(p.Paths)+len(p.Paths))
 	for i, pp := range p.Paths {
 		eng, note := EngineFor(pp, cfg)
@@ -209,7 +212,10 @@ func newAutoEngine(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget,
 		cloVisit: make([]int32, nfa.NumStates()),
 		fwdBuf:   make([]replayStep, 0, 16),
 	}
-	if product := st.NumNodes() * nfa.NumStates(); product <= denseDistLimit {
+	// Size the dense table by the index span, not the live count: product
+	// ids are built from raw node indices, which run sparse on overlay
+	// epochs and compacted bases.
+	if product := st.NodeIndexSpan() * nfa.NumStates(); product <= denseDistLimit {
 		a.dist = make([]int32, product)
 	} else {
 		a.distMap = map[int]int32{}

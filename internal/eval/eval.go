@@ -262,7 +262,13 @@ func forEachSeed(st graph.Stepper, pp *plan.PathPlan, f func(i int) bool) {
 		st.NodesWithLabelIdx(label, f)
 		return
 	}
-	for i, n := 0, st.NumNodes(); i < n; i++ {
+	// Scan the full index span and skip dead holes: on overlay epochs and
+	// compacted bases, NumNodes counts live nodes but indices run sparse
+	// in [0, span).
+	for i, n := 0, st.NodeIndexSpan(); i < n; i++ {
+		if st.NodeByIndex(i) == nil {
+			continue
+		}
 		if !f(i) {
 			return
 		}

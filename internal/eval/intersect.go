@@ -177,7 +177,12 @@ func newIntersectSource(ctx context.Context, st graph.SortedStepper, p *plan.Pla
 			return true
 		})
 	} else {
-		for i, n := 0, st.NumNodes(); i < n; i++ {
+		// Span scan with dead-hole skips (overlay epochs and compacted
+		// bases run sparse).
+		for i, n := 0, st.NodeIndexSpan(); i < n; i++ {
+			if st.NodeByIndex(i) == nil {
+				continue
+			}
 			s.seeds = append(s.seeds, i)
 		}
 	}

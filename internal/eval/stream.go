@@ -87,6 +87,24 @@ func StreamPlanOn(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg C
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Pin epoch sources once for the whole query, so every pattern source,
+	// the variable router, and the post-join filters observe one epoch
+	// even while a writer keeps publishing. The identity memo maps equal
+	// Store values to one pinned snapshot, preserving the shared-store
+	// fast path (compact index-based join keys) below.
+	{
+		pinned := make(map[graph.Store]graph.Store, 1)
+		out := make([]graph.Store, len(stores))
+		for i, s := range stores {
+			ps, ok := pinned[s]
+			if !ok {
+				ps = graph.Pin(s)
+				pinned[s] = ps
+			}
+			out[i] = ps
+		}
+		stores = out
+	}
 	// Per-variable lookup routing: the first store whose pattern declares
 	// the variable (the EvalPlanOn contract). Stores are normalized to
 	// their indexed views — the same object the engines stamp into each

@@ -57,6 +57,19 @@ type CSR struct {
 	sortOther []int32
 	sortKind  []StepKind
 
+	// Dead holes: a CSR built by Snapshot is fully live (both masks nil),
+	// but a CSR produced by overlay compaction keeps tombstoned elements
+	// as holes at their original indices — index stability across epochs
+	// is worth more than a dense renumbering. A dead slot has a zero
+	// record, an empty adjacency window, and no entry in the id maps, the
+	// label index, or the statistics. liveNodes/liveEdges count the
+	// non-holes; NodeIndexSpan/EdgeIndexSpan report the full array spans.
+	deadN []bool
+	deadE []bool
+
+	liveNodes int
+	liveEdges int
+
 	stats StoreStats
 }
 
@@ -145,6 +158,8 @@ func Snapshot(g *Graph) *CSR {
 		}
 	}
 	c.buildSortedAdjacency()
+	c.liveNodes = len(c.nodes)
+	c.liveEdges = len(c.edges)
 	return c
 }
 
@@ -192,11 +207,36 @@ func (c *CSR) NodeIndex(id NodeID) (int, bool) {
 	return int(i), ok
 }
 
-// NodeByIndex returns the node at a dense index.
-func (c *CSR) NodeByIndex(i int) *Node { return &c.nodes[i] }
+// NodeByIndex returns the node at a dense index, or nil for a dead hole.
+func (c *CSR) NodeByIndex(i int) *Node {
+	if c.deadN != nil && c.deadN[i] {
+		return nil
+	}
+	return &c.nodes[i]
+}
 
-// EdgeByIndex returns the edge at a dense index.
-func (c *CSR) EdgeByIndex(i int) *Edge { return &c.edges[i] }
+// EdgeByIndex returns the edge at a dense index, or nil for a dead hole.
+func (c *CSR) EdgeByIndex(i int) *Edge {
+	if c.deadE != nil && c.deadE[i] {
+		return nil
+	}
+	return &c.edges[i]
+}
+
+// rawNode returns the record at a node index with no dead-hole guard; for
+// overlay internals that have already established liveness.
+func (c *CSR) rawNode(i int) *Node { return &c.nodes[i] }
+
+// rawEdge returns the record at an edge index with no dead-hole guard.
+func (c *CSR) rawEdge(i int) *Edge { return &c.edges[i] }
+
+// NodeIndexSpan reports the exclusive upper bound of node indices (the
+// full array span, counting dead holes); dense scans iterate [0, span)
+// and skip nil records.
+func (c *CSR) NodeIndexSpan() int { return len(c.nodes) }
+
+// EdgeIndexSpan reports the exclusive upper bound of edge indices.
+func (c *CSR) EdgeIndexSpan() int { return len(c.edges) }
 
 // Steps iterates the traversal steps of node index i from the adjacency
 // arena: dense edge index, neighbour index, and step kind.
@@ -226,24 +266,30 @@ func (c *CSR) Edge(id EdgeID) *Edge {
 	return &c.edges[i]
 }
 
-// NumNodes reports |N|.
-func (c *CSR) NumNodes() int { return len(c.nodes) }
+// NumNodes reports |N| (live nodes).
+func (c *CSR) NumNodes() int { return c.liveNodes }
 
-// NumEdges reports |E|.
-func (c *CSR) NumEdges() int { return len(c.edges) }
+// NumEdges reports |E| (live edges).
+func (c *CSR) NumEdges() int { return c.liveEdges }
 
-// Nodes iterates nodes in insertion order.
+// Nodes iterates live nodes in insertion order.
 func (c *CSR) Nodes(f func(*Node) bool) {
 	for i := range c.nodes {
+		if c.deadN != nil && c.deadN[i] {
+			continue
+		}
 		if !f(&c.nodes[i]) {
 			return
 		}
 	}
 }
 
-// Edges iterates edges in insertion order.
+// Edges iterates live edges in insertion order.
 func (c *CSR) Edges(f func(*Edge) bool) {
 	for i := range c.edges {
+		if c.deadE != nil && c.deadE[i] {
+			continue
+		}
 		if !f(&c.edges[i]) {
 			return
 		}
@@ -307,6 +353,9 @@ func (c *CSR) LabelStats() StoreStats { return c.stats }
 func (c *CSR) Stats() string {
 	directed, undirected := 0, 0
 	for i := range c.edges {
+		if c.deadE != nil && c.deadE[i] {
+			continue
+		}
 		if c.edges[i].Direction == Directed {
 			directed++
 		} else {
@@ -321,5 +370,5 @@ func (c *CSR) Stats() string {
 		labels[l] += n
 	}
 	return fmt.Sprintf("csr nodes=%d edges=%d (directed=%d undirected=%d) labels=%s",
-		len(c.nodes), len(c.edges), directed, undirected, strings.Join(sortedLabels(labels), ","))
+		c.liveNodes, c.liveEdges, directed, undirected, strings.Join(sortedLabels(labels), ","))
 }

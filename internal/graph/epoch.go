@@ -1,0 +1,524 @@
+package graph
+
+// OverlaySnap — one immutable epoch of an Overlay. publishLocked builds a
+// fresh snapshot after every Apply (and after every compaction rebase) by
+// cloning the writer's delta maps and record-pointer slices; the clone is
+// O(delta), and the delta is bounded by the compaction threshold, so
+// publication cost is amortized by batching. Readers share the snapshot
+// with zero synchronization: every field is frozen at publish time except
+// the lazily computed LabelStats, which is guarded by a sync.Once.
+
+import (
+	"maps"
+	"slices"
+	"sync"
+)
+
+// OverlaySnap is one immutable epoch of an Overlay: the CSR base plus the
+// delta as of some Apply. It implements Store and Stepper, so every
+// cursor, engine, and planner path runs on it unchanged; indices below
+// the base span refer to base elements (with overrides and tombstones
+// applied), indices at or above it to delta elements.
+type OverlaySnap struct {
+	base *CSR
+	seq  uint64 // epoch number, ascending
+	gen  uint64 // highest mutation generation included
+
+	baseN, baseE int // base index spans (node and edge high-water marks)
+
+	nodes    []*Node // delta nodes; element j has global index baseN+j
+	edges    []*Edge
+	edgeEnds [][2]int32
+
+	nodeIdx map[NodeID]ElemIdx // delta-element id lookup
+	edgeIdx map[EdgeID]ElemIdx
+
+	adj map[int32][]deltaStep // delta steps per node (base or delta)
+
+	deadN map[ElemIdx]uint64 // tombstones (generation of the delete)
+	deadE map[ElemIdx]uint64
+
+	// deadBaseN/deadBaseE count the tombstones that fall below the base
+	// span. When zero, base index ranges contain no dead entries in this
+	// epoch, so base adjacency windows and label lists can be served
+	// without per-entry tombstone checks (delta-only churn — the common
+	// shape between compactions — keeps both at zero).
+	deadBaseN, deadBaseE int
+
+	overN map[ElemIdx]nodeOver // base-element record overrides
+	overE map[ElemIdx]edgeOver
+
+	liveN, liveE int
+
+	// labelDelta lists, per label and sorted ascending, the indices of
+	// overridden base nodes and live delta nodes carrying the label;
+	// labelSub counts, per label, the base nodes whose base record carries
+	// it but which are tombstoned or overridden in this epoch. Together
+	// they turn label counting into O(1) arithmetic over the base index.
+	labelDelta map[string][]int32
+	labelSub   map[string]int
+
+	// sortedOK reports that this epoch's adjacency is bit-identical to the
+	// base CSR's (no delta edges, no edge tombstones), so the sorted-
+	// adjacency windows — and with them WCO intersection dispatch — remain
+	// exact. Property and label overrides don't affect it.
+	sortedOK bool
+
+	statsOnce sync.Once
+	stats     StoreStats
+}
+
+// publishLocked freezes the writer state into a new epoch and swaps it
+// in. Callers hold ov.mu.
+func (ov *Overlay) publishLocked() *OverlaySnap {
+	w := &ov.w
+	ov.seq++
+	s := &OverlaySnap{
+		base:     w.base,
+		seq:      ov.seq,
+		gen:      ov.gen,
+		baseN:    w.base.NodeIndexSpan(),
+		baseE:    w.base.EdgeIndexSpan(),
+		nodes:    slices.Clone(w.nodes),
+		edges:    slices.Clone(w.edges),
+		edgeEnds: slices.Clone(w.edgeEnds),
+		nodeIdx:  maps.Clone(w.nodeIdx),
+		edgeIdx:  maps.Clone(w.edgeIdx),
+		// The adj clone shares the per-node step slices: the writer only
+		// ever appends to them, and an append never rewrites an element a
+		// published length covers.
+		adj:        maps.Clone(w.adj),
+		deadN:      maps.Clone(w.deadN),
+		deadE:      maps.Clone(w.deadE),
+		overN:      maps.Clone(w.overN),
+		overE:      maps.Clone(w.overE),
+		liveN:      w.liveN,
+		liveE:      w.liveE,
+		labelDelta: map[string][]int32{},
+		labelSub:   map[string]int{},
+		sortedOK:   len(w.edges) == 0 && len(w.deadE) == 0,
+	}
+	for idx, o := range w.overN {
+		for _, l := range w.base.rawNode(int(idx)).Labels {
+			s.labelSub[l]++
+		}
+		for _, l := range o.rec.Labels {
+			s.labelDelta[l] = append(s.labelDelta[l], int32(idx))
+		}
+	}
+	for idx := range w.deadN {
+		if int(idx) < s.baseN {
+			s.deadBaseN++
+			for _, l := range w.base.rawNode(int(idx)).Labels {
+				s.labelSub[l]++
+			}
+		}
+	}
+	for idx := range w.deadE {
+		if int(idx) < s.baseE {
+			s.deadBaseE++
+		}
+	}
+	for j, n := range w.nodes {
+		gi := int32(s.baseN + j)
+		if _, dead := w.deadN[ElemIdx(gi)]; dead {
+			continue
+		}
+		for _, l := range n.Labels {
+			s.labelDelta[l] = append(s.labelDelta[l], gi)
+		}
+	}
+	for _, list := range s.labelDelta {
+		slices.Sort(list)
+	}
+	ov.cur.Store(s)
+	return s
+}
+
+// Seq reports the epoch number (ascending across Apply and compaction).
+func (s *OverlaySnap) Seq() uint64 { return s.seq }
+
+// deltaSize measures the epoch's delta: new elements, tombstones, and
+// overrides. It drives the compaction trigger.
+func (s *OverlaySnap) deltaSize() int {
+	return len(s.nodes) + len(s.edges) + len(s.deadN) + len(s.deadE) + len(s.overN) + len(s.overE)
+}
+
+// nodeAtIdx resolves a global node index to its live record: nil when the
+// index is tombstoned in this epoch or a dead hole in the base, the
+// override record when one applies, the base or delta record otherwise.
+func (s *OverlaySnap) nodeAtIdx(i int) *Node {
+	if _, dead := s.deadN[ElemIdx(i)]; dead {
+		return nil
+	}
+	if i >= s.baseN {
+		if i-s.baseN >= len(s.nodes) {
+			return nil
+		}
+		return s.nodes[i-s.baseN]
+	}
+	if o, ok := s.overN[ElemIdx(i)]; ok {
+		return o.rec
+	}
+	return s.base.NodeByIndex(i)
+}
+
+// edgeAtIdx resolves a global edge index to its live record, or nil.
+func (s *OverlaySnap) edgeAtIdx(i int) *Edge {
+	if _, dead := s.deadE[ElemIdx(i)]; dead {
+		return nil
+	}
+	if i >= s.baseE {
+		if i-s.baseE >= len(s.edges) {
+			return nil
+		}
+		return s.edges[i-s.baseE]
+	}
+	if o, ok := s.overE[ElemIdx(i)]; ok {
+		return o.rec
+	}
+	return s.base.EdgeByIndex(i)
+}
+
+// Node returns the node with the given id, or nil.
+func (s *OverlaySnap) Node(id NodeID) *Node {
+	if i, ok := s.nodeIdx[id]; ok {
+		return s.nodeAtIdx(int(i))
+	}
+	if i, ok := s.base.InternNode(id); ok {
+		return s.nodeAtIdx(int(i))
+	}
+	return nil
+}
+
+// Edge returns the edge with the given id, or nil.
+func (s *OverlaySnap) Edge(id EdgeID) *Edge {
+	if i, ok := s.edgeIdx[id]; ok {
+		return s.edgeAtIdx(int(i))
+	}
+	if i, ok := s.base.InternEdge(id); ok {
+		return s.edgeAtIdx(int(i))
+	}
+	return nil
+}
+
+// NumNodes reports |N| (live nodes in this epoch).
+func (s *OverlaySnap) NumNodes() int { return s.liveN }
+
+// NumEdges reports |E| (live edges in this epoch).
+func (s *OverlaySnap) NumEdges() int { return s.liveE }
+
+// NodeIndexSpan reports the exclusive upper bound of node indices in this
+// epoch; dense scans iterate [0, span) and skip nil records.
+func (s *OverlaySnap) NodeIndexSpan() int { return s.baseN + len(s.nodes) }
+
+// EdgeIndexSpan reports the exclusive upper bound of edge indices.
+func (s *OverlaySnap) EdgeIndexSpan() int { return s.baseE + len(s.edges) }
+
+// Nodes iterates live nodes in insertion order (ascending global index).
+func (s *OverlaySnap) Nodes(f func(*Node) bool) {
+	for i, span := 0, s.NodeIndexSpan(); i < span; i++ {
+		if n := s.nodeAtIdx(i); n != nil && !f(n) {
+			return
+		}
+	}
+}
+
+// Edges iterates live edges in insertion order.
+func (s *OverlaySnap) Edges(f func(*Edge) bool) {
+	for i, span := 0, s.EdgeIndexSpan(); i < span; i++ {
+		if e := s.edgeAtIdx(i); e != nil && !f(e) {
+			return
+		}
+	}
+}
+
+// Steps iterates the live traversal steps of node index i: base arena
+// steps minus tombstoned edges, then delta steps. When the node has no
+// delta steps and the epoch has no edge tombstones, it delegates straight
+// to the base arena — the hot path for read-mostly epochs.
+func (s *OverlaySnap) Steps(i int, f func(edge, other int, kind StepKind) bool) {
+	d := s.adj[int32(i)]
+	if i < s.baseN {
+		// Base windows contain only base edges (and, by the detach
+		// invariant, only live endpoints while those edges are live), so
+		// the per-step tombstone check is needed only when base edges
+		// have actually been deleted this epoch.
+		fast := s.deadBaseE == 0
+		if fast && len(d) == 0 {
+			s.base.Steps(i, f)
+			return
+		}
+		stopped := false
+		s.base.Steps(i, func(edge, other int, kind StepKind) bool {
+			if !fast {
+				if _, dead := s.deadE[ElemIdx(edge)]; dead {
+					return true
+				}
+			}
+			if !f(edge, other, kind) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+	for _, st := range d {
+		if _, dead := s.deadE[ElemIdx(st.edge)]; dead {
+			continue
+		}
+		if !f(int(st.edge), int(st.other), st.kind) {
+			return
+		}
+	}
+}
+
+// NodeIndex maps a node id to its dense index.
+func (s *OverlaySnap) NodeIndex(id NodeID) (int, bool) {
+	i, ok := s.InternNode(id)
+	return int(i), ok
+}
+
+// NodeByIndex returns the node at a dense index, or nil when tombstoned.
+func (s *OverlaySnap) NodeByIndex(i int) *Node { return s.nodeAtIdx(i) }
+
+// EdgeByIndex returns the edge at a dense index, or nil when tombstoned.
+func (s *OverlaySnap) EdgeByIndex(i int) *Edge { return s.edgeAtIdx(i) }
+
+// EdgeEnds returns the dense endpoint indices of the edge at index i.
+func (s *OverlaySnap) EdgeEnds(i int) (src, tgt int) {
+	if i < s.baseE {
+		return s.base.EdgeEnds(i)
+	}
+	ends := s.edgeEnds[i-s.baseE]
+	return int(ends[0]), int(ends[1])
+}
+
+// NodesWithLabelIdx merges the base label index with the epoch's label
+// delta, both sorted ascending, skipping base entries that this epoch
+// tombstones or overrides (overridden nodes are re-emitted from the delta
+// when their current labels still include the label).
+func (s *OverlaySnap) NodesWithLabelIdx(label string, f func(i int) bool) {
+	bs := s.base.labelNodes[label]
+	ds := s.labelDelta[label]
+	if s.labelSub[label] == 0 && (len(ds) == 0 || ds[0] >= int32(s.baseN)) {
+		// No base entry with this label is tombstoned or overridden, and
+		// every delta entry sits above the base span: plain concatenation,
+		// no per-entry checks.
+		for _, i := range bs {
+			if !f(int(i)) {
+				return
+			}
+		}
+		for _, i := range ds {
+			if !f(int(i)) {
+				return
+			}
+		}
+		return
+	}
+	bi, di := 0, 0
+	for bi < len(bs) || di < len(ds) {
+		if di >= len(ds) || (bi < len(bs) && bs[bi] < ds[di]) {
+			i := bs[bi]
+			bi++
+			if _, dead := s.deadN[ElemIdx(i)]; dead {
+				continue
+			}
+			if _, ov := s.overN[ElemIdx(i)]; ov {
+				continue
+			}
+			if !f(int(i)) {
+				return
+			}
+		} else {
+			i := ds[di]
+			di++
+			if !f(int(i)) {
+				return
+			}
+		}
+	}
+}
+
+// NodesWithLabel iterates the live nodes carrying the label in insertion
+// order.
+func (s *OverlaySnap) NodesWithLabel(label string, f func(*Node) bool) {
+	s.NodesWithLabelIdx(label, func(i int) bool {
+		return f(s.nodeAtIdx(i))
+	})
+}
+
+// CountNodesWithLabel answers with O(1) arithmetic over the base count.
+func (s *OverlaySnap) CountNodesWithLabel(label string) int {
+	return s.base.CountNodesWithLabel(label) - s.labelSub[label] + len(s.labelDelta[label])
+}
+
+// Incident iterates the live edges touching n in insertion order.
+func (s *OverlaySnap) Incident(n NodeID, f func(*Edge) bool) {
+	i, ok := s.InternNode(n)
+	if !ok {
+		return
+	}
+	s.Steps(int(i), func(edge, other int, kind StepKind) bool {
+		return f(s.edgeAtIdx(edge))
+	})
+}
+
+// Degree reports the number of live edges incident to n.
+func (s *OverlaySnap) Degree(n NodeID) int {
+	i, ok := s.InternNode(n)
+	if !ok {
+		return 0
+	}
+	d := 0
+	s.Steps(int(i), func(edge, other int, kind StepKind) bool {
+		d++
+		return true
+	})
+	return d
+}
+
+// LabelStats derives this epoch's cardinalities from the base statistics
+// plus the delta, lazily and once per epoch.
+func (s *OverlaySnap) LabelStats() StoreStats {
+	s.statsOnce.Do(func() {
+		bs := s.base.LabelStats()
+		st := StoreStats{
+			Nodes:      s.liveN,
+			Edges:      s.liveE,
+			NodeLabels: maps.Clone(bs.NodeLabels),
+			EdgeLabels: maps.Clone(bs.EdgeLabels),
+		}
+		if st.NodeLabels == nil {
+			st.NodeLabels = map[string]int{}
+		}
+		if st.EdgeLabels == nil {
+			st.EdgeLabels = map[string]int{}
+		}
+		for l, n := range s.labelSub {
+			if c := st.NodeLabels[l] - n; c > 0 {
+				st.NodeLabels[l] = c
+			} else {
+				delete(st.NodeLabels, l)
+			}
+		}
+		for l, list := range s.labelDelta {
+			st.NodeLabels[l] += len(list)
+		}
+		for idx := range s.deadE {
+			if int(idx) >= s.baseE {
+				continue
+			}
+			for _, l := range s.base.rawEdge(int(idx)).Labels {
+				if c := st.EdgeLabels[l] - 1; c > 0 {
+					st.EdgeLabels[l] = c
+				} else {
+					delete(st.EdgeLabels, l)
+				}
+			}
+		}
+		for j, e := range s.edges {
+			if _, dead := s.deadE[ElemIdx(s.baseE+j)]; dead {
+				continue
+			}
+			for _, l := range e.Labels {
+				st.EdgeLabels[l]++
+			}
+		}
+		s.stats = st
+	})
+	return s.stats
+}
+
+// InternNode maps a node id to its stable dense index (live ids only).
+func (s *OverlaySnap) InternNode(id NodeID) (ElemIdx, bool) {
+	if i, ok := s.nodeIdx[id]; ok {
+		if _, dead := s.deadN[i]; !dead {
+			return i, true
+		}
+		return 0, false
+	}
+	if i, ok := s.base.InternNode(id); ok {
+		if _, dead := s.deadN[i]; !dead {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// InternEdge maps an edge id to its stable dense index (live ids only).
+func (s *OverlaySnap) InternEdge(id EdgeID) (ElemIdx, bool) {
+	if i, ok := s.edgeIdx[id]; ok {
+		if _, dead := s.deadE[i]; !dead {
+			return i, true
+		}
+		return 0, false
+	}
+	if i, ok := s.base.InternEdge(id); ok {
+		if _, dead := s.deadE[i]; !dead {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// NodeAt returns the node at a dense index, or nil when out of range or
+// tombstoned.
+func (s *OverlaySnap) NodeAt(i ElemIdx) *Node {
+	if int(i) >= s.NodeIndexSpan() {
+		return nil
+	}
+	return s.nodeAtIdx(int(i))
+}
+
+// EdgeAt returns the edge at a dense index, or nil when out of range or
+// tombstoned.
+func (s *OverlaySnap) EdgeAt(i ElemIdx) *Edge {
+	if int(i) >= s.EdgeIndexSpan() {
+		return nil
+	}
+	return s.edgeAtIdx(int(i))
+}
+
+// SortedView implements the sortedProvider hook consulted by AsSorted:
+// when the epoch's adjacency matches the base CSR exactly (no delta
+// edges, no edge tombstones), the base's sorted windows remain exact and
+// WCO intersection dispatch stays enabled; otherwise the epoch reports no
+// sorted view and queries fall back to bind-joins.
+func (s *OverlaySnap) SortedView() (SortedStepper, bool) {
+	if !s.sortedOK {
+		return nil, false
+	}
+	return overlaySorted{s}, true
+}
+
+// overlaySorted is an epoch with WCO dispatch enabled: sorted windows
+// come from the base CSR (exact, since the epoch has no adjacency delta),
+// while element records resolve through the epoch so property and label
+// overrides stay visible.
+type overlaySorted struct {
+	*OverlaySnap
+}
+
+// SortedSteps returns node i's (neighbour, edge)-sorted adjacency window.
+// Delta nodes are necessarily isolated in a sortedOK epoch.
+func (o overlaySorted) SortedSteps(i int) (others, edges []int32, kinds []StepKind) {
+	if i < o.baseN {
+		return o.base.SortedSteps(i)
+	}
+	return nil, nil, nil
+}
+
+// statically assert the epoch snapshot and its sorted view satisfy the
+// execution interfaces.
+var (
+	_ Store         = (*OverlaySnap)(nil)
+	_ Stepper       = (*OverlaySnap)(nil)
+	_ SortedStepper = (overlaySorted{})
+	_ Store         = (*Overlay)(nil)
+	_ EpochSource   = (*Overlay)(nil)
+)

@@ -212,15 +212,60 @@ func (g *Graph) addEdge(id EdgeID, src, dst NodeID, dir Direction, labels []stri
 }
 
 // invalidateStats drops the memoized label statistics and the derived
-// interner/stepper views after a mutation. Mutations are append-only, so
-// the next builds assign every pre-existing element the same dense index
-// it had before (ElemIdx stability).
+// interner/stepper views after a structural mutation (element insertion).
+// Mutations are append-only, so the next builds assign every pre-existing
+// element the same dense index it had before (ElemIdx stability).
 func (g *Graph) invalidateStats() {
+	g.invalidateStatsOnly()
+	g.intern.Store(nil)
+	g.stepper.Store(nil)
+}
+
+// invalidateStatsOnly drops just the memoized label statistics. Property
+// updates take this path: they change neither indices nor topology nor
+// labels, so the interner table and the memoized stepper adapter — which
+// hold element pointers, not record copies — stay valid and warm.
+func (g *Graph) invalidateStatsOnly() {
 	g.statsMu.Lock()
 	g.statsValid = false
 	g.statsMu.Unlock()
-	g.intern.Store(nil)
-	g.stepper.Store(nil)
+}
+
+// SetNodeProp updates one property on a node. The record's property map
+// is replaced, not mutated in place, so CSR snapshots taken earlier keep
+// observing the pre-update map; memoized derived views (interner table,
+// stepper adapter) survive because they reference the node pointer, whose
+// identity and index are unchanged.
+func (g *Graph) SetNodeProp(id NodeID, key string, v value.Value) error {
+	n := g.Node(id)
+	if n == nil {
+		return fmt.Errorf("graph: update of unknown node %q", id)
+	}
+	props := make(map[string]value.Value, len(n.Props)+1)
+	for k, pv := range n.Props {
+		props[k] = pv
+	}
+	props[key] = v
+	n.Props = props
+	g.invalidateStatsOnly()
+	return nil
+}
+
+// SetEdgeProp updates one property on an edge, with the same
+// copy-on-write and invalidation contract as SetNodeProp.
+func (g *Graph) SetEdgeProp(id EdgeID, key string, v value.Value) error {
+	e := g.Edge(id)
+	if e == nil {
+		return fmt.Errorf("graph: update of unknown edge %q", id)
+	}
+	props := make(map[string]value.Value, len(e.Props)+1)
+	for k, pv := range e.Props {
+		props[k] = pv
+	}
+	props[key] = v
+	e.Props = props
+	g.invalidateStatsOnly()
+	return nil
 }
 
 // Node returns the node with the given id, or nil.

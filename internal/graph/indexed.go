@@ -57,14 +57,22 @@ type Stepper interface {
 	// NodesWithLabelIdx iterates the dense indices of the nodes carrying
 	// the label, in insertion order — the seed path of the engines.
 	NodesWithLabelIdx(label string, f func(i int) bool)
+	// NodeIndexSpan reports the exclusive upper bound of node indices:
+	// equal to NumNodes on fully-live stores, larger on stores with dead
+	// holes (overlay epochs and compacted bases). Dense scans iterate
+	// [0, span) and skip indices where NodeByIndex returns nil; dense
+	// per-node tables size by the span.
+	NodeIndexSpan() int
 }
 
 // AsStepper returns the store's native indexed view when it provides one
-// (the CSR snapshot does), the memoized adapter for the map backend
-// (built once per graph generation, not once per call — repeated planned
-// queries share it), or a transient index built with one pass over an
-// arbitrary third-party store.
+// (the CSR snapshot and overlay epochs do), the memoized adapter for the
+// map backend (built once per graph generation, not once per call —
+// repeated planned queries share it), or a transient index built with one
+// pass over an arbitrary third-party store. An EpochSource is pinned to
+// its current epoch first, so the view is immutable.
 func AsStepper(s Store) Stepper {
+	s = Pin(s)
 	if st, ok := s.(Stepper); ok {
 		return st
 	}
@@ -169,6 +177,10 @@ func (ix *stepIndex) EdgeByIndex(i int) *Edge { return ix.edges[i] }
 func (ix *stepIndex) EdgeEnds(i int) (src, tgt int) {
 	return int(ix.ends[i][0]), int(ix.ends[i][1])
 }
+
+// NodeIndexSpan reports the exclusive index upper bound (the adapter has
+// no holes, so it equals NumNodes).
+func (ix *stepIndex) NodeIndexSpan() int { return len(ix.nodes) }
 
 // Steps iterates the precomputed steps of node index i.
 func (ix *stepIndex) Steps(i int, f func(edge, other int, kind StepKind) bool) {

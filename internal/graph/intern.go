@@ -108,18 +108,21 @@ func (c *CSR) InternEdge(id EdgeID) (ElemIdx, bool) {
 	return ElemIdx(i), ok
 }
 
-// NodeAt returns the node at a dense index, or nil when out of range.
+// NodeAt returns the node at a dense index, or nil when out of range or
+// a dead hole (compacted overlay bases only; Snapshot CSRs are fully
+// live).
 func (c *CSR) NodeAt(i ElemIdx) *Node {
 	if int(i) >= len(c.nodes) {
 		return nil
 	}
-	return &c.nodes[i]
+	return c.NodeByIndex(int(i))
 }
 
-// EdgeAt returns the edge at a dense index, or nil when out of range.
+// EdgeAt returns the edge at a dense index, or nil when out of range or a
+// dead hole.
 func (c *CSR) EdgeAt(i ElemIdx) *Edge {
 	if int(i) >= len(c.edges) {
 		return nil
 	}
-	return &c.edges[i]
+	return c.EdgeByIndex(int(i))
 }

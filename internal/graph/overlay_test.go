@@ -1,0 +1,622 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gpml/internal/value"
+)
+
+// overlayFixture applies a structured mutation history to an overlay over
+// the conformance graph and returns, alongside it, a reference map graph
+// built directly to the same final state (same element order as the
+// overlay's index order: surviving base elements first, surviving delta
+// elements after, re-added elements at their re-insertion position).
+func overlayFixture(t *testing.T) (*Overlay, *Graph) {
+	t.Helper()
+	base := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(base))
+
+	apply := func(b *Batch) {
+		t.Helper()
+		if err := ov.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Growth: new nodes and edges, including a delta self-loop and a
+	// delta undirected edge touching a base node.
+	apply(ov.Begin().
+		AddNode("e", []string{"Account"}, map[string]value.Value{"owner": value.Str("eve")}).
+		AddNode("f", []string{"City", "Vip"}, nil).
+		AddEdge("x1", "e", "f", []string{"Transfer"}, nil).
+		AddEdge("x2", "b", "e", []string{"Transfer"}, map[string]value.Value{"amount": value.Int(7)}).
+		AddUndirectedEdge("xu", "f", "c", []string{"near"}, nil).
+		AddEdge("x3", "e", "e", []string{"Transfer"}, nil))
+	// Tombstones and overrides: delete an isolated base node and a base
+	// edge, update a base node's property, replace a base node's labels,
+	// update a delta node's property, delete a delta edge.
+	apply(ov.Begin().
+		DeleteNode("d").
+		DeleteEdge("e2").
+		SetNodeProp("a", "owner", value.Str("anna")).
+		SetNodeLabels("b", []string{"Account", "Gold"}).
+		SetNodeProp("e", "owner", value.Str("EVE")).
+		DeleteEdge("x1"))
+	// Detach-delete of a node with live incident delta edges, and a
+	// re-add of a previously deleted id with different labels.
+	apply(ov.Begin().
+		AddNode("g", []string{"Account"}, nil).
+		AddEdge("y1", "g", "a", []string{"Transfer"}, nil))
+	apply(ov.Begin().
+		DeleteNode("g").
+		AddNode("d", []string{"Account"}, map[string]value.Value{"owner": value.Str("dee")}))
+
+	ref := New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(ref.AddNode("a", []string{"Account", "Vip"}, map[string]value.Value{"owner": value.Str("anna")}))
+	must(ref.AddNode("b", []string{"Account", "Gold"}, nil))
+	must(ref.AddNode("c", []string{"City"}, nil))
+	must(ref.AddNode("e", []string{"Account"}, map[string]value.Value{"owner": value.Str("EVE")}))
+	must(ref.AddNode("f", []string{"City", "Vip"}, nil))
+	must(ref.AddNode("d", []string{"Account"}, map[string]value.Value{"owner": value.Str("dee")}))
+	must(ref.AddEdge("e1", "a", "b", []string{"Transfer"}, map[string]value.Value{"amount": value.Int(5)}))
+	must(ref.AddEdge("e3", "b", "a", []string{"Transfer"}, nil))
+	must(ref.AddEdge("e4", "a", "a", []string{"Transfer"}, nil))
+	must(ref.AddUndirectedEdge("u1", "a", "c", []string{"near"}, nil))
+	must(ref.AddUndirectedEdge("u2", "a", "c", []string{"near"}, nil))
+	must(ref.AddUndirectedEdge("u3", "c", "c", []string{"near"}, nil))
+	must(ref.AddEdge("e5", "b", "c", nil, nil))
+	must(ref.AddEdge("x2", "b", "e", []string{"Transfer"}, map[string]value.Value{"amount": value.Int(7)}))
+	must(ref.AddUndirectedEdge("xu", "f", "c", []string{"near"}, nil))
+	must(ref.AddEdge("x3", "e", "e", []string{"Transfer"}, nil))
+	return ov, ref
+}
+
+func TestOverlayStoreConformance(t *testing.T) {
+	ov, ref := overlayFixture(t)
+	pinned := ov.Snapshot()
+	storeConformance(t, "overlay", ref, ov)
+	storeConformance(t, "overlay-snap", ref, pinned)
+
+	ov.Compact()
+	storeConformance(t, "overlay-compacted", ref, ov)
+	// The epoch pinned before compaction serves the same state afterwards.
+	storeConformance(t, "overlay-pinned-epoch", ref, pinned)
+	// The compacted base itself, with its dead holes, conforms too.
+	storeConformance(t, "compacted-csr", ref, ov.Snapshot().base)
+}
+
+func TestOverlayBaseOnlyMatchesCSR(t *testing.T) {
+	g := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(g))
+	storeConformance(t, "overlay-base-only", g, ov)
+	if _, ok := AsSorted(ov); !ok {
+		t.Error("base-only overlay must serve the CSR sorted view")
+	}
+}
+
+func TestOverlayIndexStability(t *testing.T) {
+	ov, _ := overlayFixture(t)
+	baseSpan := ov.Snapshot().base.NodeIndexSpan()
+	type ids map[NodeID]ElemIdx
+	capture := func(s Store) ids {
+		out := ids{}
+		s.Nodes(func(n *Node) bool {
+			i, ok := s.InternNode(n.ID)
+			if !ok {
+				t.Fatalf("live node %q does not intern", n.ID)
+			}
+			out[n.ID] = i
+			return true
+		})
+		return out
+	}
+	before := capture(ov)
+	// Base elements keep their base indices verbatim; delta elements sit
+	// above the base high-water mark.
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if int(before[id]) >= baseSpan {
+			t.Errorf("base node %q escaped the base index range: %d", id, before[id])
+		}
+	}
+	for _, id := range []NodeID{"e", "f", "d"} {
+		if int(before[id]) < baseSpan {
+			t.Errorf("delta node %q below the base high-water mark: %d", id, before[id])
+		}
+	}
+	ov.Compact()
+	after := capture(ov)
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("compaction renumbered elements:\nbefore %v\nafter  %v", before, after)
+	}
+	// NodeAt at the stable index resolves the same element.
+	for id, i := range after {
+		if n := ov.NodeAt(i); n == nil || n.ID != id {
+			t.Errorf("NodeAt(%d) = %v, want %q", i, n, id)
+		}
+	}
+}
+
+func TestOverlayDetachDelete(t *testing.T) {
+	g := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(g))
+	if err := ov.Apply(ov.Begin().
+		AddNode("h", []string{"Hub"}, nil).
+		AddEdge("z1", "h", "a", nil, nil).
+		AddUndirectedEdge("z2", "h", "b", nil, nil).
+		AddEdge("z3", "c", "h", nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := ov.NumEdges() - 3
+	if err := ov.Apply(ov.Begin().DeleteNode("h")); err != nil {
+		t.Fatal(err)
+	}
+	if ov.NumEdges() != wantEdges {
+		t.Fatalf("detach delete left %d edges, want %d", ov.NumEdges(), wantEdges)
+	}
+	for _, id := range []EdgeID{"z1", "z2", "z3"} {
+		if ov.Edge(id) != nil {
+			t.Errorf("edge %q survived its endpoint's deletion", id)
+		}
+	}
+	// The invariant behind hole-aware traversal: no live edge references a
+	// dead node, checked through every neighbour's Steps.
+	snap := ov.Snapshot()
+	snap.Nodes(func(n *Node) bool {
+		i, _ := snap.InternNode(n.ID)
+		snap.Steps(int(i), func(edge, other int, kind StepKind) bool {
+			if snap.NodeByIndex(other) == nil {
+				t.Errorf("live step from %q reaches dead node index %d", n.ID, other)
+			}
+			if snap.EdgeByIndex(edge) == nil {
+				t.Errorf("dead edge index %d served from %q", edge, n.ID)
+			}
+			return true
+		})
+		return true
+	})
+	// Deleting a base node detaches its base edges the same way.
+	if err := ov.Apply(ov.Begin().DeleteNode("a")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []EdgeID{"e1", "e2", "e3", "e4", "u1", "u2"} {
+		if ov.Edge(id) != nil {
+			t.Errorf("base edge %q survived its endpoint's deletion", id)
+		}
+	}
+	if d := ov.Degree("b"); d != 1 { // e5 to c is b's only surviving edge
+		t.Errorf("degree(b) after detaching a = %d, want 1", d)
+	}
+}
+
+func TestOverlayRelabelRoundTrip(t *testing.T) {
+	g := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(g))
+	labels := func() []NodeID {
+		var out []NodeID
+		ov.NodesWithLabel("Vip", func(n *Node) bool { out = append(out, n.ID); return true })
+		return out
+	}
+	if got := labels(); !reflect.DeepEqual(got, []NodeID{"a"}) {
+		t.Fatalf("Vip = %v, want [a]", got)
+	}
+	// Remove the label, then re-add it: the index round-trips exactly,
+	// including the node's position in label iteration order.
+	if err := ov.Apply(ov.Begin().SetNodeLabels("a", []string{"Account"})); err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(); len(got) != 0 {
+		t.Fatalf("Vip after removal = %v, want none", got)
+	}
+	if err := ov.Apply(ov.Begin().SetNodeLabels("a", []string{"Account", "Vip"})); err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(); !reflect.DeepEqual(got, []NodeID{"a"}) {
+		t.Fatalf("Vip after re-add = %v, want [a]", got)
+	}
+	if c := ov.CountNodesWithLabel("Vip"); c != 1 {
+		t.Fatalf("count(Vip) = %d, want 1", c)
+	}
+	// Stats agree after compaction folds the override in.
+	ov.Compact()
+	if got := labels(); !reflect.DeepEqual(got, []NodeID{"a"}) {
+		t.Fatalf("Vip after compaction = %v, want [a]", got)
+	}
+}
+
+func TestOverlayValidation(t *testing.T) {
+	g := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(g))
+	seqBefore := ov.Snapshot().Seq()
+	for name, b := range map[string]*Batch{
+		"duplicate node":            ov.Begin().AddNode("a", nil, nil),
+		"duplicate edge":            ov.Begin().AddEdge("e1", "a", "b", nil, nil),
+		"node id used by edge":      ov.Begin().AddNode("e1", nil, nil),
+		"edge id used by node":      ov.Begin().AddEdge("a", "b", "c", nil, nil),
+		"unknown endpoint":          ov.Begin().AddEdge("nz", "a", "nope", nil, nil),
+		"delete unknown node":       ov.Begin().DeleteNode("nope"),
+		"delete unknown edge":       ov.Begin().DeleteEdge("nope"),
+		"update unknown node":       ov.Begin().SetNodeProp("nope", "k", value.Int(1)),
+		"update unknown edge":       ov.Begin().SetEdgeProp("nope", "k", value.Int(1)),
+		"edge to node deleted here": ov.Begin().DeleteNode("d").AddEdge("nz", "d", "a", nil, nil),
+		"update node deleted here":  ov.Begin().DeleteNode("d").SetNodeProp("d", "k", value.Int(1)),
+		"update edge detached here": ov.Begin().DeleteNode("a").SetEdgeProp("e1", "k", value.Int(1)),
+		"dup within batch":          ov.Begin().AddNode("n1", nil, nil).AddNode("n1", nil, nil),
+	} {
+		if err := ov.Apply(b); err == nil {
+			t.Errorf("%s: Apply succeeded, want error", name)
+		}
+	}
+	// Atomicity: every failed batch left the epoch untouched.
+	if got := ov.Snapshot().Seq(); got != seqBefore {
+		t.Errorf("failed batches advanced the epoch: %d -> %d", seqBefore, got)
+	}
+	storeConformance(t, "overlay-after-rejects", g, ov)
+
+	// Legal same-batch sequences: delete-then-readd, and an edge whose
+	// endpoint is staged earlier in the batch.
+	if err := ov.Apply(ov.Begin().
+		DeleteNode("d").
+		AddNode("d", []string{"Fresh"}, nil).
+		AddNode("n2", nil, nil).
+		AddEdge("nz2", "n2", "d", nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if n := ov.Node("d"); n == nil || !n.HasLabel("Fresh") {
+		t.Errorf("re-added node in one batch: got %+v", n)
+	}
+}
+
+func TestOverlaySortedViewGate(t *testing.T) {
+	g := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(g))
+	sorted := func() bool {
+		_, ok := AsSorted(ov.Snapshot())
+		return ok
+	}
+	if !sorted() {
+		t.Fatal("clean epoch must serve the base sorted view")
+	}
+	// Property and label overrides don't touch adjacency: still sorted.
+	if err := ov.Apply(ov.Begin().SetNodeProp("a", "owner", value.Str("x")).SetNodeLabels("b", []string{"B"})); err != nil {
+		t.Fatal(err)
+	}
+	if !sorted() {
+		t.Error("override-only epoch must keep the sorted view")
+	}
+	// New nodes are fine too (isolated); a new edge disables the view.
+	if err := ov.Apply(ov.Begin().AddNode("n", nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !sorted() {
+		t.Error("isolated-node epoch must keep the sorted view")
+	}
+	if err := ov.Apply(ov.Begin().AddEdge("ne", "n", "a", nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if sorted() {
+		t.Error("epoch with a delta edge must disable the sorted view")
+	}
+	// Compaction folds the delta into a freshly sorted base: re-enabled.
+	ov.Compact()
+	if !sorted() {
+		t.Error("post-compaction epoch must re-enable the sorted view")
+	}
+	ss, _ := AsSorted(ov.Snapshot())
+	i, _ := ss.NodeIndex("n")
+	others, edges, _ := ss.SortedSteps(i)
+	if len(others) != 1 || ss.EdgeByIndex(int(edges[0])).ID != "ne" {
+		t.Errorf("sorted window of compacted delta node: others=%v edges=%v", others, edges)
+	}
+}
+
+// TestOverlayDifferentialFuzz drives an overlay and a model (ordered id
+// lists + records) through randomized batched mutations, interleaved with
+// compactions, rebuilding a reference map graph from the model after
+// every batch and running the full store-conformance battery against it.
+// Snapshots pinned along the way are re-verified at the end against the
+// reference frozen when they were pinned.
+func TestOverlayDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	labelsPool := []string{"A", "B", "C"}
+
+	type mEdge struct {
+		id       EdgeID
+		src, tgt NodeID
+		dir      Direction
+		labels   []string
+		props    map[string]value.Value
+	}
+	type mNode struct {
+		id     NodeID
+		labels []string
+		props  map[string]value.Value
+	}
+	var nodes []mNode
+	var edges []mEdge
+
+	build := func() *Graph {
+		g := New()
+		for _, n := range nodes {
+			if err := g.AddNode(n.id, n.labels, n.props); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range edges {
+			var err error
+			if e.dir == Directed {
+				err = g.AddEdge(e.id, e.src, e.tgt, e.labels, e.props)
+			} else {
+				err = g.AddUndirectedEdge(e.id, e.src, e.tgt, e.labels, e.props)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	randLabels := func() []string {
+		var out []string
+		for _, l := range labelsPool {
+			if rng.Intn(2) == 0 {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	deleteNode := func(id NodeID) {
+		for i, n := range nodes {
+			if n.id == id {
+				nodes = append(nodes[:i], nodes[i+1:]...)
+				break
+			}
+		}
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.src != id && e.tgt != id {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+
+	// Seed state.
+	for i := 0; i < 6; i++ {
+		nodes = append(nodes, mNode{NodeID(fmt.Sprintf("n%d", i)), randLabels(), nil})
+	}
+	for i := 0; i < 8; i++ {
+		s, tgt := nodes[rng.Intn(len(nodes))].id, nodes[rng.Intn(len(nodes))].id
+		edges = append(edges, mEdge{EdgeID(fmt.Sprintf("s%d", i)), s, tgt, Direction(rng.Intn(2)), randLabels(), nil})
+	}
+	ov := NewOverlay(Snapshot(build()), WithCompactThreshold(0)) // compaction only when the test asks
+
+	nextID := 100
+	type pin struct {
+		snap *OverlaySnap
+		ref  *Graph
+	}
+	var pins []pin
+	for round := 0; round < 40; round++ {
+		b := ov.Begin()
+		for op := 0; op < 1+rng.Intn(4); op++ {
+			switch k := rng.Intn(6); {
+			case k == 0 || len(nodes) == 0: // add node
+				id := NodeID(fmt.Sprintf("n%d", nextID))
+				nextID++
+				labels, props := randLabels(), map[string]value.Value{"v": value.Int(int64(rng.Intn(10)))}
+				b.AddNode(id, labels, props)
+				nodes = append(nodes, mNode{id, normLabels(labels), copyProps(props)})
+			case k == 1: // add edge
+				id := EdgeID(fmt.Sprintf("e%d", nextID))
+				nextID++
+				s, tgt := nodes[rng.Intn(len(nodes))].id, nodes[rng.Intn(len(nodes))].id
+				dir := Direction(rng.Intn(2))
+				labels := randLabels()
+				if dir == Directed {
+					b.AddEdge(id, s, tgt, labels, nil)
+				} else {
+					b.AddUndirectedEdge(id, s, tgt, labels, nil)
+				}
+				edges = append(edges, mEdge{id, s, tgt, dir, normLabels(labels), nil})
+			case k == 2 && len(edges) > 0: // delete edge
+				e := edges[rng.Intn(len(edges))]
+				b.DeleteEdge(e.id)
+				for i := range edges {
+					if edges[i].id == e.id {
+						edges = append(edges[:i], edges[i+1:]...)
+						break
+					}
+				}
+			case k == 3 && len(nodes) > 1: // delete node (detach)
+				id := nodes[rng.Intn(len(nodes))].id
+				b.DeleteNode(id)
+				deleteNode(id)
+			case k == 4: // set node prop
+				i := rng.Intn(len(nodes))
+				v := value.Int(int64(rng.Intn(100)))
+				b.SetNodeProp(nodes[i].id, "v", v)
+				props := copyProps(nodes[i].props)
+				if props == nil {
+					props = map[string]value.Value{}
+				}
+				props["v"] = v
+				nodes[i].props = props
+			default: // set node labels
+				i := rng.Intn(len(nodes))
+				labels := randLabels()
+				b.SetNodeLabels(nodes[i].id, labels)
+				nodes[i].labels = normLabels(labels)
+			}
+		}
+		if err := ov.Apply(b); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		ref := build()
+		storeConformance(t, fmt.Sprintf("fuzz-round-%d", round), ref, ov)
+		// Edge property/label record equality, which the shared battery
+		// doesn't cover in full.
+		for _, e := range edges {
+			got := ov.Edge(e.id)
+			if !reflect.DeepEqual(got.Labels, ref.Edge(e.id).Labels) || !reflect.DeepEqual(got.Props, ref.Edge(e.id).Props) {
+				t.Fatalf("round %d: edge %q record mismatch", round, e.id)
+			}
+		}
+		if round%7 == 3 {
+			pins = append(pins, pin{ov.Snapshot(), ref})
+		}
+		if round%11 == 10 {
+			ov.Compact()
+			storeConformance(t, fmt.Sprintf("fuzz-round-%d-compacted", round), ref, ov)
+		}
+	}
+	ov.Compact()
+	storeConformance(t, "fuzz-final-compacted", build(), ov)
+	// Epoch immutability: every pinned snapshot still serves exactly the
+	// state it was pinned at, through all later mutations and compactions.
+	for i, p := range pins {
+		storeConformance(t, fmt.Sprintf("fuzz-pin-%d", i), p.ref, p.snap)
+	}
+}
+
+// TestOverlayConcurrentReadWrite hammers snapshots with full-store reads
+// while a writer applies batches and compactions run; meaningful under
+// -race (readers must never observe a mix of epochs or a torn delta).
+func TestOverlayConcurrentReadWrite(t *testing.T) {
+	g := conformanceGraph(t)
+	ov := NewOverlay(Snapshot(g), WithCompactThreshold(16))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := ov.Snapshot()
+				n, e := 0, 0
+				snap.Nodes(func(*Node) bool { n++; return true })
+				snap.Edges(func(*Edge) bool { e++; return true })
+				if n != snap.NumNodes() || e != snap.NumEdges() {
+					t.Errorf("torn epoch: iterated %d/%d, counters %d/%d", n, e, snap.NumNodes(), snap.NumEdges())
+					return
+				}
+				snap.Nodes(func(nd *Node) bool {
+					i, _ := snap.InternNode(nd.ID)
+					snap.Steps(int(i), func(edge, other int, kind StepKind) bool {
+						if snap.NodeByIndex(other) == nil {
+							t.Errorf("live step to dead node %d", other)
+						}
+						return true
+					})
+					return true
+				})
+				snap.LabelStats()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		id := NodeID(fmt.Sprintf("w%d", i))
+		b := ov.Begin().AddNode(id, []string{"W"}, nil).AddEdge(EdgeID(fmt.Sprintf("we%d", i)), id, "a", nil, nil)
+		if i%3 == 2 {
+			b.DeleteNode(NodeID(fmt.Sprintf("w%d", i-1)))
+		}
+		if i%5 == 4 {
+			b.SetNodeProp("a", "owner", value.Int(int64(i)))
+		}
+		if err := ov.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	ov.Wait()
+}
+
+// TestGraphPropUpdateKeepsDerived is the regression for the map backend's
+// invalidation split: property-only updates must drop the memoized stats
+// but keep the interner table and the stepper adapter (indices and
+// topology are untouched), where structural mutations drop all three.
+func TestGraphPropUpdateKeepsDerived(t *testing.T) {
+	g := conformanceGraph(t)
+	// Materialize every derived view.
+	g.LabelStats()
+	if _, ok := g.InternNode("a"); !ok {
+		t.Fatal("intern miss")
+	}
+	st := AsStepper(g)
+	internBefore, stepBefore := g.intern.Load(), g.stepper.Load()
+	if internBefore == nil || stepBefore == nil {
+		t.Fatal("derived views not memoized")
+	}
+
+	if err := g.SetNodeProp("a", "owner", value.Str("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdgeProp("e1", "amount", value.Int(6)); err != nil {
+		t.Fatal(err)
+	}
+	if g.intern.Load() != internBefore {
+		t.Error("property update discarded the interner table")
+	}
+	if g.stepper.Load() != stepBefore {
+		t.Error("property update discarded the memoized stepper")
+	}
+	g.statsMu.Lock()
+	valid := g.statsValid
+	g.statsMu.Unlock()
+	if valid {
+		t.Error("property update must invalidate the memoized stats")
+	}
+	// The kept views serve the updated records (they hold pointers).
+	i, _ := st.NodeIndex("a")
+	if got := st.NodeByIndex(i).Prop("owner"); got != value.Str("updated") {
+		t.Errorf("stepper sees owner=%v, want updated", got)
+	}
+	if got := g.EdgeAt(0).Prop("amount"); got != value.Int(6) {
+		t.Errorf("interner sees amount=%v, want 6", got)
+	}
+	// A CSR snapshot taken before the update kept the old records.
+	snapBefore := Snapshot(conformanceGraph(t))
+	if got := snapBefore.Node("a").Prop("owner"); got != value.Str("ann") {
+		t.Errorf("pre-update snapshot sees owner=%v, want ann", got)
+	}
+
+	// Structural mutation still drops everything.
+	if err := g.AddNode("newnode", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.intern.Load() != nil || g.stepper.Load() != nil {
+		t.Error("structural mutation must discard the derived views")
+	}
+}
+
+func TestGraphSetPropSnapshotIsolation(t *testing.T) {
+	g := conformanceGraph(t)
+	snap := Snapshot(g)
+	if err := g.SetNodeProp("a", "owner", value.Str("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Node("a").Prop("owner"); got != value.Str("ann") {
+		t.Errorf("snapshot observed a later property update: %v", got)
+	}
+	if got := g.Node("a").Prop("owner"); got != value.Str("changed") {
+		t.Errorf("graph lost the update: %v", got)
+	}
+	if err := g.SetNodeProp("zzz", "k", value.Int(1)); err == nil {
+		t.Error("SetNodeProp on unknown node must error")
+	}
+	if err := g.SetEdgeProp("zzz", "k", value.Int(1)); err == nil {
+		t.Error("SetEdgeProp on unknown edge must error")
+	}
+}

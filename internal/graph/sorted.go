@@ -18,10 +18,24 @@ type SortedStepper interface {
 	SortedSteps(i int) (others, edges []int32, kinds []StepKind)
 }
 
+// sortedProvider lets a store decide per instance whether a sorted view
+// exists. Overlay epochs implement it: an epoch whose adjacency matches
+// its base CSR exactly serves the base's sorted windows, any other epoch
+// reports no sorted view and disables WCO dispatch until compaction
+// re-sorts the merged adjacency.
+type sortedProvider interface {
+	SortedView() (SortedStepper, bool)
+}
+
 // AsSorted returns the store's sorted-adjacency view when its indexed
-// form provides one (the CSR snapshot does).
+// form provides one (the CSR snapshot always does; overlay epochs decide
+// per epoch via the sortedProvider hook).
 func AsSorted(s Store) (SortedStepper, bool) {
-	ss, ok := AsStepper(s).(SortedStepper)
+	st := AsStepper(s)
+	if p, ok := st.(sortedProvider); ok {
+		return p.SortedView()
+	}
+	ss, ok := st.(SortedStepper)
 	return ss, ok
 }
 

@@ -1,0 +1,212 @@
+package gpml_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gpml"
+)
+
+// Mutation helpers for the race suites: each batch adds one W-labeled
+// node wired into the Fig1 graph, occasionally deleting the previous one
+// and churning a property, so epochs carry adds, tombstones and
+// overrides at once.
+func overlayWriterBatch(ov *gpml.Overlay, i int) *gpml.Batch {
+	id := gpml.NodeID(fmt.Sprintf("w%d", i))
+	b := ov.Begin().
+		AddNode(id, []string{"W"}, map[string]gpml.Value{"n": gpml.Int(int64(i))}).
+		AddEdge(gpml.EdgeID(fmt.Sprintf("we%d", i)), id, "a1", []string{"Transfer"}, nil)
+	if i%4 == 3 {
+		b.DeleteEdge(gpml.EdgeID(fmt.Sprintf("we%d", i-1)))
+	}
+	if i%5 == 4 {
+		b.SetNodeProp("a2", "isBlocked", gpml.Str("no"))
+	}
+	return b
+}
+
+// TestOverlayMutateWhileQuerying runs full query evaluations against an
+// overlay while a writer applies batches and background compactions
+// recycle the base. Readers assert epoch monotonicity: the count of
+// W-labeled nodes only ever grows, so any torn or stale-pointer read
+// shows up as a regression. Meaningful under -race.
+func TestOverlayMutateWhileQuerying(t *testing.T) {
+	ov := gpml.NewOverlay(gpml.Fig1(), gpml.WithCompactThreshold(24))
+	q := gpml.MustCompile(`MATCH (x:W)`)
+	qPath := gpml.MustCompile(`MATCH (x:W)-[:Transfer]->(y:Account WHERE y.owner='Mike')`)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := q.EvalStore(ov)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Rows) < last {
+					t.Errorf("W count went backwards: %d after %d", len(res.Rows), last)
+					return
+				}
+				last = len(res.Rows)
+				if _, err := qPath.EvalStore(ov); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		if err := ov.Apply(overlayWriterBatch(ov, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	ov.Wait()
+	if got := ov.CountNodesWithLabel("W"); got != 300 {
+		t.Fatalf("final W count = %d, want 300", got)
+	}
+}
+
+// TestOverlayEpochPinnedAcrossCompaction pins an epoch, evaluates on it
+// while later batches push the overlay through background compactions,
+// and checks the pinned epoch keeps answering with byte-identical
+// results throughout — including after its delta has been folded away
+// beneath it.
+func TestOverlayEpochPinnedAcrossCompaction(t *testing.T) {
+	ov := gpml.NewOverlay(gpml.Fig1(), gpml.WithCompactThreshold(16))
+	for i := 0; i < 10; i++ {
+		if err := ov.Apply(overlayWriterBatch(ov, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch := ov.Snapshot()
+	q := gpml.MustCompile(`MATCH (x:W)-[t:Transfer]->(y)`)
+	baseline, err := q.EvalStore(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gpml.FormatResult(baseline)
+
+	// Push well past the compaction threshold; evaluations on the pinned
+	// epoch race the compactor's publish of rebased epochs.
+	for i := 10; i < 80; i++ {
+		if err := ov.Apply(overlayWriterBatch(ov, i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 0 {
+			res, err := q.EvalStore(epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := gpml.FormatResult(res); got != want {
+				t.Fatalf("pinned epoch drifted mid-stream:\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		}
+	}
+	ov.Wait() // drain compactions
+	res, err := q.EvalStore(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gpml.FormatResult(res); got != want {
+		t.Fatalf("pinned epoch drifted after compaction:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The live overlay moved on.
+	live, err := q.EvalStore(ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Rows) <= len(baseline.Rows) {
+		t.Fatalf("live overlay has %d rows, want more than the pinned %d", len(live.Rows), len(baseline.Rows))
+	}
+}
+
+// TestOverlayRowsCloseRacingCompaction opens streams against the live
+// overlay (each pins the then-current epoch), drains them partially, and
+// closes them while a writer drives compactions underneath. Run under
+// -race this exercises Rows.Close against the compactor's epoch swaps.
+func TestOverlayRowsCloseRacingCompaction(t *testing.T) {
+	ov := gpml.NewOverlay(gpml.Fig1(), gpml.WithCompactThreshold(16))
+	q := gpml.MustCompile(`MATCH (x:W)-[t:Transfer]->(y:Account)`)
+	for i := 0; i < 12; i++ {
+		if err := ov.Apply(overlayWriterBatch(ov, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 12; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := ov.Apply(overlayWriterBatch(ov, i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 60; round++ {
+		rows, err := q.Stream(context.Background(), ov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain one row (the pinned epoch always has some) and abandon
+		// the rest mid-enumeration.
+		if !rows.Next() {
+			t.Fatalf("round %d: no rows: %v", round, rows.Err())
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	ov.Wait()
+
+	// A stream left open across an explicit synchronous compaction keeps
+	// serving its pinned epoch.
+	rows, err := q.Stream(context.Background(), ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ov.Snapshot().Seq()
+	if err := ov.Apply(overlayWriterBatch(ov, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	ov.Compact()
+	if ov.Snapshot().Seq() <= before {
+		t.Fatal("compaction did not publish a new epoch")
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("pinned stream produced no rows after compaction")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
