@@ -18,55 +18,85 @@
 // streams only the first N rows (LIMIT pushdown: enumeration stops once
 // they are produced) and -timeout aborts evaluation after a duration via
 // streaming cancellation.
+//
+// Exit codes distinguish why evaluation ended: 0 success, 1 query or
+// graph error (compile errors include a caret diagnostic pointing at the
+// offending source column), 2 usage, 3 the -timeout deadline expired
+// mid-evaluation, 4 interrupted by SIGINT/SIGTERM, 5 a search limit from
+// -max-matches was exhausted.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"gpml"
 	"gpml/internal/graph"
 )
 
-func main() {
-	var (
-		graphFile  = flag.String("graph", "", "graph JSON file (default: the paper's Figure 1 graph)")
-		gqlMode    = flag.Bool("gql", false, "GQL host mode (allows element equality)")
-		bindings   = flag.Bool("bindings", false, "print reduced path binding tables (§6.4 presentation)")
-		normalized = flag.Bool("normalized", false, "print the normalized pattern before results")
-		maxMatches = flag.Int("max-matches", 0, "cap on raw matches per pattern (0 = default)")
-		csr        = flag.Bool("csr", false, "evaluate on an immutable CSR snapshot of the graph")
-		overlay    = flag.Bool("overlay", false, "evaluate on an epoch-snapshot overlay store layered over a CSR snapshot")
-		parallel   = flag.Int("parallel", 0, "evaluation workers over seed nodes (<2 = sequential)")
-		explain    = flag.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
-		noAuto     = flag.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
-		noBindJoin = flag.Bool("no-bind-join", false, "disable the cost-ordered bind-join planner (A/B comparison)")
-		noVec      = flag.Bool("no-vectorize", false, "disable the vectorized batch pipeline (A/B comparison)")
-		timeout    = flag.Duration("timeout", 0, "abort evaluation after this duration (streaming cancellation; 0 = none)")
-		first      = flag.Int("first", 0, "stream only the first N rows (LIMIT pushdown; 0 = all rows)")
-	)
-	flag.Parse()
+// Exit codes: scripts driving gpml can tell a wrong query from a slow
+// one without parsing stderr.
+const (
+	exitOK        = 0
+	exitError     = 1 // compile/graph/eval error
+	exitUsage     = 2
+	exitDeadline  = 3 // -timeout expired mid-evaluation
+	exitInterrupt = 4 // SIGINT/SIGTERM
+	exitLimit     = 5 // search limit (Limits budget) exhausted
+)
 
-	query := strings.TrimSpace(strings.Join(flag.Args(), " "))
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpml", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		graphFile  = fs.String("graph", "", "graph JSON file (default: the paper's Figure 1 graph)")
+		gqlMode    = fs.Bool("gql", false, "GQL host mode (allows element equality)")
+		bindings   = fs.Bool("bindings", false, "print reduced path binding tables (§6.4 presentation)")
+		normalized = fs.Bool("normalized", false, "print the normalized pattern before results")
+		maxMatches = fs.Int("max-matches", 0, "cap on raw matches per pattern (0 = default)")
+		csr        = fs.Bool("csr", false, "evaluate on an immutable CSR snapshot of the graph")
+		overlay    = fs.Bool("overlay", false, "evaluate on an epoch-snapshot overlay store layered over a CSR snapshot")
+		parallel   = fs.Int("parallel", 0, "evaluation workers over seed nodes (<2 = sequential)")
+		explain    = fs.Bool("explain", false, "print which engine (dfs/bfs/automaton) evaluates each pattern")
+		noAuto     = fs.Bool("no-automaton", false, "disable the pattern-automaton engine (A/B comparison)")
+		noBindJoin = fs.Bool("no-bind-join", false, "disable the cost-ordered bind-join planner (A/B comparison)")
+		noVec      = fs.Bool("no-vectorize", false, "disable the vectorized batch pipeline (A/B comparison)")
+		timeout    = fs.Duration("timeout", 0, "abort evaluation after this duration (streaming cancellation; 0 = none)")
+		first      = fs.Int("first", 0, "stream only the first N rows (LIMIT pushdown; 0 = all rows)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	query := strings.TrimSpace(strings.Join(fs.Args(), " "))
 	if query == "" {
-		data, err := io.ReadAll(os.Stdin)
+		data, err := io.ReadAll(stdin)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "gpml:", err)
+			return exitError
 		}
 		query = strings.TrimSpace(string(data))
 	}
 	if query == "" {
-		fmt.Fprintln(os.Stderr, "usage: gpml [-graph file.json] 'MATCH ...'")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: gpml [-graph file.json] 'MATCH ...'")
+		return exitUsage
 	}
 
 	g, err := loadGraph(*graphFile)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "gpml:", err)
+		return exitError
 	}
 
 	var opts []gpml.Option
@@ -102,22 +132,28 @@ func main() {
 	}
 	q, err := gpml.Compile(query, opts...)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "gpml:", err)
+		if d := gpml.Diagnostic(query, err); d != "" {
+			fmt.Fprintln(stderr, d)
+		}
+		return exitError
 	}
 	if *normalized {
-		fmt.Println("normalized:", q.Normalized())
+		fmt.Fprintln(stdout, "normalized:", q.Normalized())
 	}
 	if *explain {
 		for _, line := range q.Explain(evalOpts...) {
-			fmt.Println("explain:", line)
+			fmt.Fprintln(stdout, "explain:", line)
 		}
 	}
-	ctx := context.Background()
+	// Signals cancel the context; the deadline (if any) is layered on
+	// top, so the two causes stay distinguishable from the final error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		evalOpts = append(evalOpts, gpml.WithContext(ctx))
 	}
 	if *first > 0 {
 		evalOpts = append(evalOpts, gpml.WithLimit(*first))
@@ -129,29 +165,48 @@ func main() {
 	// discarded). Collect restores Eval's canonical row order.
 	rows, err := q.Stream(ctx, nil, evalOpts...)
 	if err != nil {
-		fatal(err)
+		return reportEvalError(stderr, query, *timeout, err)
 	}
 	res, err := rows.Collect()
 	if err != nil {
-		fatal(err)
+		return reportEvalError(stderr, query, *timeout, err)
 	}
 
 	if *bindings {
-		fmt.Print(gpml.FormatBindings(res))
+		fmt.Fprint(stdout, gpml.FormatBindings(res))
 	} else {
-		fmt.Print(gpml.FormatResult(res))
+		fmt.Fprint(stdout, gpml.FormatResult(res))
 	}
 	if *first > 0 && len(res.Rows) == *first {
 		// The limit bit: more rows may exist beyond the cut.
-		fmt.Printf("(first %d rows)\n", len(res.Rows))
+		fmt.Fprintf(stdout, "(first %d rows)\n", len(res.Rows))
 	} else {
-		fmt.Printf("(%d rows)\n", len(res.Rows))
+		fmt.Fprintf(stdout, "(%d rows)\n", len(res.Rows))
 	}
+	return exitOK
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gpml:", err)
-	os.Exit(1)
+// reportEvalError maps the error that ended evaluation to a message and
+// exit code that name the cause instead of surfacing a bare
+// context.DeadlineExceeded.
+func reportEvalError(stderr io.Writer, query string, timeout interface{ String() string }, err error) int {
+	var lim *gpml.LimitError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(stderr, "gpml: evaluation timed out after %s (deadline exceeded mid-stream; partial rows discarded)\n", timeout)
+		return exitDeadline
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(stderr, "gpml: interrupted (evaluation cancelled before completion)")
+		return exitInterrupt
+	case errors.As(err, &lim):
+		fmt.Fprintf(stderr, "gpml: search limit exhausted: %v (raise -max-matches or tighten the pattern)\n", err)
+		return exitLimit
+	}
+	fmt.Fprintln(stderr, "gpml:", err)
+	if d := gpml.Diagnostic(query, err); d != "" {
+		fmt.Fprintln(stderr, d)
+	}
+	return exitError
 }
 
 func loadGraph(path string) (*gpml.Graph, error) {

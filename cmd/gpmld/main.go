@@ -1,0 +1,146 @@
+// Command gpmld serves GPML queries over HTTP: a network query server
+// with prepared statements and a compiled-plan cache in front of the
+// streaming evaluator.
+//
+// Usage:
+//
+//	gpmld [-addr :7687] [-graph graph.json] [-overlay] [-cache 256]
+//	      [-max-concurrent 8] [-default-timeout 0] [-max-timeout 0]
+//	      [-max-rows 0] [-drain-grace 10s]
+//
+// Without -graph, the paper's Figure 1 banking graph is served under the
+// name "fig1". With -overlay the graph is wrapped in an epoch-snapshot
+// overlay store, the live-mutation serving configuration: queries pin
+// epoch snapshots while writers apply batches concurrently.
+//
+// Endpoints (see internal/server):
+//
+//	POST /query    {"query": "MATCH ...", "graph": "fig1", "params": {...},
+//	                "gql": false, "timeout_ms": 0, "limit": 0}
+//	               → NDJSON: {"columns":...,"cached":...}, {"row":[...]}*,
+//	                 then {"rows":N} or {"error":{...}}
+//	POST /explain  same body → engine choice, join plan, parameter names
+//	GET  /stats    plan-cache hit/miss counters, row/query totals
+//	GET  /healthz  ok, or 503 once draining
+//
+// SIGTERM/SIGINT starts a graceful drain: new queries are rejected,
+// in-flight streams run to completion within -drain-grace, then
+// remaining streams are cancelled and the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpml"
+	"gpml/internal/gql"
+	"gpml/internal/graph"
+	"gpml/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":7687", "listen address")
+		graphFile  = flag.String("graph", "", "graph JSON file served as \"main\" (default: the paper's Figure 1 graph as \"fig1\")")
+		overlay    = flag.Bool("overlay", false, "wrap the graph in an epoch-snapshot overlay store (live-mutation serving)")
+		cacheSize  = flag.Int("cache", 256, "compiled-plan LRU capacity")
+		maxConc    = flag.Int("max-concurrent", 8, "admission cap on concurrently evaluating queries")
+		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests that set no timeout_ms (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", 0, "clamp on request deadlines (0 = none)")
+		maxRows    = flag.Int("max-rows", 0, "clamp on request row limits (0 = unlimited)")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long in-flight streams may run after SIGTERM before cancellation")
+	)
+	flag.Parse()
+
+	name := "fig1"
+	var g *gpml.Graph
+	if *graphFile == "" {
+		g = gpml.Fig1()
+	} else {
+		name = "main"
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmld:", err)
+			return 1
+		}
+		gg, err := graph.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmld:", err)
+			return 1
+		}
+		g = gg
+	}
+
+	var st gpml.Store
+	if *overlay {
+		st = gpml.NewOverlay(g)
+	} else {
+		// Immutable CSR snapshot: safe for any number of concurrent
+		// readers, and the fastest read path.
+		st = gpml.Snapshot(g)
+	}
+	catalog := gql.NewCatalog()
+	if err := catalog.Register(name, st); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmld:", err)
+		return 1
+	}
+
+	srv, err := server.New(server.Config{
+		Catalog:        catalog,
+		DefaultGraph:   name,
+		CacheSize:      *cacheSize,
+		MaxConcurrent:  *maxConc,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRows:        *maxRows,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmld:", err)
+		return 1
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "gpmld: serving graph %q on %s (store: %T, cache: %d, concurrency: %d)\n",
+		name, *addr, st, *cacheSize, *maxConc)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "gpmld:", err)
+		return 1
+	case <-sigCtx.Done():
+	}
+
+	// Two-phase drain: stop admitting, let streams finish within the
+	// grace period, then cancel whatever is still running.
+	fmt.Fprintln(os.Stderr, "gpmld: draining")
+	srv.Drain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmld: drain grace expired, cancelling in-flight queries")
+		srv.Abort()
+		killCtx, kcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer kcancel()
+		if err := httpSrv.Shutdown(killCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			httpSrv.Close()
+		}
+	}
+	fmt.Fprintln(os.Stderr, "gpmld: stopped")
+	return 0
+}

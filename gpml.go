@@ -34,12 +34,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 
 	"gpml/internal/binding"
 	"gpml/internal/core"
 	"gpml/internal/dataset"
 	"gpml/internal/eval"
 	"gpml/internal/graph"
+	"gpml/internal/plan"
 	"gpml/internal/value"
 )
 
@@ -94,6 +97,14 @@ type (
 	Reduced = binding.Reduced
 	// Limits bound the match search.
 	Limits = eval.Limits
+	// LimitError is the error evaluation returns when a search budget in
+	// Limits is exhausted (match count, search state, or path depth).
+	LimitError = eval.LimitError
+	// BindError is the positioned error reported when a query's $name
+	// placeholders and the WithParams bindings disagree: a placeholder
+	// without a value, a supplied name the query never uses, or an unbound
+	// placeholder reached at evaluation time.
+	BindError = plan.BindError
 )
 
 // Binding kinds of result variables.
@@ -186,6 +197,7 @@ type Query struct {
 	noVec      bool
 	limit      int
 	ctx        context.Context
+	params     map[string]Value
 }
 
 // Option configures compilation or evaluation.
@@ -203,6 +215,7 @@ type options struct {
 	noVec      bool
 	limit      int
 	ctx        context.Context
+	params     map[string]Value
 }
 
 func (o options) config() eval.Config {
@@ -215,6 +228,7 @@ func (o options) config() eval.Config {
 		StringKeys:       o.strKeys,
 		DisableVectorize: o.noVec,
 		Limit:            o.limit,
+		Params:           eval.Params(o.params),
 	}
 }
 
@@ -304,6 +318,37 @@ func NoBindJoin() Option { return func(o *options) { o.noBindJoin = true } }
 // the batching win with it) and differential testing.
 func NoVectorize() Option { return func(o *options) { o.noVec = true } }
 
+// WithParams binds values to the statement's $name placeholders for one
+// evaluation. A compiled query with parameters is a prepared statement:
+// the plan (and its memoized pattern automaton) is built once and reused
+// across any number of argument sets, with binding resolved at execution
+// time. Every placeholder must be bound and every supplied name must be
+// used; violations surface as a positioned bind error before any
+// evaluation work starts. Passed at Compile time the bindings become the
+// query's defaults, overridable per evaluation.
+//
+//	q := gpml.MustCompile(`MATCH (x:Account WHERE x.isBlocked = $blocked)`)
+//	res, err := q.Eval(g, gpml.WithParams(map[string]gpml.Value{
+//	    "blocked": gpml.Str("yes"),
+//	}))
+func WithParams(args map[string]Value) Option {
+	return func(o *options) { o.params = args }
+}
+
+// Params returns the names of the query's $name placeholders in first
+// occurrence order (empty for a parameter-free statement).
+func (q *Query) Params() []string {
+	uses := q.q.Plan.Params
+	if len(uses) == 0 {
+		return nil
+	}
+	names := make([]string, len(uses))
+	for i := range uses {
+		names[i] = uses[i].Name
+	}
+	return names
+}
+
 // Compile parses, normalizes, analyzes and plans a GPML MATCH statement.
 func Compile(src string, opts ...Option) (*Query, error) {
 	var o options
@@ -314,7 +359,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, strKeys: o.strKeys, noVec: o.noVec, limit: o.limit, ctx: o.ctx}, nil
+	return &Query{q: q, lims: o.lims, edgeIso: o.edgeIso, store: o.store, parallel: o.parallel, noAuto: o.noAuto, noBindJoin: o.noBindJoin, strKeys: o.strKeys, noVec: o.noVec, limit: o.limit, ctx: o.ctx, params: o.params}, nil
 }
 
 // MustCompile is Compile that panics on error; for fixtures and examples.
@@ -337,12 +382,15 @@ func (q *Query) Eval(g *Graph, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := q.q.Plan.CheckBind(o.params); err != nil {
+		return nil, err
+	}
 	return q.q.EvalCtx(o.context(), s, o.config())
 }
 
 // options seeds an option set from the query's compile-time defaults.
 func (q *Query) options(opts []Option) options {
-	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, strKeys: q.strKeys, noVec: q.noVec, limit: q.limit, ctx: q.ctx}
+	o := options{lims: q.lims, edgeIso: q.edgeIso, parallel: q.parallel, noAuto: q.noAuto, noBindJoin: q.noBindJoin, strKeys: q.strKeys, noVec: q.noVec, limit: q.limit, ctx: q.ctx, params: q.params}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -376,9 +424,13 @@ var Stop = errors.New("gpml: stop iteration")
 // canonical sorted order, which is the one blocking stage streaming
 // skips. Close must be called when done (whether or not the stream was
 // drained); it stops every pipeline goroutine and blocks until they have
-// exited, so an abandoned iterator leaks nothing. A Rows is not safe for
-// concurrent use; cancel the stream's context to abort from another
-// goroutine.
+// exited, so an abandoned iterator leaks nothing. Row consumption is
+// single-threaded (one goroutine drives Next/Row/Collect), but Close is
+// safe from any goroutine at any time — including concurrently with a
+// blocked Next and from several goroutines at once (a handler defer
+// racing a deadline watchdog is the intended shape) — and a Next
+// interrupted by Close ends the stream cleanly instead of reporting the
+// self-inflicted cancellation.
 //
 //	rows, err := q.Stream(ctx, store)
 //	if err != nil { ... }
@@ -388,20 +440,61 @@ var Stop = errors.New("gpml: stop iteration")
 //	}
 //	if err := rows.Err(); err != nil { ... }
 type Rows struct {
-	q      *Query
+	q *Query
+	// cur is single-threaded, so every Next/Close on it serializes on
+	// opMu. Close cancels the pipeline's derived context before taking
+	// opMu, so a Next blocked inside the cursor returns promptly instead
+	// of holding the lock indefinitely.
 	cur    eval.Cursor
+	cancel context.CancelFunc
+	opMu   sync.Mutex
+
+	closeOnce sync.Once
+	closeDone chan struct{}
+	closeErr  error
+
+	mu     sync.Mutex // guards row, err, closed
 	row    *Row
 	err    error
 	closed bool
 }
 
+func newRows(q *Query, cur eval.Cursor, cancel context.CancelFunc) *Rows {
+	return &Rows{q: q, cur: cur, cancel: cancel, closeDone: make(chan struct{})}
+}
+
 // Next advances to the next row, reporting whether one is available. It
 // returns false at exhaustion, on error (see Err), and after Close.
 func (r *Rows) Next() bool {
+	r.mu.Lock()
 	if r.closed || r.err != nil {
+		r.mu.Unlock()
 		return false
 	}
+	r.mu.Unlock()
+
+	r.opMu.Lock()
+	r.mu.Lock()
+	if r.closed {
+		// Close won the race for the cursor; the stream is over.
+		r.row = nil
+		r.mu.Unlock()
+		r.opMu.Unlock()
+		return false
+	}
+	r.mu.Unlock()
 	row, err := r.cur.Next()
+	r.opMu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		// Close cancelled the pipeline under this Next; the cancellation
+		// (and any error it surfaced) is self-inflicted, so a closed
+		// iterator ends cleanly rather than failing.
+		r.row = nil
+		return false
+	}
 	if err != nil {
 		r.err = err
 		r.row = nil
@@ -412,44 +505,81 @@ func (r *Rows) Next() bool {
 }
 
 // Row returns the current row (valid after a true Next).
-func (r *Rows) Row() *Row { return r.row }
+func (r *Rows) Row() *Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.row
+}
 
 // Err returns the error that ended iteration, if any. A cancelled
 // context surfaces here as the context's error.
-func (r *Rows) Err() error { return r.err }
+func (r *Rows) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
 
 // Columns returns the output column order.
 func (r *Rows) Columns() []string { return r.q.Columns() }
 
 // Close stops the streaming pipeline and releases its goroutines,
-// blocking until they have exited. It is idempotent.
+// blocking until they have exited. It is idempotent and safe to call
+// concurrently with Next and with other Close calls: the pipeline's
+// context is cancelled first (which unblocks an in-flight Next), the
+// cursor teardown runs exactly once, and every caller observes the
+// completed teardown and its error.
 func (r *Rows) Close() error {
-	if r.closed {
-		return nil
-	}
-	r.closed = true
-	return r.cur.Close()
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		if r.cancel != nil {
+			r.cancel()
+		}
+		r.opMu.Lock()
+		r.closeErr = r.cur.Close()
+		r.opMu.Unlock()
+		close(r.closeDone)
+	})
+	<-r.closeDone
+	return r.closeErr
 }
+
+// noCloseCursor lets Collect reuse the eval-layer drain while keeping
+// cursor teardown behind Rows.Close's once-only path.
+type noCloseCursor struct{ c eval.Cursor }
+
+func (n noCloseCursor) Next() (*Row, error) { return n.c.Next() }
+func (n noCloseCursor) Close() error        { return nil }
 
 // Collect drains the remaining rows, closes the iterator, and returns
 // them as a Result in Eval's canonical order. When no rows have been
 // consumed yet, Stream + Collect is byte-identical to Eval; rows already
 // delivered through Next are not re-collected.
 func (r *Rows) Collect() (*Result, error) {
+	r.mu.Lock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("gpml: Collect on closed Rows")
 	}
-	if r.err != nil {
+	prevErr := r.err
+	r.mu.Unlock()
+	if prevErr != nil {
 		// Iteration already failed; a partial collection would silently
 		// mask the evaluation error.
-		r.closed = true
-		r.cur.Close()
-		return nil, r.err
+		r.Close()
+		return nil, prevErr
 	}
-	r.closed = true
-	res, err := eval.Collect(r.cur, r.q.q.Plan)
+	r.opMu.Lock()
+	res, err := eval.Collect(noCloseCursor{r.cur}, r.q.q.Plan)
+	r.opMu.Unlock()
+	r.Close()
 	if err != nil {
-		r.err = err
+		r.mu.Lock()
+		if r.err == nil {
+			r.err = err
+		}
+		r.mu.Unlock()
 		return nil, err
 	}
 	return res, nil
@@ -482,11 +612,18 @@ func (q *Query) Stream(ctx context.Context, s Store, opts ...Option) (*Rows, err
 	if err != nil {
 		return nil, err
 	}
-	cur, err := eval.StreamPlan(o.context(), st, q.q.Plan, o.config())
-	if err != nil {
+	if err := q.q.Plan.CheckBind(o.params); err != nil {
 		return nil, err
 	}
-	return &Rows{q: q, cur: cur}, nil
+	// The Rows owns a derived cancel so Close can abort a Next blocked in
+	// the pipeline from another goroutine.
+	cctx, cancel := context.WithCancel(o.context())
+	cur, err := eval.StreamPlan(cctx, st, q.q.Plan, o.config())
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return newRows(q, cur, cancel), nil
 }
 
 // ForEach streams the query's rows through fn, stopping at the first
@@ -543,6 +680,66 @@ func (q *Query) Source() string { return q.q.Source }
 // Normalized returns the §6.2 normalized form of the pattern, rendered
 // back to GPML syntax (anonymous variables hidden).
 func (q *Query) Normalized() string { return q.q.Normalized.String() }
+
+// positioned is implemented by compile- and bind-time errors that carry
+// a 1-based source position: lexer and parser errors, and parameter bind
+// errors.
+type positioned interface{ Pos() (line, col int) }
+
+// ErrorPosition reports the 1-based source position a compile- or
+// bind-time error points at; ok is false for errors without one.
+func ErrorPosition(err error) (line, col int, ok bool) {
+	var p positioned
+	if !errors.As(err, &p) {
+		return 0, 0, false
+	}
+	line, col = p.Pos()
+	return line, col, line > 0 && col > 0
+}
+
+// Diagnostic renders a caret-style source excerpt for an error produced
+// by Compile, CheckBind, or evaluation against src: the offending source
+// line followed by a "^" marker under the error's column. It returns ""
+// when the error carries no source position or the position falls
+// outside src, so callers can unconditionally append the result to an
+// error report.
+//
+//	gpml: parse error at 1:11: expected pattern element
+//	  MATCH (a)-[e->(b)
+//	            ^
+func Diagnostic(src string, err error) string {
+	var p positioned
+	if !errors.As(err, &p) {
+		return ""
+	}
+	line, col := p.Pos()
+	if line <= 0 || col <= 0 {
+		return ""
+	}
+	lines := strings.Split(src, "\n")
+	if line > len(lines) {
+		return ""
+	}
+	text := strings.TrimRight(lines[line-1], "\r")
+	if col > len(text)+1 {
+		return ""
+	}
+	// Columns count bytes; mirror tabs so the caret lines up under any
+	// tab width.
+	var b strings.Builder
+	b.WriteString("  ")
+	b.WriteString(text)
+	b.WriteString("\n  ")
+	for i := 0; i < col-1 && i < len(text); i++ {
+		if text[i] == '\t' {
+			b.WriteByte('\t')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('^')
+	return b.String()
+}
 
 // Match is a convenience wrapper: compile and evaluate in one step.
 func Match(g *Graph, src string, opts ...Option) (*Result, error) {

@@ -128,6 +128,21 @@ func (*Literal) expr() {}
 // String renders the literal.
 func (l *Literal) String() string { return l.Val.String() }
 
+// Param is a $name query parameter: a typed placeholder that survives
+// compilation so one plan serves many argument sets. Its value is supplied
+// at execution time; the position is kept so bind-time errors (missing or
+// superfluous arguments) can point into the query source.
+type Param struct {
+	Name string
+	Line int
+	Col  int
+}
+
+func (*Param) expr() {}
+
+// String renders the placeholder.
+func (p *Param) String() string { return "$" + p.Name }
+
 // IsNull is "x IS [NOT] NULL".
 type IsNull struct {
 	X      Expr

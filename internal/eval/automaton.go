@@ -11,6 +11,7 @@ import (
 	"gpml/internal/binding"
 	"gpml/internal/graph"
 	"gpml/internal/plan"
+	"gpml/internal/value"
 )
 
 // The automaton engine evaluates selector-bounded patterns as a
@@ -130,12 +131,18 @@ func ExplainStore(s graph.Store, p *plan.Plan, cfg Config) []string {
 // elemResolver resolves exactly one element — the one being matched —
 // for the memoryless WHERE checks the eligibility analysis admits.
 type elemResolver struct {
-	g    graph.Store
-	name string
-	ref  binding.Ref
+	g      graph.Store
+	name   string
+	ref    binding.Ref
+	params Params
 }
 
 func (r elemResolver) Graph() graph.Store { return r.g }
+
+func (r elemResolver) ParamValue(name string) (value.Value, bool) {
+	v, ok := r.params[name]
+	return v, ok
+}
 
 func (r elemResolver) Elem(name string) (binding.Ref, bool) {
 	if name == r.name {
@@ -169,6 +176,7 @@ type autoEngine struct {
 	st     graph.Stepper
 	nfa    *automaton.NFA
 	limits Limits
+	params Params
 	bud    *budget
 
 	rep     *dfs // path-constrained replay machine
@@ -206,6 +214,7 @@ func newAutoEngine(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget,
 		st:       st,
 		nfa:      nfa,
 		limits:   cfg.Limits.withDefaults(),
+		params:   cfg.Params,
 		bud:      bud,
 		S:        nfa.NumStates(),
 		preds:    map[int][]autoPred{},
@@ -220,7 +229,7 @@ func newAutoEngine(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget,
 	} else {
 		a.distMap = map[int]int32{}
 	}
-	a.rep = newDFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, func(b *binding.PathBinding) error {
+	a.rep = newDFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, cfg.Params, bud, func(b *binding.PathBinding) error {
 		a.emitted++
 		return emit(b)
 	})
@@ -322,7 +331,7 @@ func (a *autoEngine) expand(pid, n int, stp automaton.Step, depth int) error {
 			return true
 		}
 		if ep.Where != nil {
-			tri, err := EvalPred(ep.Where, elemResolver{a.st, ep.Var, binding.Ref{Kind: binding.EdgeElem, Idx: graph.ElemIdx(ei)}})
+			tri, err := EvalPred(ep.Where, elemResolver{a.st, ep.Var, binding.Ref{Kind: binding.EdgeElem, Idx: graph.ElemIdx(ei)}, a.params})
 			if err != nil {
 				firstErr = err
 				return false
@@ -393,7 +402,7 @@ func (a *autoEngine) closure(node, q0 int) ([]int, error) {
 					continue
 				}
 				if np.Where != nil {
-					tri, err := EvalPred(np.Where, elemResolver{a.st, np.Var, binding.Ref{Kind: binding.NodeElem, Idx: graph.ElemIdx(node)}})
+					tri, err := EvalPred(np.Where, elemResolver{a.st, np.Var, binding.Ref{Kind: binding.NodeElem, Idx: graph.ElemIdx(node)}, a.params})
 					if err != nil {
 						return err
 					}

@@ -9,6 +9,7 @@ import (
 	"gpml/internal/binding"
 	"gpml/internal/graph"
 	"gpml/internal/plan"
+	"gpml/internal/value"
 )
 
 // Vectorized batch execution. When every path pattern of a statement is a
@@ -545,6 +546,7 @@ type patternGroup struct {
 type batchLayout struct {
 	p        *plan.Plan
 	st       graph.Stepper
+	params   Params
 	groups   []patternGroup
 	width    int
 	kinds    []binding.ElemKind
@@ -552,8 +554,8 @@ type batchLayout struct {
 	edgeCols []int
 }
 
-func newBatchLayout(p *plan.Plan, st graph.Stepper, pats []*plan.PathPlan) *batchLayout {
-	lay := &batchLayout{p: p, st: st, varCol: map[string]int{}}
+func newBatchLayout(p *plan.Plan, st graph.Stepper, params Params, pats []*plan.PathPlan) *batchLayout {
+	lay := &batchLayout{p: p, st: st, params: params, varCol: map[string]int{}}
 	for _, pp := range pats {
 		npos := len(pp.Chain.Nodes) + len(pp.Chain.Edges)
 		g := patternGroup{pp: pp, off: lay.width, npos: npos, redVars: make([]string, npos)}
@@ -644,6 +646,11 @@ type colResolver struct {
 }
 
 func (c colResolver) Graph() graph.Store { return c.lay.st }
+
+func (c colResolver) ParamValue(name string) (value.Value, bool) {
+	v, ok := c.lay.params[name]
+	return v, ok
+}
 
 func (c colResolver) Elem(name string) (binding.Ref, bool) {
 	col, ok := c.lay.varCol[name]

@@ -45,7 +45,7 @@ func newBatchPipeline(ctx context.Context, stores []graph.Store, p *plan.Plan, c
 
 	if len(p.Paths) == 1 {
 		pp := p.Paths[0]
-		lay := newBatchLayout(p, st, []*plan.PathPlan{pp})
+		lay := newBatchLayout(p, st, cfg.Params, []*plan.PathPlan{pp})
 		return finishBatchPipeline(newBatchSource(ctx, st, pp, cfg, lay.width), lay, p, cfg), true
 	}
 
@@ -82,7 +82,7 @@ func newBatchPipeline(ctx context.Context, stores []graph.Store, p *plan.Plan, c
 	for _, stp := range steps {
 		pats = append(pats, p.Paths[stp.Pattern])
 	}
-	lay := newBatchLayout(p, st, pats)
+	lay := newBatchLayout(p, st, cfg.Params, pats)
 
 	var cur BatchCursor
 	bound := map[string]bool{}

@@ -9,6 +9,7 @@ import (
 	"gpml/internal/binding"
 	"gpml/internal/graph"
 	"gpml/internal/plan"
+	"gpml/internal/value"
 )
 
 // The BFS engine evaluates path patterns whose only termination guarantee
@@ -106,6 +107,7 @@ type bfs struct {
 	st     graph.Stepper
 	prog   *plan.Prog
 	limits Limits
+	params Params
 	bud    *budget
 	seed   int
 
@@ -165,7 +167,7 @@ func (p admitPolicy) admit(vi *visitInfo, depth int) bool {
 // seed node index. Admission keys include the start node, so per-seed
 // searches admit exactly the threads the old whole-graph search did;
 // limits are shared across seed runs through the budget.
-func runBFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, sel ast.Selector, seed int, bud *budget, emit func(*binding.PathBinding) error) error {
+func runBFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, params Params, sel ast.Selector, seed int, bud *budget, emit func(*binding.PathBinding) error) error {
 	if sel.Kind == ast.NoSelector {
 		return fmt.Errorf("eval: BFS mode requires a selector (planner bug)")
 	}
@@ -173,6 +175,7 @@ func runBFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, se
 		st:      st,
 		prog:    prog,
 		limits:  limits.withDefaults(),
+		params:  params,
 		bud:     bud,
 		seed:    seed,
 		policy:  admitPolicy{kind: sel.Kind, k: sel.K},
@@ -321,11 +324,17 @@ func (b *bfs) counterBounds(t thread, i int) (int, int) {
 // threadResolver adapts a thread for prefilter evaluation; it serves both
 // the BFS engine and the automaton engine's path replayer.
 type threadResolver struct {
-	g graph.Store
-	t *thread
+	g      graph.Store
+	t      *thread
+	params Params
 }
 
 func (r threadResolver) Graph() graph.Store { return r.g }
+
+func (r threadResolver) ParamValue(name string) (value.Value, bool) {
+	v, ok := r.params[name]
+	return v, ok
+}
 
 func (r threadResolver) Elem(name string) (binding.Ref, bool) {
 	for f := r.t.frames; f != nil; f = f.prev {
@@ -431,7 +440,7 @@ func (b *bfs) closure(t thread) error {
 	case plan.OpScopeStart, plan.OpScopeEnd:
 		return fmt.Errorf("eval: restrictor scope in BFS mode (planner bug)")
 	case plan.OpWhere:
-		tri, err := EvalPred(in.Where, threadResolver{b.st, &t})
+		tri, err := EvalPred(in.Where, threadResolver{b.st, &t, b.params})
 		if err != nil {
 			return err
 		}
@@ -473,7 +482,7 @@ func (b *bfs) matchNode(t thread, in *plan.Instr, n *graph.Node) error {
 	}
 	t2.pending = pushPending(t2, np.Var, binding.NodeElem, t.pos)
 	if np.Where != nil {
-		tri, err := EvalPred(np.Where, threadResolver{b.st, &t2})
+		tri, err := EvalPred(np.Where, threadResolver{b.st, &t2, b.params})
 		if err != nil {
 			return err
 		}
@@ -625,7 +634,7 @@ func (b *bfs) traverse(base thread, in *plan.Instr, ei, target int) error {
 	}
 	t2.steps = &stepNode{edge: graph.ElemIdx(ei), node: graph.ElemIdx(target), prev: base.steps, n: n}
 	if ep.Where != nil {
-		tri, err := EvalPred(ep.Where, threadResolver{b.st, &t2})
+		tri, err := EvalPred(ep.Where, threadResolver{b.st, &t2, b.params})
 		if err != nil {
 			return err
 		}

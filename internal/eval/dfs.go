@@ -99,6 +99,7 @@ type dfs struct {
 	st     graph.Stepper
 	prog   *plan.Prog
 	limits Limits
+	params Params
 	bud    *budget
 	seed   int
 
@@ -146,11 +147,12 @@ type dfs struct {
 // newDFS builds a reusable matcher. Every run restores all machine state
 // by backtracking, so one machine serves any number of sequential seed
 // runs; limits accounting is shared across runs through the budget.
-func newDFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, bud *budget, emit func(*binding.PathBinding) error) *dfs {
+func newDFS(st graph.Stepper, prog *plan.Prog, pathVar string, limits Limits, params Params, bud *budget, emit func(*binding.PathBinding) error) *dfs {
 	return &dfs{
 		st:      st,
 		prog:    prog,
 		limits:  limits.withDefaults(),
+		params:  params,
 		bud:     bud,
 		env:     map[string]binding.Ref{},
 		groups:  map[string][]binding.Ref{},
@@ -185,6 +187,11 @@ func (r dfsResolver) Elem(name string) (binding.Ref, bool) {
 func (r dfsResolver) Group(name string) ([]binding.Ref, bool) {
 	g, ok := r.m.groups[name]
 	return g, ok
+}
+
+func (r dfsResolver) ParamValue(name string) (value.Value, bool) {
+	v, ok := r.m.params[name]
+	return v, ok
 }
 
 // step executes the instruction at pc, exploring all continuations.

@@ -9,6 +9,7 @@ import (
 	"gpml/internal/binding"
 	"gpml/internal/graph"
 	"gpml/internal/plan"
+	"gpml/internal/value"
 )
 
 // Config tunes evaluation.
@@ -60,6 +61,13 @@ type Config struct {
 	// (intersect.go); used for A/B comparison and differential testing.
 	// Collected (canonically sorted) results are identical either way.
 	DisableIntersect bool
+	// Params binds the statement's $name placeholders for this execution.
+	// Binding happens here — not in the plan — so one compiled plan (with
+	// its memoized automaton) serves any number of argument sets
+	// concurrently. Callers should validate the set against the plan first
+	// (plan.CheckBind); an unbound placeholder reached during evaluation
+	// is a *plan.BindError.
+	Params Params
 }
 
 // BoundKind discriminates what a result variable is bound to.
@@ -300,10 +308,10 @@ func seedRunner(st graph.Stepper, pp *plan.PathPlan, cfg Config, bud *budget, em
 		return newAutoEngine(st, pp, cfg, bud, emit).run
 	case EngineBFS:
 		return func(seed int) error {
-			return runBFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, pp.Pattern.Selector, seed, bud, emit)
+			return runBFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, cfg.Params, pp.Pattern.Selector, seed, bud, emit)
 		}
 	default:
-		return newDFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, bud, emit).run
+		return newDFS(st, pp.Prog, pp.Pattern.PathVar, cfg.Limits, cfg.Params, bud, emit).run
 	}
 }
 
@@ -529,6 +537,13 @@ type rowResolver struct {
 	g        graph.Store
 	varGraph map[string]graph.Store
 	row      *Row
+	params   Params
+}
+
+// ParamValue resolves a $name placeholder from the execution's bound set.
+func (r rowResolver) ParamValue(name string) (value.Value, bool) {
+	v, ok := r.params[name]
+	return v, ok
 }
 
 func (r rowResolver) Graph() graph.Store { return r.g }
@@ -610,3 +625,9 @@ func (r rowResolver) Group(name string) ([]binding.Ref, bool) {
 // RowResolver exposes a row as an expression resolver for host-language
 // projections (SQL/PGQ COLUMNS, GQL RETURN).
 func RowResolver(g graph.Store, row *Row) Resolver { return rowResolver{g: g, row: row} }
+
+// RowResolverWith is RowResolver under a bound parameter set, for
+// host-language projections over parameterized queries.
+func RowResolverWith(g graph.Store, row *Row, params Params) Resolver {
+	return rowResolver{g: g, row: row, params: params}
+}

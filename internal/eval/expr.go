@@ -12,6 +12,7 @@ import (
 	"gpml/internal/ast"
 	"gpml/internal/binding"
 	"gpml/internal/graph"
+	"gpml/internal/plan"
 	"gpml/internal/value"
 )
 
@@ -26,6 +27,20 @@ type Resolver interface {
 	Elem(name string) (binding.Ref, bool)
 	// Group resolves the accumulated group list for a variable.
 	Group(name string) ([]binding.Ref, bool)
+}
+
+// Params are a query's bound parameter values ($name placeholders), late-
+// bound at execution time so one compiled plan serves many argument sets.
+// A nil map is a valid empty binding.
+type Params map[string]value.Value
+
+// paramScope is optionally implemented by resolvers evaluating under a
+// bound parameter set. Resolvers without it (or without the name) make a
+// $name leaf an unbound-parameter error — execution entry points validate
+// bindings up front (plan.CheckBind), so hitting it indicates a caller
+// that skipped validation.
+type paramScope interface {
+	ParamValue(name string) (value.Value, bool)
 }
 
 // graphRouter is optionally implemented by resolvers that evaluate over
@@ -279,6 +294,18 @@ func EvalValue(e ast.Expr, r Resolver) (value.Value, error) {
 	switch x := e.(type) {
 	case *ast.Literal:
 		return x.Val, nil
+	case *ast.Param:
+		if ps, ok := r.(paramScope); ok {
+			if v, bound := ps.ParamValue(x.Name); bound {
+				return v, nil
+			}
+		}
+		return value.Null, &plan.BindError{
+			Name: x.Name,
+			Msg:  fmt.Sprintf("parameter $%s is not bound", x.Name),
+			Line: x.Line,
+			Col:  x.Col,
+		}
 	case *ast.PropAccess:
 		ref, ok := r.Elem(x.Var)
 		if !ok {

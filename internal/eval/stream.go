@@ -162,7 +162,7 @@ func StreamPlanOn(ctx context.Context, stores []graph.Store, p *plan.Plan, cfg C
 	if p.Post != nil {
 		g := graph.AsStepper(stores[0])
 		cur = &filterCursor{src: cur, keep: func(row *Row) (bool, error) {
-			t, err := EvalPred(p.Post, rowResolver{g, varGraph, row})
+			t, err := EvalPred(p.Post, rowResolver{g, varGraph, row, cfg.Params})
 			if err != nil {
 				return false, err
 			}

@@ -20,6 +20,9 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
+// Pos returns the 1-based source position the error points at.
+func (e *Error) Pos() (line, col int) { return e.Line, e.Col }
+
 // Lexer scans GPML source text into tokens.
 type Lexer struct {
 	src  string
@@ -130,6 +133,8 @@ func (l *Lexer) Next() (Token, error) {
 		return l.lexNumber(tok)
 	case c == '\'':
 		return l.lexString(tok)
+	case c == '$':
+		return l.lexParam(tok)
 	}
 	l.advance()
 	switch c {
@@ -305,6 +310,29 @@ func (l *Lexer) lexNumber(tok Token) (Token, error) {
 	}
 	tok.Kind = INT
 	tok.Int = i * mult
+	return tok, nil
+}
+
+// lexParam scans a $name query parameter. The name follows identifier
+// rules and keeps its source spelling: parameters are named by the caller,
+// not by the language, so no keyword folding applies.
+func (l *Lexer) lexParam(tok Token) (Token, error) {
+	l.advance() // '$'
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		for i := 0; i < size; i++ {
+			l.advance()
+		}
+	}
+	if l.pos == start {
+		return Token{}, &Error{Msg: "expected parameter name after '$'", Line: tok.Line, Col: tok.Col}
+	}
+	tok.Kind = PARAM
+	tok.Text = l.src[start:l.pos]
 	return tok, nil
 }
 

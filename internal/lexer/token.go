@@ -21,6 +21,7 @@ const (
 	STRING  // decoded payload in Text
 	INT     // int64 payload in Int
 	FLOAT   // float64 payload in Float
+	PARAM   // $name placeholder; name (without '$') in Text
 
 	LPAREN   // (
 	RPAREN   // )
@@ -65,6 +66,8 @@ func (k Kind) String() string {
 		return "integer literal"
 	case FLOAT:
 		return "float literal"
+	case PARAM:
+		return "parameter"
 	case LPAREN:
 		return "'('"
 	case RPAREN:
@@ -145,6 +148,8 @@ func (t Token) String() string {
 		return fmt.Sprintf("integer %d", t.Int)
 	case FLOAT:
 		return fmt.Sprintf("float %g", t.Float)
+	case PARAM:
+		return fmt.Sprintf("parameter $%s", t.Text)
 	default:
 		return t.Kind.String()
 	}

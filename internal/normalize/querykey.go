@@ -1,0 +1,119 @@
+package normalize
+
+import (
+	"strconv"
+	"strings"
+
+	"gpml/internal/lexer"
+)
+
+// QueryKey canonicalizes query text at the token level for use as a
+// compiled-plan cache key: comments and whitespace are stripped, keyword
+// spelling is folded to its canonical upper-case form, numeric literals
+// are re-rendered canonically (0x10 and 16 collide, as do 1.50 and 1.5),
+// and string/identifier payloads keep their exact decoded spelling.
+// Texts that tokenize identically — however they are laid out — share a
+// key, so a cache keyed on QueryKey deduplicates reformatted copies of
+// the same statement without parsing or planning them. Full structural
+// normalization (§6.2) still happens once, at compile time, on the cache
+// miss path.
+//
+// The key is derived from tokens only, so it is strictly coarser than
+// source identity and strictly finer than plan identity; it never
+// conflates two statements that parse differently. Texts that fail to
+// tokenize return the lexer's positioned error.
+func QueryKey(src string) (string, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	for i, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		writeTokenKey(&b, t)
+	}
+	return b.String(), nil
+}
+
+// writeTokenKey renders one token in its canonical cache-key spelling.
+func writeTokenKey(b *strings.Builder, t lexer.Token) {
+	switch t.Kind {
+	case lexer.IDENT, lexer.KEYWORD:
+		b.WriteString(t.Text)
+	case lexer.STRING:
+		// Re-quote the decoded payload so differently escaped spellings
+		// of one string collide while staying distinct from identifiers.
+		b.WriteString(strconv.Quote(t.Text))
+	case lexer.INT:
+		b.WriteString(strconv.FormatInt(t.Int, 10))
+	case lexer.FLOAT:
+		s := strconv.FormatFloat(t.Float, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			// Keep float-typed literals distinct from INT: 1.0 renders
+			// as "1" under %g, but the two literals type differently.
+			s += ".0"
+		}
+		b.WriteString(s)
+	case lexer.PARAM:
+		b.WriteByte('$')
+		b.WriteString(t.Text)
+	case lexer.LPAREN:
+		b.WriteByte('(')
+	case lexer.RPAREN:
+		b.WriteByte(')')
+	case lexer.LBRACKET:
+		b.WriteByte('[')
+	case lexer.RBRACKET:
+		b.WriteByte(']')
+	case lexer.LBRACE:
+		b.WriteByte('{')
+	case lexer.RBRACE:
+		b.WriteByte('}')
+	case lexer.COMMA:
+		b.WriteByte(',')
+	case lexer.DOT:
+		b.WriteByte('.')
+	case lexer.COLON:
+		b.WriteByte(':')
+	case lexer.BAR:
+		b.WriteByte('|')
+	case lexer.MULTIBAR:
+		b.WriteString("|+|")
+	case lexer.LT:
+		b.WriteByte('<')
+	case lexer.GT:
+		b.WriteByte('>')
+	case lexer.LE:
+		b.WriteString("<=")
+	case lexer.GE:
+		b.WriteString(">=")
+	case lexer.NE:
+		b.WriteString("<>")
+	case lexer.EQ:
+		b.WriteByte('=')
+	case lexer.MINUS:
+		b.WriteByte('-')
+	case lexer.PLUS:
+		b.WriteByte('+')
+	case lexer.STAR:
+		b.WriteByte('*')
+	case lexer.SLASH:
+		b.WriteByte('/')
+	case lexer.PERCENT:
+		b.WriteByte('%')
+	case lexer.TILDE:
+		b.WriteByte('~')
+	case lexer.QUESTION:
+		b.WriteByte('?')
+	case lexer.BANG:
+		b.WriteByte('!')
+	case lexer.AMP:
+		b.WriteByte('&')
+	}
+}

@@ -1,0 +1,62 @@
+package normalize
+
+import "testing"
+
+// TestQueryKeyCollisions pins which textual variants share a cache key:
+// layout, comments, keyword case, numeric and string literal spelling
+// collapse; anything that tokenizes differently must not.
+func TestQueryKeyCollisions(t *testing.T) {
+	collide := [][2]string{
+		{"MATCH (x:Account)", "  MATCH   (x:Account)  "},
+		{"MATCH (x:Account)", "MATCH (x:Account) // trailing comment"},
+		{"MATCH (x)-[e]->(y)", "MATCH (x) - [e] -> (y)"},
+		{"match (x:Account)", "MATCH (x:Account)"},
+		{"MATCH (x WHERE x.f = 1.5)", "MATCH (x WHERE x.f = 1.50)"},
+		{"MATCH (x WHERE x.f = 2.0)", "MATCH (x WHERE x.f = 2.00)"},
+		{"MATCH (x WHERE x.a = $v)", "MATCH (x WHERE x.a=$v)"},
+		{"MATCH (x:Account)\nWHERE x.isBlocked = 'no'", "MATCH (x:Account) WHERE x.isBlocked = 'no'"},
+	}
+	for _, pair := range collide {
+		a, err := QueryKey(pair[0])
+		if err != nil {
+			t.Fatalf("QueryKey(%q): %v", pair[0], err)
+		}
+		b, err := QueryKey(pair[1])
+		if err != nil {
+			t.Fatalf("QueryKey(%q): %v", pair[1], err)
+		}
+		if a != b {
+			t.Errorf("keys differ:\n%q -> %q\n%q -> %q", pair[0], a, pair[1], b)
+		}
+	}
+}
+
+func TestQueryKeyDistinctions(t *testing.T) {
+	distinct := [][2]string{
+		{"MATCH (x:Account)", "MATCH (y:Account)"},               // identifiers are case- and name-sensitive
+		{"MATCH (x:Account)", "MATCH (x:account)"},               // labels too
+		{"MATCH (x WHERE x.a = 'b')", "MATCH (x WHERE x.a = b)"}, // string vs identifier
+		{"MATCH (x WHERE x.n = 1)", "MATCH (x WHERE x.n = 1.0)"}, // INT vs FLOAT literal
+		{"MATCH (x WHERE x.a = $v)", "MATCH (x WHERE x.a = $w)"}, // parameter names
+		{"MATCH (x)-[e]->(y)", "MATCH (x)<-[e]-(y)"},
+	}
+	for _, pair := range distinct {
+		a, err := QueryKey(pair[0])
+		if err != nil {
+			t.Fatalf("QueryKey(%q): %v", pair[0], err)
+		}
+		b, err := QueryKey(pair[1])
+		if err != nil {
+			t.Fatalf("QueryKey(%q): %v", pair[1], err)
+		}
+		if a == b {
+			t.Errorf("keys collide for distinct queries %q and %q: %q", pair[0], pair[1], a)
+		}
+	}
+}
+
+func TestQueryKeyLexError(t *testing.T) {
+	if _, err := QueryKey("MATCH (x WHERE x.a = 'unterminated"); err == nil {
+		t.Fatal("expected a lex error for unterminated string")
+	}
+}

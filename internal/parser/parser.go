@@ -30,6 +30,9 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
+// Pos returns the 1-based source position the error points at.
+func (e *Error) Pos() (line, col int) { return e.Line, e.Col }
+
 // Parser consumes a token stream.
 type Parser struct {
 	toks []lexer.Token
@@ -386,20 +389,34 @@ func (p *Parser) parseNodeOrParen() (ast.PathExpr, error) {
 	if nodeErr == nil {
 		return np, nil
 	}
+	nodeConsumed := p.pos - save
 	p.pos = save
 	paren, parenErr := p.parseParen(lexer.LPAREN, lexer.RPAREN)
 	if parenErr == nil {
 		return paren, nil
 	}
+	parenConsumed := p.pos - save
 	// Report the error from whichever parse progressed further.
-	return nil, pickDeeperError(nodeErr, parenErr)
+	return nil, pickDeeperError(nodeErr, nodeConsumed, parenErr, parenConsumed)
 }
 
-func pickDeeperError(a, b error) error {
+// pickDeeperError chooses the more useful of two backtracking-branch
+// failures: the one positioned further into the input. Positions can tie
+// even when the branches got unequally far — an error may point at a token
+// other than the cursor — so ties fall back to the number of tokens the
+// branch consumed before failing; an exact tie keeps a. Both tie-breaks
+// are deterministic, so diagnostics are stable across runs.
+func pickDeeperError(a error, aConsumed int, b error, bConsumed int) error {
 	pa, aok := a.(*Error)
 	pb, bok := b.(*Error)
 	if aok && bok {
-		if pb.Line > pa.Line || (pb.Line == pa.Line && pb.Col > pa.Col) {
+		if pb.Line != pa.Line || pb.Col != pa.Col {
+			if pb.Line > pa.Line || (pb.Line == pa.Line && pb.Col > pa.Col) {
+				return b
+			}
+			return a
+		}
+		if bConsumed > aConsumed {
 			return b
 		}
 		return a
@@ -869,6 +886,9 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 	case lexer.STRING:
 		p.advance()
 		return &ast.Literal{Val: value.Str(t.Text)}, nil
+	case lexer.PARAM:
+		p.advance()
+		return &ast.Param{Name: t.Text, Line: t.Line, Col: t.Col}, nil
 	case lexer.LPAREN:
 		p.advance()
 		inner, err := p.parseExpr()

@@ -427,3 +427,79 @@ func TestListaggParsing(t *testing.T) {
 		t.Errorf("LISTAGG in comparison: %v", err)
 	}
 }
+
+// pickDeeperError ties on position must prefer the branch that consumed
+// more tokens: the error may point at a token behind the cursor, so the
+// position alone can tie even when one branch got much further. The old
+// behavior kept branch a unconditionally on a position tie, surfacing
+// the shallow node-pattern failure for malformed parenthesized paths.
+func TestPickDeeperErrorConsumedTieBreak(t *testing.T) {
+	a := &Error{Msg: "shallow", Line: 1, Col: 5}
+	b := &Error{Msg: "deep", Line: 1, Col: 5}
+	if got := pickDeeperError(a, 1, b, 7).(*Error); got.Msg != "deep" {
+		t.Errorf("position tie: want the branch with more consumed tokens, got %q", got.Msg)
+	}
+	if got := pickDeeperError(a, 7, b, 1).(*Error); got.Msg != "shallow" {
+		t.Errorf("position tie: want the branch with more consumed tokens, got %q", got.Msg)
+	}
+	// Exact tie keeps a (deterministic diagnostics).
+	if got := pickDeeperError(a, 3, b, 3).(*Error); got.Msg != "shallow" {
+		t.Errorf("exact tie must keep a, got %q", got.Msg)
+	}
+	// A later position wins regardless of consumption.
+	c := &Error{Msg: "later", Line: 1, Col: 9}
+	if got := pickDeeperError(a, 100, c, 1).(*Error); got.Msg != "later" {
+		t.Errorf("later position must win, got %q", got.Msg)
+	}
+	if got := pickDeeperError(c, 1, a, 100).(*Error); got.Msg != "later" {
+		t.Errorf("later position must win, got %q", got.Msg)
+	}
+}
+
+// Regression: a malformed parenthesized path pattern must report the
+// paren-branch error (which consumed deep into the group) rather than
+// the node-pattern branch's shallow failure at the same position.
+func TestNodeOrParenErrorDepth(t *testing.T) {
+	_, err := Parse(`MATCH ((a)-[e]->(b) WHERE`)
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	// The paren branch consumes past the inner pattern; its error points
+	// well beyond column 8 (where the node branch gives up on '(a)').
+	if pe.Col <= 8 {
+		t.Errorf("error position %d:%d reports the shallow branch: %v", pe.Line, pe.Col, err)
+	}
+}
+
+// $name placeholders parse into ast.Param leaves carrying their source
+// position.
+func TestParamParsing(t *testing.T) {
+	e, err := ParseExpr(`x.owner = $owner`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := e.(*ast.Binary)
+	if !ok {
+		t.Fatalf("want *ast.Binary, got %#v", e)
+	}
+	p, ok := cmp.R.(*ast.Param)
+	if !ok {
+		t.Fatalf("want *ast.Param on the right, got %#v", cmp.R)
+	}
+	if p.Name != "owner" {
+		t.Errorf("param name = %q, want owner", p.Name)
+	}
+	if p.Line != 1 || p.Col != 11 {
+		t.Errorf("param position = %d:%d, want 1:11", p.Line, p.Col)
+	}
+	if got := p.String(); got != "$owner" {
+		t.Errorf("String() = %q, want $owner", got)
+	}
+	if _, err := ParseExpr(`x.owner = $`); err == nil {
+		t.Error("bare $ must fail to lex")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gpml/internal/ast"
+	"gpml/internal/value"
 )
 
 // VarKind classifies variables.
@@ -116,6 +117,14 @@ func (pp *PathPlan) CompiledAutomaton(build func() any) any {
 	return pp.auto
 }
 
+// ParamUse records one $name placeholder: its name and the source position
+// of its first occurrence, so bind-time errors can point into the query.
+type ParamUse struct {
+	Name string
+	Line int
+	Col  int
+}
+
 // Plan is the compiled form of a MATCH statement.
 type Plan struct {
 	Stmt    *ast.MatchStmt // normalized
@@ -123,6 +132,68 @@ type Plan struct {
 	Post    ast.Expr
 	Vars    map[string]*VarInfo
 	Columns []string // output column order: first-appearance of named vars
+	// Params lists the statement's $name placeholders in first-occurrence
+	// order. Execution must supply a value for each (CheckBind).
+	Params []ParamUse
+}
+
+// ParamAt returns the declaration record of a parameter, or nil when the
+// statement has no placeholder of that name.
+func (p *Plan) ParamAt(name string) *ParamUse {
+	for i := range p.Params {
+		if p.Params[i].Name == name {
+			return &p.Params[i]
+		}
+	}
+	return nil
+}
+
+// BindError reports a parameter-binding failure. Line/Col locate the
+// placeholder in the query source when the parameter is declared there
+// (zero otherwise, e.g. a superfluous argument).
+type BindError struct {
+	Name string
+	Msg  string
+	Line int
+	Col  int
+}
+
+// Error implements the error interface.
+func (e *BindError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("bind error at %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "bind error: " + e.Msg
+}
+
+// Pos returns the placeholder's source position (0,0 when unknown).
+func (e *BindError) Pos() (line, col int) { return e.Line, e.Col }
+
+// CheckBind validates an argument set against the plan's placeholders:
+// every declared parameter must be supplied and no unknown names may be
+// passed. Values are already typed (value.Value), so arity and name
+// agreement are the whole static contract; value-level type mismatches
+// surface through the usual three-valued comparison semantics at runtime.
+func (p *Plan) CheckBind(args map[string]value.Value) error {
+	for i := range p.Params {
+		u := &p.Params[i]
+		if _, ok := args[u.Name]; !ok {
+			return &BindError{
+				Name: u.Name,
+				Msg:  fmt.Sprintf("missing value for parameter $%s", u.Name),
+				Line: u.Line,
+				Col:  u.Col,
+			}
+		}
+	}
+	if len(args) > len(p.Params) {
+		for name := range args {
+			if p.ParamAt(name) == nil {
+				return &BindError{Name: name, Msg: fmt.Sprintf("unknown parameter $%s: not used by the query", name)}
+			}
+		}
+	}
+	return nil
 }
 
 // Var returns the info for a variable, or nil.
@@ -160,6 +231,23 @@ type analyzer struct {
 	underRestr map[int]bool // quantifier id -> inside a restrictor scope
 	sites      []exprSite
 	patVars    []string
+
+	// statement-wide parameter uses, first occurrence per name
+	params    []ParamUse
+	paramSeen map[string]bool
+}
+
+// recordParam notes a $name placeholder encountered during expression
+// checking (first occurrence wins; checks run in source order).
+func (a *analyzer) recordParam(p *ast.Param) {
+	if a.paramSeen[p.Name] {
+		return
+	}
+	if a.paramSeen == nil {
+		a.paramSeen = map[string]bool{}
+	}
+	a.paramSeen[p.Name] = true
+	a.params = append(a.params, ParamUse{Name: p.Name, Line: p.Line, Col: p.Col})
 }
 
 // Analyze validates the normalized statement and compiles each path
@@ -232,6 +320,7 @@ func Analyze(stmt *ast.MatchStmt, opts Options) (*Plan, error) {
 	}
 
 	plan.Columns = a.columns()
+	plan.Params = a.params
 	return plan, nil
 }
 

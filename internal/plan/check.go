@@ -110,6 +110,11 @@ func (a *analyzer) checkPred(e ast.Expr, site exprSite) error {
 		return err
 	case *ast.Literal:
 		return nil
+	case *ast.Param:
+		// Truthiness of the bound value is decided at runtime, like any
+		// other non-boolean expression used as a predicate.
+		a.recordParam(x)
+		return nil
 	case *ast.Aggregate:
 		return fmt.Errorf("plan: aggregate %s is not a predicate; compare it with a value", x)
 	default:
@@ -120,6 +125,9 @@ func (a *analyzer) checkPred(e ast.Expr, site exprSite) error {
 func (a *analyzer) checkValue(e ast.Expr, site exprSite) (exprClass, error) {
 	switch x := e.(type) {
 	case *ast.Literal:
+		return clsValue, nil
+	case *ast.Param:
+		a.recordParam(x)
 		return clsValue, nil
 	case *ast.VarRef:
 		if _, err := a.refCheck(x.Name, site, false); err != nil {

@@ -1,0 +1,170 @@
+// Package qcache is the compiled-plan cache behind prepared statements:
+// a mutex-guarded LRU keyed on token-normalized query text (see
+// normalize.QueryKey), with hit/miss/eviction counters and epoch-aware
+// invalidation for entries whose validity is bound to one overlay-store
+// epoch.
+//
+// Compiled plans themselves are epoch-independent — cost-based join
+// ordering runs at stream time against the pinned snapshot, and element
+// indices are stable across epochs and compactions — so the query server
+// stores them with epoch 0 ("valid forever"). The epoch tagging exists
+// for artifacts that do go stale, such as cached statistics or
+// materialized results layered on top of the same cache.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	dropped   uint64 // entries removed by Invalidate/InvalidateBelow
+}
+
+type entry struct {
+	key   string
+	val   any
+	epoch uint64 // 0 = epoch-independent
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Invalidated uint64 `json:"invalidated"`
+	Size        int    `json:"size"`
+	Cap         int    `json:"cap"`
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// New returns an empty cache holding at most capacity entries;
+// capacity < 1 is treated as 1.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put caches an epoch-independent value under key (epoch 0).
+func (c *Cache) Put(key string, val any) { c.PutEpoch(key, val, 0) }
+
+// PutEpoch caches a value tagged with the store epoch it was computed
+// against; InvalidateBelow later removes it once that epoch is obsolete.
+// An existing entry under the same key is replaced in place.
+func (c *Cache) PutEpoch(key string, val any, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		e.val, e.epoch = val, epoch
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val, epoch: epoch})
+	for c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// Invalidate removes the entry under key, reporting whether one existed.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	c.dropped++
+	return true
+}
+
+// InvalidateBelow removes every epoch-tagged entry computed against an
+// epoch older than seq and returns how many were dropped. It is the hook
+// an overlay store's publish path calls with the newly published epoch
+// number; epoch-independent entries (epoch 0) are never touched.
+func (c *Cache) InvalidateBelow(seq uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.epoch != 0 && e.epoch < seq {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	c.dropped += uint64(n)
+	return n
+}
+
+// Clear drops every entry, keeping the counters.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropped += uint64(c.ll.Len())
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Invalidated: c.dropped,
+		Size:        c.ll.Len(),
+		Cap:         c.cap,
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*entry).key)
+}

@@ -1,0 +1,143 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // a becomes most recent
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Size != 2 || st.Cap != 2 {
+		t.Fatalf("size/cap = %d/%d, want 2/2", st.Size, st.Cap)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := New(4)
+	c.Get("missing")
+	c.Put("k", "v")
+	c.Get("k")
+	c.Get("k")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit ratio = %v, want 2/3", got)
+	}
+}
+
+func TestPutReplacesInPlace(t *testing.T) {
+	c := New(2)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get("k")
+	if v != 2 {
+		t.Fatalf("got %v, want 2", v)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4)
+	c.Put("k", 1)
+	if !c.Invalidate("k") {
+		t.Fatal("Invalidate should report the entry existed")
+	}
+	if c.Invalidate("k") {
+		t.Fatal("second Invalidate should report absence")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry should be gone")
+	}
+	if st := c.Stats(); st.Invalidated != 1 {
+		t.Fatalf("invalidated = %d, want 1", st.Invalidated)
+	}
+}
+
+// TestEpochInvalidation pins the overlay-store hook contract: publishing
+// epoch N drops entries computed against epochs < N, while
+// epoch-independent entries (compiled plans) are never touched.
+func TestEpochInvalidation(t *testing.T) {
+	c := New(8)
+	c.Put("plan", "epoch-independent")
+	c.PutEpoch("stats@3", "v", 3)
+	c.PutEpoch("stats@5", "v", 5)
+	if n := c.InvalidateBelow(5); n != 1 {
+		t.Fatalf("InvalidateBelow(5) dropped %d, want 1", n)
+	}
+	if _, ok := c.Get("stats@3"); ok {
+		t.Fatal("epoch-3 entry should be invalidated by epoch 5")
+	}
+	if _, ok := c.Get("stats@5"); !ok {
+		t.Fatal("epoch-5 entry should survive")
+	}
+	if _, ok := c.Get("plan"); !ok {
+		t.Fatal("epoch-independent entry must never be epoch-invalidated")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after Clear, want 0", c.Len())
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("invalidated = %d, want 2", st.Invalidated)
+	}
+}
+
+// TestConcurrentAccess runs mixed readers/writers/invalidators under the
+// race detector.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				switch i % 4 {
+				case 0:
+					c.Put(key, i)
+				case 1:
+					c.Get(key)
+				case 2:
+					c.PutEpoch(key, i, uint64(i%7+1))
+				default:
+					c.InvalidateBelow(uint64(i % 7))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,167 @@
+package gpml_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"gpml"
+	"gpml/internal/gql"
+	"gpml/internal/server"
+)
+
+// The serving acceptance bar: gpmld's HTTP path must reproduce the full
+// conformance corpus byte-identically to in-process evaluation. Every
+// corpus query is served twice — the second request rides the plan-cache
+// hit path — and each row's rendered cells must equal the in-process
+// stream's, cell for cell, with the row count matching Query.Eval.
+func TestServerServesConformanceCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "conformance", "*.txt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no conformance cases (err=%v)", err)
+	}
+	sort.Strings(files)
+
+	// One store per graph name, shared by the HTTP server and the
+	// in-process reference so both evaluate identical snapshots.
+	catalog := gql.NewCatalog()
+	stores := map[string]gpml.Store{}
+	for name, build := range conformanceGraphs {
+		st := gpml.Snapshot(build())
+		stores[name] = st
+		if err := catalog.Register(name, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{Catalog: catalog, DefaultGraph: "fig1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range files {
+		c := parseConformanceCase(t, path)
+		t.Run(strings.TrimSuffix(filepath.Base(path), ".txt"), func(t *testing.T) {
+			st := stores[c.graph]
+			q, err := gpml.Compile(c.query, gpml.GQLMode())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := q.EvalStore(st)
+			if err != nil {
+				t.Fatalf("in-process Eval: %v", err)
+			}
+			want := inProcessStreamCells(t, q, st)
+
+			for round := 0; round < 2; round++ { // round 1 = cache hit path
+				cols, rows, total, cached := httpQuery(t, ts.URL, c.query, c.graph)
+				if round == 1 && !cached {
+					t.Errorf("round 1 should hit the plan cache")
+				}
+				if total != len(res.Rows) {
+					t.Fatalf("round %d: HTTP trailer reports %d rows, Eval %d", round, total, len(res.Rows))
+				}
+				if len(rows) != len(want) {
+					t.Fatalf("round %d: HTTP streamed %d rows, in-process %d", round, len(rows), len(want))
+				}
+				wantCols := q.Columns()
+				if strings.Join(cols, ",") != strings.Join(wantCols, ",") {
+					t.Fatalf("round %d: columns %v, want %v", round, cols, wantCols)
+				}
+				for i := range want {
+					if strings.Join(rows[i], "\x00") != strings.Join(want[i], "\x00") {
+						t.Fatalf("round %d row %d diverges:\nHTTP:       %v\nin-process: %v", round, i, rows[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// inProcessStreamCells renders the query's rows exactly as the server
+// does: streaming order, Bound.String per cell, NULL for unbound.
+func inProcessStreamCells(t *testing.T, q *gpml.Query, st gpml.Store) [][]string {
+	t.Helper()
+	rows, err := q.Stream(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols := q.Columns()
+	var out [][]string
+	for rows.Next() {
+		row := rows.Row()
+		cells := make([]string, len(cols))
+		for i, c := range cols {
+			if b, ok := row.Get(c); ok {
+				cells[i] = b.String()
+			} else {
+				cells[i] = "NULL"
+			}
+		}
+		out = append(out, cells)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func httpQuery(t *testing.T, base, query, graph string) (cols []string, rows [][]string, total int, cached bool) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"query": query, "graph": graph, "gql": true})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw := new(bytes.Buffer)
+		raw.ReadFrom(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		if first {
+			var h struct {
+				Columns []string `json:"columns"`
+				Cached  bool     `json:"cached"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+				t.Fatal(err)
+			}
+			cols, cached = h.Columns, h.Cached
+			first = false
+			continue
+		}
+		var rec struct {
+			Row   []string                        `json:"row"`
+			Rows  *int                            `json:"rows"`
+			Error *struct{ Message, Kind string } `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case rec.Error != nil:
+			t.Fatalf("stream error: %s %s", rec.Error.Kind, rec.Error.Message)
+		case rec.Rows != nil:
+			total = *rec.Rows
+		default:
+			rows = append(rows, rec.Row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return cols, rows, total, cached
+}

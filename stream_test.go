@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -246,5 +247,99 @@ func TestStreamCollectMatchesEval(t *testing.T) {
 				t.Errorf("%s parallelism %d: Stream+Collect diverges from Eval", src, par)
 			}
 		}
+	}
+}
+
+// Double-close from different goroutines: the server handler's deferred
+// Close races a deadline watchdog's Close. Neither may panic, both must
+// observe the completed teardown, and the pipeline must leak nothing.
+func TestStreamDoubleCloseConcurrentNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		rows, err := q.Stream(context.Background(), g, gpml.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2 && rows.Next(); i++ {
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := rows.Close(); err != nil {
+					t.Errorf("parallelism %d: Close: %v", par, err)
+				}
+			}()
+		}
+		wg.Wait()
+		// And once more sequentially: still idempotent after the race.
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if rows.Next() {
+			t.Errorf("parallelism %d: Next returned true after Close", par)
+		}
+		if err := rows.Err(); err != nil {
+			t.Errorf("parallelism %d: Err after clean Close: %v", par, err)
+		}
+		settleGoroutines(t, baseline)
+	}
+}
+
+// Close racing a Next that is blocked inside the pipeline: Close must
+// unblock it (by cancelling the stream's derived context), the
+// interrupted Next must report a clean end of stream — not the
+// self-inflicted cancellation — and nothing may leak.
+func TestStreamCloseDuringNextNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, par := range []int{0, 8} {
+		for round := 0; round < 3; round++ {
+			rows, err := q.Stream(context.Background(), g, gpml.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for rows.Next() { // racing Close lands at an arbitrary point in here
+				}
+			}()
+			time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+			if err := rows.Close(); err != nil {
+				t.Fatal(err)
+			}
+			<-drained
+			if err := rows.Err(); err != nil {
+				t.Errorf("parallelism %d: Err after Close-during-Next: %v (want nil: cancellation was self-inflicted)", par, err)
+			}
+			settleGoroutines(t, baseline)
+		}
+	}
+}
+
+// A caller-owned context cancellation must still surface as an error
+// through Err — only Close-induced cancellation is swallowed.
+func TestStreamCallerCancelStillReportsError(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(leakQuery)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := q.Stream(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("expected at least one row before cancel")
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
 	}
 }
