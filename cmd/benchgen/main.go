@@ -7,6 +7,10 @@
 //
 //	benchgen            # run all experiments, print the markdown report
 //	benchgen -timeline  # print the Figure 10 standards timeline data
+//	benchgen -snb 0.1   # generate the LDBC-SNB-flavored graph at the
+//	                    # given scale factor (-snb-seed N) and print its
+//	                    # shape: per-label cardinalities and the knows
+//	                    # degree distribution
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"gpml/internal/binding"
 	"gpml/internal/dataset"
 	"gpml/internal/eval"
+	"gpml/internal/graph"
 	"gpml/internal/normalize"
 	"gpml/internal/parser"
 	"gpml/internal/plan"
@@ -32,9 +37,15 @@ import (
 
 func main() {
 	timeline := flag.Bool("timeline", false, "print the Figure 10 timeline")
+	snbSF := flag.Float64("snb", 0, "generate the SNB-flavored graph at this scale factor and print its shape")
+	snbSeed := flag.Int64("snb-seed", 42, "seed for -snb generation")
 	flag.Parse()
 	if *timeline {
 		printTimeline()
+		return
+	}
+	if *snbSF > 0 {
+		printSNB(*snbSF, *snbSeed)
 		return
 	}
 	fail := 0
@@ -697,4 +708,82 @@ func printTimeline() {
 	for _, r := range rows {
 		fmt.Printf("| %s | %s | %s |\n", r.date, r.pgq, r.gql)
 	}
+}
+
+// printSNB builds the LDBC-SNB-flavored graph at the given scale factor
+// and reports its shape: per-label cardinalities and the knows degree
+// distribution. It is the scale tier's dataset inspection tool — run it
+// before pointing the bench-scale benchmarks at a new scale factor to see
+// what they will traverse.
+func printSNB(sf float64, seed int64) {
+	start := time.Now()
+	g := dataset.SNB(dataset.SNBConfig{ScaleFactor: sf, Seed: seed})
+	build := time.Since(start)
+
+	nodeByLabel := map[string]int{}
+	g.Nodes(func(n *graph.Node) bool {
+		for _, l := range n.Labels {
+			nodeByLabel[l]++
+		}
+		return true
+	})
+	edgeByLabel := map[string]int{}
+	g.Edges(func(e *graph.Edge) bool {
+		for _, l := range e.Labels {
+			edgeByLabel[l]++
+		}
+		return true
+	})
+	knows := map[graph.NodeID]int{}
+	g.Edges(func(e *graph.Edge) bool {
+		for _, l := range e.Labels {
+			if l == "knows" {
+				knows[e.Source]++
+				if e.Target != e.Source {
+					knows[e.Target]++
+				}
+			}
+		}
+		return true
+	})
+	degs := make([]int, 0, len(knows))
+	sum := 0
+	for _, d := range knows {
+		degs = append(degs, d)
+		sum += d
+	}
+	sort.Ints(degs)
+	pct := func(p float64) int {
+		if len(degs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(degs)-1))
+		return degs[i]
+	}
+
+	fmt.Printf("SNB scale factor %g (seed %d): %d nodes, %d edges, built in %s\n",
+		sf, seed, g.NumNodes(), g.NumEdges(), build.Round(time.Millisecond))
+	fmt.Println("| Kind | Label | Count |")
+	fmt.Println("|------|-------|-------|")
+	for _, l := range sortedKeys(nodeByLabel) {
+		fmt.Printf("| node | %s | %d |\n", l, nodeByLabel[l])
+	}
+	for _, l := range sortedKeys(edgeByLabel) {
+		fmt.Printf("| edge | %s | %d |\n", l, edgeByLabel[l])
+	}
+	if len(degs) > 0 {
+		fmt.Printf("knows degree: mean %.1f, p50 %d, p90 %d, p99 %d, max %d\n",
+			float64(sum)/float64(len(degs)), pct(0.50), pct(0.90), pct(0.99), degs[len(degs)-1])
+	}
+}
+
+// sortedKeys returns the map's keys in lexicographic order, for stable
+// report output.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }

@@ -116,3 +116,43 @@ func TestCompareAllocGateFromZero(t *testing.T) {
 		t.Errorf("0 -> 0 allocs/op must pass: %v", err)
 	}
 }
+
+// TestCompareReportsSubBenchKey: a regression in one scale-factor/
+// partition sub-benchmark is reported under its full /sf=…/parts=… key —
+// pinpointing which configuration regressed — and in-threshold siblings
+// are not blamed.
+func TestCompareReportsSubBenchKey(t *testing.T) {
+	base := writeBench(t, "base.json", []Summary{
+		{Name: "BenchmarkScaleEnumerate/sf=0.1/parts=1", NsPerOpMin: 100, NsPerOpMean: 100},
+		{Name: "BenchmarkScaleEnumerate/sf=1/parts=4", NsPerOpMin: 100, NsPerOpMean: 100},
+	})
+	head := writeBench(t, "head.json", []Summary{
+		{Name: "BenchmarkScaleEnumerate/sf=0.1/parts=1", NsPerOpMin: 105, NsPerOpMean: 105},
+		{Name: "BenchmarkScaleEnumerate/sf=1/parts=4", NsPerOpMin: 200, NsPerOpMean: 200},
+	})
+	err := runCompare(base, head, 1.20, 0, "BenchmarkScaleEnumerate/")
+	if err == nil {
+		t.Fatal("2x regression in sf=1/parts=4 must fail the gate")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "BenchmarkScaleEnumerate/sf=1/parts=4: 2.00x ns/op") {
+		t.Errorf("failure message %q lacks the full sub-benchmark key", msg)
+	}
+	if strings.Contains(msg, "sf=0.1") {
+		t.Errorf("failure message %q blames the in-threshold sf=0.1 sibling", msg)
+	}
+}
+
+// TestParseKeepsSubBenchKeys: the parser strips only the GOMAXPROCS
+// suffix, preserving /sf=…/parts=… sub-benchmark paths in Name so
+// -compare can gate each configuration individually.
+func TestParseKeepsSubBenchKeys(t *testing.T) {
+	out := "BenchmarkScaleEnumerate/sf=0.1/parts=8-16   3   1200000 ns/op\n"
+	f, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkScaleEnumerate/sf=0.1/parts=8" {
+		t.Fatalf("parsed %+v, want the full sub-bench key with only -16 stripped", f.Benchmarks)
+	}
+}

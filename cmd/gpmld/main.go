@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	gpmld [-addr :7687] [-graph graph.json] [-overlay] [-cache 256]
-//	      [-max-concurrent 8] [-default-timeout 0] [-max-timeout 0]
-//	      [-max-rows 0] [-drain-grace 10s]
+//	gpmld [-addr :7687] [-graph graph.json] [-overlay] [-partitions N]
+//	      [-cache 256] [-max-concurrent 8] [-default-timeout 0]
+//	      [-max-timeout 0] [-max-rows 0] [-drain-grace 10s]
 //
 // Without -graph, the paper's Figure 1 banking graph is served under the
 // name "fig1". With -overlay the graph is wrapped in an epoch-snapshot
 // overlay store, the live-mutation serving configuration: queries pin
-// epoch snapshots while writers apply batches concurrently.
+// epoch snapshots while writers apply batches concurrently. With
+// -partitions N (N > 1, exclusive with -overlay) the graph is served
+// from a hash-partitioned snapshot whose per-partition arenas let
+// parallel queries scatter seed ranges across partition-pinned workers.
 //
 // Endpoints (see internal/server):
 //
@@ -54,6 +57,7 @@ func run() int {
 		addr       = flag.String("addr", ":7687", "listen address")
 		graphFile  = flag.String("graph", "", "graph JSON file served as \"main\" (default: the paper's Figure 1 graph as \"fig1\")")
 		overlay    = flag.Bool("overlay", false, "wrap the graph in an epoch-snapshot overlay store (live-mutation serving)")
+		partitions = flag.Int("partitions", 0, "serve a hash-partitioned snapshot with N adjacency shards (N > 1; exclusive with -overlay)")
 		cacheSize  = flag.Int("cache", 256, "compiled-plan LRU capacity")
 		maxConc    = flag.Int("max-concurrent", 8, "admission cap on concurrently evaluating queries")
 		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests that set no timeout_ms (0 = none)")
@@ -84,9 +88,17 @@ func run() int {
 	}
 
 	var st gpml.Store
-	if *overlay {
+	switch {
+	case *overlay && *partitions > 1:
+		fmt.Fprintln(os.Stderr, "gpmld: -overlay and -partitions are exclusive")
+		return 1
+	case *overlay:
 		st = gpml.NewOverlay(g)
-	} else {
+	case *partitions > 1:
+		// Hash-partitioned snapshot: immutable like a CSR, with
+		// per-partition arenas that parallel queries scatter over.
+		st = gpml.NewPartitioned(g, gpml.WithPartitions(*partitions))
+	default:
 		// Immutable CSR snapshot: safe for any number of concurrent
 		// readers, and the fastest read path.
 		st = gpml.Snapshot(g)

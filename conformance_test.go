@@ -370,6 +370,12 @@ func TestConformanceCorpus(t *testing.T) {
 				{"overlay-base", gpml.NewOverlay(g)},
 				{"overlay-delta", ovDelta},
 				{"overlay-compacted", ovCompacted},
+				// The partitioned axis: a degenerate single shard and a
+				// count that forces cross-partition edges; the parallel
+				// config below additionally exercises the partition-pinned
+				// scatter/gather path on both.
+				{"parts1", gpml.NewPartitioned(g, gpml.WithPartitions(1))},
+				{"parts3", gpml.NewPartitioned(g, gpml.WithPartitions(3))},
 			}
 			configs := []struct {
 				name string

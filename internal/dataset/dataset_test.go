@@ -1,7 +1,9 @@
 package dataset
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"gpml/internal/graph"
 	"gpml/internal/value"
@@ -196,5 +198,125 @@ func TestLaunderingRings(t *testing.T) {
 	}
 	if v := g.Node("a0").Prop("ring"); !value.Identical(v, value.Int(0)) {
 		t.Errorf("ring property: %v", v)
+	}
+}
+
+// TestRandomDistinctPairs pins the satellite fix: impossible
+// DistinctPairs configs are rejected immediately with a clear error
+// instead of the sampler hunting forever for a free pair, and feasible
+// ones terminate even at exact capacity.
+func TestRandomDistinctPairs(t *testing.T) {
+	bad := RandomConfig{Accounts: 3, Edges: 10, DistinctPairs: true, Seed: 1}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted 10 distinct edges over 9 ordered pairs")
+	}
+	if !strings.Contains(err.Error(), "9 ordered pairs") {
+		t.Errorf("error %q does not state the pair capacity", err)
+	}
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Random(bad)
+	}()
+	select {
+	case rec := <-done:
+		if rec == nil {
+			t.Fatal("Random built an impossible distinct-pairs graph")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Random still hunting for a free pair after 10s; want immediate rejection")
+	}
+	// Exact capacity: all 9 ordered pairs of 3 accounts, each once.
+	g := Random(RandomConfig{Accounts: 3, Edges: 9, DistinctPairs: true, Seed: 7})
+	pairs := map[string]int{}
+	g.Edges(func(e *graph.Edge) bool {
+		if e.HasLabel("Transfer") {
+			pairs[string(e.Source)+"->"+string(e.Target)]++
+		}
+		return true
+	})
+	if len(pairs) != 9 {
+		t.Fatalf("distinct pairs: %d, want 9", len(pairs))
+	}
+	for pair, n := range pairs {
+		if n != 1 {
+			t.Errorf("pair %s sampled %d times", pair, n)
+		}
+	}
+}
+
+// TestRandomEdgesOverride checks the explicit edge count and that legacy
+// configs (Edges unset) are byte-compatible with the AvgDegree path.
+func TestRandomEdgesOverride(t *testing.T) {
+	g := Random(RandomConfig{Accounts: 10, Edges: 25, Seed: 3})
+	count := 0
+	g.Edges(func(e *graph.Edge) bool {
+		if e.HasLabel("Transfer") {
+			count++
+		}
+		return true
+	})
+	if count != 25 {
+		t.Fatalf("Transfer edges: %d, want 25", count)
+	}
+	a := Random(RandomConfig{Accounts: 10, AvgDegree: 2.5, Seed: 3})
+	b := Random(RandomConfig{Accounts: 10, Edges: 25, Seed: 3})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("AvgDegree 2.5 built %d edges, Edges 25 built %d", a.NumEdges(), b.NumEdges())
+	}
+}
+
+// TestSNBShape checks the generator's schema, determinism, and scale
+// linearity.
+func TestSNBShape(t *testing.T) {
+	g := SNB(SNBConfig{ScaleFactor: 0.01, Seed: 42})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.LabelStats()
+	if stats.NodeLabels["Person"] != 100 || stats.NodeLabels["Forum"] != 10 || stats.NodeLabels["Post"] != 300 {
+		t.Fatalf("SF 0.01 node counts = %v, want Person=100 Forum=10 Post=300", stats.NodeLabels)
+	}
+	for _, l := range []string{"knows", "likes", "hasCreator", "containerOf", "hasMember", "hasModerator"} {
+		if stats.EdgeLabels[l] == 0 {
+			t.Errorf("no %s edges generated", l)
+		}
+	}
+	if stats.EdgeLabels["hasCreator"] != 300 {
+		t.Errorf("hasCreator edges = %d, want one per post", stats.EdgeLabels["hasCreator"])
+	}
+	// knows must be undirected and skewed: the max degree well above the
+	// mean marks the power-law hubs.
+	maxDeg, total := 0, 0
+	g.Nodes(func(n *graph.Node) bool {
+		if !n.HasLabel("Person") {
+			return true
+		}
+		d := g.Degree(n.ID)
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	if mean := total / 100; maxDeg < 3*mean {
+		t.Errorf("max person degree %d is not skewed above mean %d", maxDeg, mean)
+	}
+	// Determinism: same seed, same graph; different seed, different wiring.
+	h := SNB(SNBConfig{ScaleFactor: 0.01, Seed: 42})
+	if g.NumEdges() != h.NumEdges() {
+		t.Fatalf("same seed built %d vs %d edges", g.NumEdges(), h.NumEdges())
+	}
+	var gt, ht string
+	g.Edges(func(e *graph.Edge) bool { gt += string(e.ID) + ">" + string(e.Target) + ";"; return true })
+	h.Edges(func(e *graph.Edge) bool { ht += string(e.ID) + ">" + string(e.Target) + ";"; return true })
+	if gt != ht {
+		t.Fatal("same seed produced different wiring")
+	}
+	// Scale linearity: SF 0.02 doubles the node counts.
+	big := SNB(SNBConfig{ScaleFactor: 0.02, Seed: 42})
+	if bs := big.LabelStats(); bs.NodeLabels["Person"] != 200 || bs.NodeLabels["Post"] != 600 {
+		t.Errorf("SF 0.02 node counts = %v, want Person=200 Post=600", bs.NodeLabels)
 	}
 }

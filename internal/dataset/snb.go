@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpml/internal/graph"
+)
+
+// SNBConfig parameterizes the LDBC-SNB-flavored social network graph.
+// The generator is deterministic by Seed, and every element count scales
+// linearly with ScaleFactor, so benchmark tiers can dial the graph from
+// laptop-sized (SF 0.1, ~26k edges) through the bench-scale tier's SF 3
+// (~780k edges) to the roadmap's 10M+ edge regime (SF ~40) without
+// changing shape.
+type SNBConfig struct {
+	// ScaleFactor sizes the graph: SF 1 is 10,000 persons, 1,000 forums,
+	// 30,000 posts and roughly 260k edges. Values <= 0 default to 1.
+	ScaleFactor float64
+	// Seed drives all randomness; equal configs build equal graphs.
+	Seed int64
+}
+
+// persons reports the person count at the configured scale.
+func (cfg SNBConfig) persons() int { return scaled(cfg.ScaleFactor, 10_000) }
+
+// scaled applies the scale factor to a base count, flooring at 1.
+func scaled(sf float64, base int) int {
+	if sf <= 0 {
+		sf = 1
+	}
+	n := int(sf * float64(base))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SNB builds a seeded LDBC-SNB-flavored social graph: Person, Forum and
+// Post nodes; an undirected knows network over persons with a power-law
+// (Zipf) degree distribution so low-index persons are hubs, as in real
+// social graphs; directed likes (person→post, Zipf-popular posts),
+// hasCreator (post→person), containerOf (forum→post), and hasMember /
+// hasModerator (forum→person) edges.
+//
+// The shape follows the LDBC Social Network Benchmark's core schema — the
+// benchmark lineage of the source paper — reduced to the labels pattern
+// matching exercises; properties are kept small (names, dates) so large
+// scale factors measure traversal, not property storage.
+func SNB(cfg SNBConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nPersons := cfg.persons()
+	nForums := scaled(cfg.ScaleFactor, 1_000)
+	nPosts := scaled(cfg.ScaleFactor, 30_000)
+
+	b := graph.NewBuilder()
+	for i := 0; i < nPersons; i++ {
+		b.Node(personID(i), []string{"Person"},
+			"firstName", fmt.Sprintf("p%d", i),
+			"country", fmt.Sprintf("country%d", i%50))
+	}
+	for f := 0; f < nForums; f++ {
+		b.Node(forumID(f), []string{"Forum"}, "title", fmt.Sprintf("forum%d", f))
+	}
+	for m := 0; m < nPosts; m++ {
+		b.Node(postID(m), []string{"Post", "Message"},
+			"creationDate", date(m), "length", int64(10+m%990))
+	}
+
+	// knows: undirected, power-law. Each person draws a Zipf-distributed
+	// friend count and Zipf-distributed targets, so a few hubs carry most
+	// of the network — the degree skew the partition-pinned scatter's
+	// work stealing exists for.
+	e := 0
+	degZipf := rand.NewZipf(rng, 1.3, 4, 64)
+	target := rand.NewZipf(rng, 1.2, 8, uint64(nPersons-1))
+	for i := 0; i < nPersons; i++ {
+		k := 1 + int(degZipf.Uint64())
+		for j := 0; j < k; j++ {
+			t := int(target.Uint64())
+			if t == i {
+				t = (i + 1) % nPersons
+			}
+			b.UndirectedEdge(fmt.Sprintf("kn%d", e), personID(i), personID(t), []string{"knows"},
+				"since", date(e))
+			e++
+		}
+	}
+
+	// hasCreator: every post has exactly one author, Zipf-skewed so
+	// prolific authors exist.
+	for m := 0; m < nPosts; m++ {
+		b.Edge(fmt.Sprintf("hc%d", m), postID(m), personID(int(target.Uint64())),
+			[]string{"hasCreator"})
+	}
+	// containerOf: every post lives in one forum, round-robin with a
+	// random skip so forum sizes vary deterministically.
+	for m := 0; m < nPosts; m++ {
+		f := (m + rng.Intn(3)*7) % nForums
+		b.Edge(fmt.Sprintf("co%d", m), forumID(f), postID(m), []string{"containerOf"})
+	}
+	// likes: ~6 per person onto Zipf-popular posts.
+	postPop := rand.NewZipf(rng, 1.1, 16, uint64(nPosts-1))
+	e = 0
+	for i := 0; i < nPersons; i++ {
+		k := 2 + rng.Intn(9)
+		for j := 0; j < k; j++ {
+			b.Edge(fmt.Sprintf("lk%d", e), personID(i), postID(int(postPop.Uint64())),
+				[]string{"likes"}, "date", date(e))
+			e++
+		}
+	}
+	// hasModerator: one per forum; hasMember: ~8 per forum.
+	for f := 0; f < nForums; f++ {
+		b.Edge(fmt.Sprintf("md%d", f), forumID(f), personID(int(target.Uint64())),
+			[]string{"hasModerator"})
+		k := 4 + rng.Intn(9)
+		for j := 0; j < k; j++ {
+			b.Edge(fmt.Sprintf("hm%d_%d", f, j), forumID(f), personID(rng.Intn(nPersons)),
+				[]string{"hasMember"})
+		}
+	}
+	return b.MustBuild()
+}
+
+func personID(i int) string { return fmt.Sprintf("pers%d", i) }
+func forumID(i int) string  { return fmt.Sprintf("forum%d", i) }
+func postID(i int) string   { return fmt.Sprintf("post%d", i) }

@@ -77,6 +77,32 @@ type RandomConfig struct {
 	Seed            int64
 	// UndirectedPhones adds ~1 hasPhone edge per account when Phones > 0.
 	UndirectedPhones bool
+	// Edges, when positive, sets the exact Transfer edge count instead of
+	// Accounts*AvgDegree.
+	Edges int
+	// DistinctPairs rejects duplicate (src, dst) Transfer pairs by
+	// rejection sampling, producing a simple directed graph (self-loops
+	// still allowed, at most one per account). Such a graph holds at most
+	// Accounts*Accounts Transfer edges; configs asking for more are
+	// impossible and Validate rejects them — without the check, the
+	// sampler would loop forever hunting for a free pair.
+	DistinctPairs bool
+}
+
+// Validate rejects impossible configurations with a clear error rather
+// than letting Random spin: a DistinctPairs graph on N accounts has only
+// N*N ordered (src, dst) pairs, so requesting more edges than that can
+// never terminate.
+func (cfg RandomConfig) Validate() error {
+	edges := cfg.Edges
+	if edges <= 0 {
+		edges = int(float64(cfg.Accounts) * cfg.AvgDegree)
+	}
+	if cfg.DistinctPairs && edges > cfg.Accounts*cfg.Accounts {
+		return fmt.Errorf("dataset: RandomConfig wants %d distinct Transfer edges but %d accounts admit only %d ordered pairs",
+			edges, cfg.Accounts, cfg.Accounts*cfg.Accounts)
+	}
+	return nil
 }
 
 // Random builds a seeded random banking graph: Transfer multigraph over
@@ -84,6 +110,9 @@ type RandomConfig struct {
 // cities, and optional undirected hasPhone edges — the fraud-detection
 // shape of the paper's running scenario.
 func Random(cfg RandomConfig) *graph.Graph {
+	if err := cfg.Validate(); err != nil {
+		panic(err) // programming error, like Builder.MustBuild on a bad graph
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := graph.NewBuilder()
 	for i := 0; i < cfg.Accounts; i++ {
@@ -103,10 +132,26 @@ func Random(cfg RandomConfig) *graph.Graph {
 	for p := 0; p < cfg.Phones; p++ {
 		b.Node(fmt.Sprintf("p%d", p), []string{"Phone"}, "number", fmt.Sprintf("%03d", p), "isBlocked", "no")
 	}
-	edges := int(float64(cfg.Accounts) * cfg.AvgDegree)
+	edges := cfg.Edges
+	if edges <= 0 {
+		edges = int(float64(cfg.Accounts) * cfg.AvgDegree)
+	}
+	var used map[[2]int]bool
+	if cfg.DistinctPairs {
+		used = make(map[[2]int]bool, edges)
+	}
 	for e := 0; e < edges; e++ {
 		src := rng.Intn(cfg.Accounts)
 		dst := rng.Intn(cfg.Accounts)
+		if cfg.DistinctPairs {
+			// Rejection sampling over the free pairs; Validate bounds the
+			// request by Accounts*Accounts, so a free pair always exists.
+			for used[[2]int{src, dst}] {
+				src = rng.Intn(cfg.Accounts)
+				dst = rng.Intn(cfg.Accounts)
+			}
+			used[[2]int{src, dst}] = true
+		}
 		b.Edge(fmt.Sprintf("t%d", e), nodeID(src), nodeID(dst), []string{"Transfer"},
 			"amount", int64(1_000_000+rng.Intn(15_000_000)), "date", date(e))
 	}

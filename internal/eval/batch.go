@@ -349,17 +349,7 @@ func (ps *parallelBatchSource) run(st graph.Stepper, pp *plan.PathPlan, cfg Conf
 	}
 	// Geometric chunk schedule (single seeds first for first-row latency,
 	// capped at 64) — identical to the row pipeline's parallel stream.
-	starts := []int{0}
-	for at, i := 0, 0; at < len(seeds); i++ {
-		size := 64
-		if e := i / workers; e < 6 {
-			size = 1 << e
-		}
-		if at += size; at > len(seeds) {
-			at = len(seeds)
-		}
-		starts = append(starts, at)
-	}
+	starts := chunkStarts(len(seeds), workers)
 	nchunks := len(starts) - 1
 	type chunkResult struct {
 		i int

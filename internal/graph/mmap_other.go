@@ -1,0 +1,17 @@
+//go:build !unix
+
+package graph
+
+import "errors"
+
+// mmapArena is unavailable off unix; the partitioned snapshot falls back
+// to heap-allocated arenas.
+type mmapArena struct{}
+
+func newMmapArena(size int) (*mmapArena, error) {
+	return nil, errors.New("graph: mmap arenas unsupported on this platform")
+}
+
+func (a *mmapArena) int32s(n int) []int32   { return make([]int32, n) }
+func (a *mmapArena) kinds(n int) []StepKind { return make([]StepKind, n) }
+func (a *mmapArena) Close() error           { return nil }

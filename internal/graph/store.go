@@ -65,6 +65,10 @@ type StoreStats struct {
 	// An element with k labels contributes to k counters.
 	NodeLabels map[string]int
 	EdgeLabels map[string]int
+	// Partitions is the adjacency shard count: 0 or 1 for unsharded
+	// backends, N for a PartitionSnapshot. The planner reads it to
+	// discount full-enumeration seed scans that scatter across shards.
+	Partitions int
 }
 
 // NodeLabelCount returns the number of nodes carrying the label.

@@ -343,3 +343,101 @@ func TestStreamCallerCancelStillReportsError(t *testing.T) {
 		t.Fatalf("Err = %v, want context.Canceled", err)
 	}
 }
+
+// The partition-pinned scatter variants: a quantified pattern (outside
+// the vectorized batch fragment) on a hash-partitioned store with
+// parallelism > 1 runs the row pipeline's partitioned scatter, where
+// workers are pinned to partition arenas and a reorder emitter gathers
+// per-seed results. Abandoning the stream mid-gather and cancelling the
+// context mid-scatter must shut every pinned worker down promptly and
+// leak nothing. Run with -race (CI does).
+const partitionedLeakQuery = `MATCH (x:Account)-[:Transfer]->{1,2}(y:Account)`
+
+func TestStreamPartitionedCloseAbandonedNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(partitionedLeakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, parts := range []int{2, 3} {
+		st := gpml.NewPartitioned(g, gpml.WithPartitions(parts))
+		for round := 0; round < 3; round++ {
+			rows, err := q.Stream(context.Background(), st, gpml.WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pull a few rows so every partition's workers are live, then
+			// abandon the iterator mid-gather.
+			for i := 0; i < 3 && rows.Next(); i++ {
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			if err := rows.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d > 2*time.Second {
+				t.Errorf("parts=%d: Close took %v, want prompt shutdown", parts, d)
+			}
+			settleGoroutines(t, baseline)
+		}
+	}
+}
+
+func TestStreamPartitionedContextCancelNoLeak(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(partitionedLeakQuery)
+	baseline := runtime.NumGoroutine()
+	for _, parts := range []int{2, 3} {
+		st := gpml.NewPartitioned(g, gpml.WithPartitions(parts))
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := q.Stream(ctx, st, gpml.WithParallelism(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("parts=%d: no first row: %v", parts, rows.Err())
+		}
+		cancel()
+		start := time.Now()
+		for rows.Next() {
+			if time.Since(start) > 5*time.Second {
+				t.Fatalf("parts=%d: cancellation not observed by pinned workers", parts)
+			}
+		}
+		if err := rows.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parts=%d: want context.Canceled, got %v", parts, err)
+		}
+		rows.Close()
+		settleGoroutines(t, baseline)
+	}
+}
+
+// TestStreamPartitionedCollectMatchesEval pins the gather-order
+// guarantee under early termination pressure: Stream+Collect on the
+// partitioned store is byte-identical to serial Eval on the same store
+// and to the CSR result, at parallelism beyond the partition count
+// (workers per shard) and below it (shard stealing).
+func TestStreamPartitionedCollectMatchesEval(t *testing.T) {
+	g := leakGraph()
+	q := gpml.MustCompile(partitionedLeakQuery)
+	want, err := q.EvalStore(gpml.Snapshot(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{2, 3} {
+		st := gpml.NewPartitioned(g, gpml.WithPartitions(parts))
+		for _, par := range []int{2, 8} {
+			rows, err := q.Stream(context.Background(), st, gpml.WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rows.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gpml.FormatResult(got) != gpml.FormatResult(want) {
+				t.Errorf("parts=%d parallelism %d: partitioned Stream+Collect diverges from CSR Eval", parts, par)
+			}
+		}
+	}
+}
