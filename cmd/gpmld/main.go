@@ -5,8 +5,10 @@
 // Usage:
 //
 //	gpmld [-addr :7687] [-graph graph.json] [-overlay] [-partitions N]
-//	      [-cache 256] [-max-concurrent 8] [-default-timeout 0]
-//	      [-max-timeout 0] [-max-rows 0] [-drain-grace 10s]
+//	      [-data-dir DIR] [-fsync always|interval|none] [-fsync-interval 50ms]
+//	      [-cache 256] [-max-concurrent 8] [-max-queue 0]
+//	      [-default-timeout 0] [-max-timeout 0] [-max-rows 0]
+//	      [-drain-grace 10s]
 //
 // Without -graph, the paper's Figure 1 banking graph is served under the
 // name "fig1". With -overlay the graph is wrapped in an epoch-snapshot
@@ -16,6 +18,19 @@
 // from a hash-partitioned snapshot whose per-partition arenas let
 // parallel queries scatter seed ranges across partition-pinned workers.
 //
+// With -data-dir the overlay is durable: every applied batch is written
+// to a write-ahead log under DIR before it becomes visible, compaction
+// checkpoints the merged base to DIR and truncates the log prefix it
+// covers, and a restart recovers the newest checkpoint plus the
+// committed WAL suffix — the server answers 503 "recovering" on /query
+// and /healthz until replay completes. -fsync picks the WAL durability
+// policy: "always" fsyncs per batch (every acknowledged batch survives
+// power loss), "interval" fsyncs on a timer (-fsync-interval, bounding
+// loss to that window), "none" leaves syncing to the OS. On a fresh
+// data directory the -graph (or Figure 1) graph is imported as the first
+// durable batch; on restart the directory's contents win and -graph is
+// ignored. -data-dir is exclusive with -partitions and implies -overlay.
+//
 // Endpoints (see internal/server):
 //
 //	POST /query    {"query": "MATCH ...", "graph": "fig1", "params": {...},
@@ -23,12 +38,18 @@
 //	               → NDJSON: {"columns":...,"cached":...}, {"row":[...]}*,
 //	                 then {"rows":N} or {"error":{...}}
 //	POST /explain  same body → engine choice, join plan, parameter names
-//	GET  /stats    plan-cache hit/miss counters, row/query totals
-//	GET  /healthz  ok, or 503 once draining
+//	GET  /stats    plan-cache hit/miss counters, row/query totals, queue
+//	               depth and rejects, WAL/checkpoint/recovery state
+//	GET  /healthz  ok, or 503 while recovering or once draining
+//
+// -max-queue bounds the admission queue: with all -max-concurrent slots
+// busy and that many requests already waiting, further ones fast-fail
+// 503 with Retry-After instead of stacking until their deadlines.
 //
 // SIGTERM/SIGINT starts a graceful drain: new queries are rejected,
 // in-flight streams run to completion within -drain-grace, then
-// remaining streams are cancelled and the listener closes.
+// remaining streams are cancelled, the listener closes, and (with
+// -data-dir) the WAL is synced and closed.
 package main
 
 import (
@@ -46,6 +67,7 @@ import (
 	"gpml/internal/gql"
 	"gpml/internal/graph"
 	"gpml/internal/server"
+	"gpml/internal/wal"
 )
 
 func main() {
@@ -58,8 +80,12 @@ func run() int {
 		graphFile  = flag.String("graph", "", "graph JSON file served as \"main\" (default: the paper's Figure 1 graph as \"fig1\")")
 		overlay    = flag.Bool("overlay", false, "wrap the graph in an epoch-snapshot overlay store (live-mutation serving)")
 		partitions = flag.Int("partitions", 0, "serve a hash-partitioned snapshot with N adjacency shards (N > 1; exclusive with -overlay)")
+		dataDir    = flag.String("data-dir", "", "durable overlay data directory: WAL + checkpoints, crash recovery on boot (implies -overlay; exclusive with -partitions)")
+		fsyncPol   = flag.String("fsync", "always", "WAL fsync policy: always | interval | none")
+		fsyncIvl   = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync period when -fsync=interval")
 		cacheSize  = flag.Int("cache", 256, "compiled-plan LRU capacity")
 		maxConc    = flag.Int("max-concurrent", 8, "admission cap on concurrently evaluating queries")
+		maxQueue   = flag.Int("max-queue", 0, "admission queue bound: waiters beyond this fast-fail 503 (0 = unbounded)")
 		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests that set no timeout_ms (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", 0, "clamp on request deadlines (0 = none)")
 		maxRows    = flag.Int("max-rows", 0, "clamp on request row limits (0 = unlimited)")
@@ -87,11 +113,36 @@ func run() int {
 		g = gg
 	}
 
-	var st gpml.Store
+	var (
+		st  gpml.Store
+		dov *graph.Overlay // non-nil in the durable configuration
+	)
 	switch {
 	case *overlay && *partitions > 1:
 		fmt.Fprintln(os.Stderr, "gpmld: -overlay and -partitions are exclusive")
 		return 1
+	case *dataDir != "" && *partitions > 1:
+		fmt.Fprintln(os.Stderr, "gpmld: -data-dir and -partitions are exclusive")
+		return 1
+	case *dataDir != "":
+		// Durable overlay, phase one: load the newest checkpoint and come
+		// up read-only. WAL replay runs after the listener is up so health
+		// checks answer (503 "recovering") during a long replay.
+		pol, err := wal.ParseSyncPolicy(*fsyncPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmld:", err)
+			return 1
+		}
+		dov, err = graph.OpenDurable(graph.DurableOptions{
+			Dir:       *dataDir,
+			Fsync:     pol,
+			SyncEvery: *fsyncIvl,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmld:", err)
+			return 1
+		}
+		st = dov
 	case *overlay:
 		st = gpml.NewOverlay(g)
 	case *partitions > 1:
@@ -109,15 +160,21 @@ func run() int {
 		return 1
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Catalog:        catalog,
 		DefaultGraph:   name,
 		CacheSize:      *cacheSize,
 		MaxConcurrent:  *maxConc,
+		MaxQueueDepth:  *maxQueue,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxRows:        *maxRows,
-	})
+	}
+	if dov != nil {
+		cfg.StartRecovering = true
+		cfg.Durability = dov
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmld:", err)
 		return 1
@@ -128,6 +185,28 @@ func run() int {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "gpmld: serving graph %q on %s (store: %T, cache: %d, concurrency: %d)\n",
 		name, *addr, st, *cacheSize, *maxConc)
+
+	if dov != nil {
+		// Phase two: replay the committed WAL suffix, seed a fresh
+		// directory with the boot graph, then open for queries.
+		rec, err := dov.Recover()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpmld: recovery:", err)
+			return 1
+		}
+		if rec.CheckpointBatch == 0 && rec.ReplayedBatches == 0 && st.NumNodes() == 0 {
+			if err := dov.Apply(importBatch(dov, g)); err != nil {
+				fmt.Fprintln(os.Stderr, "gpmld: import:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "gpmld: fresh data dir, imported %d nodes / %d edges as batch 1\n",
+				g.NumNodes(), g.NumEdges())
+		} else {
+			fmt.Fprintf(os.Stderr, "gpmld: recovered checkpoint@%d +%d WAL batches (torn tail: %d bytes)\n",
+				rec.CheckpointBatch, rec.ReplayedBatches, rec.WALTornBytes)
+		}
+		srv.SetReady()
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -153,6 +232,33 @@ func run() int {
 			httpSrv.Close()
 		}
 	}
+	if dov != nil {
+		// Sync and close the WAL so a clean stop leaves nothing for the
+		// next boot to repair.
+		if err := dov.CloseDurable(); err != nil {
+			fmt.Fprintln(os.Stderr, "gpmld: wal close:", err)
+			return 1
+		}
+	}
 	fmt.Fprintln(os.Stderr, "gpmld: stopped")
 	return 0
+}
+
+// importBatch turns the boot graph into the durable store's first batch:
+// every node, then every edge, in the graph's insertion order.
+func importBatch(ov *graph.Overlay, g *gpml.Graph) *graph.Batch {
+	b := ov.Begin()
+	g.Nodes(func(n *graph.Node) bool {
+		b.AddNode(n.ID, n.Labels, n.Props)
+		return true
+	})
+	g.Edges(func(e *graph.Edge) bool {
+		if e.Direction == graph.Directed {
+			b.AddEdge(e.ID, e.Source, e.Target, e.Labels, e.Props)
+		} else {
+			b.AddUndirectedEdge(e.ID, e.Source, e.Target, e.Labels, e.Props)
+		}
+		return true
+	})
+	return b
 }

@@ -14,6 +14,7 @@ import (
 	"gpml/internal/eval"
 	"gpml/internal/graph"
 	"gpml/internal/pgq"
+	"gpml/internal/wal"
 )
 
 // Golden-file conformance corpus: testdata/conformance/*.txt transcribes
@@ -247,6 +248,94 @@ func overlayEquivalent(t *testing.T, g *gpml.Graph) *gpml.Overlay {
 	return ov
 }
 
+// recoveredEquivalent rebuilds g as a crash-recovered durable overlay:
+// the same prefix/delta/churn batch sequence as overlayEquivalent applied
+// through the WAL, a checkpoint cut mid-sequence so recovery exercises
+// checkpoint-load plus suffix replay, and a crash fault injected into a
+// final garbage batch so the torn tail has to be repaired on reopen. The
+// recovered store must reproduce every golden byte-identically.
+func recoveredEquivalent(t *testing.T, g *gpml.Graph) *gpml.Overlay {
+	t.Helper()
+	dir := t.TempDir()
+	ov, err := graph.OpenDurable(graph.DurableOptions{Dir: dir, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	nodeIDs, edgeIDs := g.NodeIDs(), g.EdgeIDs()
+	nPrefix := len(nodeIDs) * 2 / 3
+	b := ov.Begin()
+	for _, id := range nodeIDs[:nPrefix] {
+		n := g.Node(id)
+		b.AddNode(id, n.Labels, n.Props)
+	}
+	if err := ov.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint here: recovery must stitch this durable base together
+	// with the replayed batches below.
+	if err := ov.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	b = ov.Begin()
+	for _, id := range nodeIDs[nPrefix:] {
+		n := g.Node(id)
+		b.AddNode(id, n.Labels, n.Props)
+	}
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		if e.Direction == graph.Undirected {
+			b.AddUndirectedEdge(id, e.Source, e.Target, e.Labels, e.Props)
+		} else {
+			b.AddEdge(id, e.Source, e.Target, e.Labels, e.Props)
+		}
+	}
+	if err := ov.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	anchor := nodeIDs[0]
+	if err := ov.Apply(ov.Begin().
+		AddNode("__scratch", []string{"Scratch"}, nil).
+		AddEdge("__scratch_e", "__scratch", anchor, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.Apply(ov.Begin().
+		DeleteNode("__scratch").
+		SetNodeLabels(anchor, g.Node(anchor).Labels)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: the writer dies partway through a garbage batch,
+	// which therefore must not survive recovery.
+	if err := ov.ArmWALFailpoint(wal.Failpoint{
+		Kind:   wal.FaultKill,
+		Offset: ov.DurabilityStats().WAL.Bytes + 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.Apply(ov.Begin().AddNode("__lost", []string{"Lost"}, nil)); err == nil {
+		t.Fatal("apply across an armed kill failpoint succeeded")
+	}
+
+	rec, err := graph.OpenDurable(graph.DurableOptions{Dir: dir, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rec.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.WALTruncated {
+		t.Fatal("recovery repaired no torn tail despite the injected crash")
+	}
+	if rec.PinEpoch().Node("__lost") != nil {
+		t.Fatal("torn batch survived recovery")
+	}
+	t.Cleanup(func() { rec.CloseDurable() })
+	return rec
+}
+
 // gqlResult evaluates the case through the GQL frontend (catalog +
 // session) on the given store.
 func gqlResult(t *testing.T, c *conformanceCase, s gpml.Store, cfg eval.Config) string {
@@ -370,6 +459,9 @@ func TestConformanceCorpus(t *testing.T) {
 				{"overlay-base", gpml.NewOverlay(g)},
 				{"overlay-delta", ovDelta},
 				{"overlay-compacted", ovCompacted},
+				// The durability axis: checkpoint + WAL replay + torn-tail
+				// repair after an injected crash, serving the same state.
+				{"recovered", recoveredEquivalent(t, g)},
 				// The partitioned axis: a degenerate single shard and a
 				// count that forces cross-partition edges; the parallel
 				// config below additionally exercises the partition-pinned

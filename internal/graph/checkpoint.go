@@ -1,0 +1,464 @@
+package graph
+
+// Checkpoint files: one compacted CSR base persisted verbatim, so
+// recovery can mmap the adjacency arenas back in without rebuilding them.
+//
+// Layout of ckpt-%016x.ck (all integers little-endian):
+//
+//	header (64 bytes): magic "GPMLCKP1", version u32, reserved u32,
+//	    batch cut u64, epoch u64, node span u64, edge span u64,
+//	    arena length L u64 (len(incEdge)), record offset u64
+//	arena section (at 64): incOff (spanN+1)×4, incEdge L×4, incOther L×4,
+//	    edgeSrc spanE×4, edgeTgt spanE×4, sortEdge L×4, sortOther L×4,
+//	    incKind L×1, sortKind L×1
+//	records section (at record offset): per node then per edge, a uvarint
+//	    liveness flag followed (when live) by the element record; edge
+//	    endpoints are not stored — they are derived from edgeSrc/edgeTgt
+//	footer: CRC32C u32 over everything before it
+//
+// The file is written to a .tmp sibling, fsynced, and renamed into place;
+// the manifest (a tiny JSON file, also swapped atomically) names the
+// checkpoint recovery should load, so a crash at any point leaves either
+// the old or the new checkpoint fully intact. The loader verifies the
+// CRC over the whole file, then carves the int32/kind arenas straight out
+// of a read-only mmap of it (zero-copy on little-endian unix; a decoding
+// copy elsewhere). The mapping backs the live CSR and is never unmapped —
+// one per process boot, reclaimed by the OS at exit.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"unsafe"
+)
+
+const (
+	ckptMagic    = "GPMLCKP1"
+	ckptVersion  = 1
+	ckptHdrSize  = 64
+	manifestName = "MANIFEST"
+)
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// manifest names the checkpoint recovery loads. It is swapped atomically
+// after the checkpoint file itself is durable.
+type manifest struct {
+	Version    int    `json:"version"`
+	Checkpoint string `json:"checkpoint"`
+	BatchCut   uint64 `json:"batch_cut"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// writeManifest atomically installs a manifest pointing at name.
+func writeManifest(dir, name string, cut, epoch uint64) error {
+	data, err := json.Marshal(manifest{Version: 1, Checkpoint: name, BatchCut: cut, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	syncDirBestEffort(dir)
+	return nil
+}
+
+// loadLatestCheckpoint loads the manifest's checkpoint, or an empty base
+// when the directory is fresh. A manifest pointing at a missing or
+// corrupt checkpoint is an error — never silently served as empty.
+func loadLatestCheckpoint(dir string) (*CSR, uint64, uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return Snapshot(&Graph{}), 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, 0, 0, fmt.Errorf("graph: corrupt manifest: %w", err)
+	}
+	if m.Checkpoint == "" || strings.ContainsAny(m.Checkpoint, "/\\") {
+		return nil, 0, 0, fmt.Errorf("graph: manifest names invalid checkpoint %q", m.Checkpoint)
+	}
+	base, cut, epoch, err := loadCheckpoint(filepath.Join(dir, m.Checkpoint))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if cut != m.BatchCut {
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s has batch cut %d, manifest says %d", m.Checkpoint, cut, m.BatchCut)
+	}
+	return base, cut, epoch, nil
+}
+
+// removeStaleCheckpoints deletes every checkpoint file except keep. Best
+// effort: a leftover file wastes disk but is never loaded (the manifest
+// names exactly one).
+func removeStaleCheckpoints(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if n != keep && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ck") {
+			os.Remove(filepath.Join(dir, n))
+		}
+	}
+	syncDirBestEffort(dir)
+}
+
+// crcWriter tees writes through a running CRC32C.
+type crcWriter struct {
+	w   *bufio.Writer
+	sum uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, ckptCRC, p)
+	c.n += int64(len(p))
+	return c.w.Write(p)
+}
+
+func (c *crcWriter) int32s(s []int32) error {
+	var scratch [4096]byte
+	for len(s) > 0 {
+		n := len(s)
+		if n > len(scratch)/4 {
+			n = len(scratch) / 4
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[4*i:], uint32(s[i]))
+		}
+		if _, err := c.Write(scratch[:4*n]); err != nil {
+			return err
+		}
+		s = s[n:]
+	}
+	return nil
+}
+
+func (c *crcWriter) kinds(s []StepKind) error {
+	if len(s) == 0 {
+		return nil
+	}
+	// StepKind is uint8, so the byte view is exact on any platform.
+	_, err := c.Write(unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)))
+	return err
+}
+
+// writeCheckpoint persists base to path atomically (tmp + fsync +
+// rename + directory fsync).
+func writeCheckpoint(path string, base *CSR, cut, epoch uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	err = writeCheckpointTo(f, base, cut, epoch)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDirBestEffort(filepath.Dir(path))
+	return nil
+}
+
+func writeCheckpointTo(f *os.File, base *CSR, cut, epoch uint64) error {
+	spanN, spanE := base.NodeIndexSpan(), base.EdgeIndexSpan()
+	arenaLen := len(base.incEdge)
+	recOff := int64(ckptHdrSize) + 4*int64(spanN+1) + 16*int64(arenaLen) + 8*int64(spanE) + 2*int64(arenaLen)
+
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	var hdr [ckptHdrSize]byte
+	copy(hdr[:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], cut)
+	binary.LittleEndian.PutUint64(hdr[24:], epoch)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(spanN))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(spanE))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(arenaLen))
+	binary.LittleEndian.PutUint64(hdr[56:], uint64(recOff))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	// incOff is len spanN+1 in a populated CSR, but a zero-value CSR (the
+	// empty base) has it nil; write spanN+1 zeros then.
+	incOff := base.incOff
+	if len(incOff) != spanN+1 {
+		incOff = make([]int32, spanN+1)
+	}
+	for _, s := range [][]int32{incOff, base.incEdge, base.incOther, base.edgeSrc, base.edgeTgt, base.sortEdge, base.sortOther} {
+		if err := cw.int32s(s); err != nil {
+			return err
+		}
+	}
+	if err := cw.kinds(base.incKind); err != nil {
+		return err
+	}
+	if err := cw.kinds(base.sortKind); err != nil {
+		return err
+	}
+	if cw.n != recOff {
+		return fmt.Errorf("graph: checkpoint arena section is %d bytes, expected %d", cw.n-ckptHdrSize, recOff-ckptHdrSize)
+	}
+
+	var p []byte
+	flush := func() error {
+		_, err := cw.Write(p)
+		p = p[:0]
+		return err
+	}
+	for i := 0; i < spanN; i++ {
+		if base.deadN != nil && base.deadN[i] {
+			p = binary.AppendUvarint(p, 0)
+			continue
+		}
+		n := &base.nodes[i]
+		p = binary.AppendUvarint(p, 1)
+		p = appendString(p, string(n.ID))
+		p = appendStrings(p, n.Labels)
+		p = appendProps(p, n.Props)
+		if len(p) > 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < spanE; i++ {
+		if base.deadE != nil && base.deadE[i] {
+			p = binary.AppendUvarint(p, 0)
+			continue
+		}
+		e := &base.edges[i]
+		p = binary.AppendUvarint(p, 1)
+		p = appendString(p, string(e.ID))
+		p = append(p, byte(e.Direction))
+		p = appendStrings(p, e.Labels)
+		p = appendProps(p, e.Props)
+		if len(p) > 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], cw.sum)
+	if _, err := cw.w.Write(foot[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// hostLittleEndian reports whether int32 memory order matches the file's
+// little-endian encoding, enabling zero-copy arena carving.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// carver slices typed views out of a checkpoint buffer, zero-copy when
+// alignment and endianness allow and by copy otherwise.
+type carver struct {
+	data []byte
+	off  int64
+}
+
+func (c *carver) int32s(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	b := c.data[c.off : c.off+4*int64(n)]
+	c.off += 4 * int64(n)
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (c *carver) kinds(n int) []StepKind {
+	if n == 0 {
+		return nil
+	}
+	b := c.data[c.off : c.off+int64(n)]
+	c.off += int64(n)
+	return unsafe.Slice((*StepKind)(unsafe.Pointer(&b[0])), n)
+}
+
+// loadCheckpoint reads, verifies, and reconstitutes a checkpointed CSR.
+// The adjacency arenas alias a read-only mmap of the file where the
+// platform allows; record storage (ids, labels, properties) is decoded
+// onto the heap.
+func loadCheckpoint(path string) (*CSR, uint64, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	size := st.Size()
+	if size < ckptHdrSize+4 {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s too short (%d bytes)", path, size)
+	}
+	data, merr := mapFileRO(f, int(size))
+	if merr != nil {
+		data, err = os.ReadFile(path)
+		if err != nil {
+			f.Close()
+			return nil, 0, 0, err
+		}
+	}
+	// The mapping (when used) outlives the fd; it is intentionally never
+	// unmapped — it backs the live CSR for the rest of the process.
+	f.Close()
+
+	n := int64(len(data)) - 4
+	if crc32.Checksum(data[:n], ckptCRC) != binary.LittleEndian.Uint32(data[n:]) {
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s failed checksum verification", path)
+	}
+	if string(data[:8]) != ckptMagic {
+		return nil, 0, 0, fmt.Errorf("graph: %s is not a checkpoint file", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptVersion {
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s has unsupported version %d", path, v)
+	}
+	cut := binary.LittleEndian.Uint64(data[16:])
+	epoch := binary.LittleEndian.Uint64(data[24:])
+	spanN := int(binary.LittleEndian.Uint64(data[32:]))
+	spanE := int(binary.LittleEndian.Uint64(data[40:]))
+	arenaLen := int(binary.LittleEndian.Uint64(data[48:]))
+	recOff := int64(binary.LittleEndian.Uint64(data[56:]))
+	wantRecOff := int64(ckptHdrSize) + 4*int64(spanN+1) + 16*int64(arenaLen) + 8*int64(spanE) + 2*int64(arenaLen)
+	if spanN < 0 || spanE < 0 || arenaLen < 0 || recOff != wantRecOff || recOff > n {
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s has inconsistent geometry", path)
+	}
+
+	cv := &carver{data: data, off: ckptHdrSize}
+	c := &CSR{
+		nodes:      make([]Node, spanN),
+		edges:      make([]Edge, spanE),
+		nodeIdx:    make(map[NodeID]int32, spanN),
+		edgeIdx:    make(map[EdgeID]int32, spanE),
+		labelNodes: map[string][]int32{},
+		stats:      StoreStats{NodeLabels: map[string]int{}, EdgeLabels: map[string]int{}},
+	}
+	c.incOff = cv.int32s(spanN + 1)
+	c.incEdge = cv.int32s(arenaLen)
+	c.incOther = cv.int32s(arenaLen)
+	c.edgeSrc = cv.int32s(spanE)
+	c.edgeTgt = cv.int32s(spanE)
+	c.sortEdge = cv.int32s(arenaLen)
+	c.sortOther = cv.int32s(arenaLen)
+	c.incKind = cv.kinds(arenaLen)
+	c.sortKind = cv.kinds(arenaLen)
+	if cv.off != recOff {
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s arena section ended at %d, expected %d", path, cv.off, recOff)
+	}
+
+	d := bdec{buf: data[:n], off: int(recOff)}
+	for i := 0; i < spanN; i++ {
+		if d.uvarint() == 0 {
+			if c.deadN == nil {
+				c.deadN = make([]bool, spanN)
+			}
+			c.deadN[i] = true
+			continue
+		}
+		nd := Node{ID: NodeID(d.string()), Labels: d.strings(), Props: d.props()}
+		if d.err != nil {
+			break
+		}
+		c.nodes[i] = nd
+		c.nodeIdx[nd.ID] = int32(i)
+		c.liveNodes++
+		for _, l := range nd.Labels {
+			c.labelNodes[l] = append(c.labelNodes[l], int32(i))
+			c.stats.NodeLabels[l]++
+		}
+	}
+	for i := 0; i < spanE; i++ {
+		if d.uvarint() == 0 {
+			if c.deadE == nil {
+				c.deadE = make([]bool, spanE)
+			}
+			c.deadE[i] = true
+			continue
+		}
+		ed := Edge{ID: EdgeID(d.string()), Direction: Direction(d.byte()), Labels: d.strings(), Props: d.props()}
+		if d.err != nil {
+			break
+		}
+		si, ti := c.edgeSrc[i], c.edgeTgt[i]
+		if int(si) >= spanN || int(ti) >= spanN || si < 0 || ti < 0 {
+			return nil, 0, 0, fmt.Errorf("graph: checkpoint %s edge %d has out-of-range endpoints", path, i)
+		}
+		ed.Source = c.nodes[si].ID
+		ed.Target = c.nodes[ti].ID
+		c.edges[i] = ed
+		c.edgeIdx[ed.ID] = int32(i)
+		c.liveEdges++
+		for _, l := range ed.Labels {
+			c.stats.EdgeLabels[l]++
+		}
+	}
+	if d.err != nil || d.off != int(n) {
+		return nil, 0, 0, fmt.Errorf("graph: checkpoint %s has a malformed records section", path)
+	}
+	c.stats.Nodes = c.liveNodes
+	c.stats.Edges = c.liveEdges
+	return c, cut, epoch, nil
+}
+
+// syncDirBestEffort fsyncs a directory so renames and removals are
+// durable where the platform supports it.
+func syncDirBestEffort(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

@@ -43,11 +43,24 @@ func (ov *Overlay) runCompact(e *OverlaySnap) {
 	nb := compactBase(e)
 	ov.mu.Lock()
 	ov.rebaseLocked(nb, e)
-	next := ov.publishLocked()
+	ov.publishLocked()
+	dur := ov.dur
+	ov.mu.Unlock()
+	// On a durable overlay the compacted base is also the checkpoint: it
+	// materializes every batch up to e.batch, so once it is on disk the
+	// WAL prefix covering those batches can be retired. Run it outside
+	// ov.mu (writes proceed) but with compacting still true, so Wait and
+	// Compact mean "merged and durable". Failures are recorded and
+	// surfaced via DurabilityStats; the WAL stays intact, so nothing is
+	// lost — the next compaction (or an explicit Checkpoint) retries.
+	if dur != nil {
+		dur.checkpoint(nb, e.batch, e.seq)
+	}
+	ov.mu.Lock()
 	ov.compacting = false
 	// The writer may have outrun the compaction; chain another round
 	// before waking waiters so Wait means "fully drained".
-	ov.maybeCompactLocked(next)
+	ov.maybeCompactLocked(ov.cur.Load())
 	ov.compactDone.Broadcast()
 	ov.mu.Unlock()
 }
@@ -232,6 +245,7 @@ func (ov *Overlay) rebaseLocked(nb *CSR, e *OverlaySnap) {
 	// nb's span is exactly e's old span plus the baked delta, so suffix
 	// element j lands at nb-span + (j - baked) = old global index.
 	w.base = nb
+	ov.baseBatch = e.batch
 	w.nodes = append([]*Node(nil), w.nodes[nBaked:]...)
 	w.edges = append([]*Edge(nil), w.edges[eBaked:]...)
 	w.edgeEnds = append([][2]int32(nil), w.edgeEnds[eBaked:]...)

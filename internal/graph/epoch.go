@@ -20,9 +20,10 @@ import (
 // the base span refer to base elements (with overrides and tombstones
 // applied), indices at or above it to delta elements.
 type OverlaySnap struct {
-	base *CSR
-	seq  uint64 // epoch number, ascending
-	gen  uint64 // highest mutation generation included
+	base  *CSR
+	seq   uint64 // epoch number, ascending
+	gen   uint64 // highest mutation generation included
+	batch uint64 // newest applied batch included (durable overlays)
 
 	baseN, baseE int // base index spans (node and edge high-water marks)
 
@@ -77,6 +78,7 @@ func (ov *Overlay) publishLocked() *OverlaySnap {
 		base:     w.base,
 		seq:      ov.seq,
 		gen:      ov.gen,
+		batch:    ov.batchSeq,
 		baseN:    w.base.NodeIndexSpan(),
 		baseE:    w.base.EdgeIndexSpan(),
 		nodes:    slices.Clone(w.nodes),

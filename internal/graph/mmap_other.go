@@ -2,7 +2,10 @@
 
 package graph
 
-import "errors"
+import (
+	"errors"
+	"os"
+)
 
 // mmapArena is unavailable off unix; the partitioned snapshot falls back
 // to heap-allocated arenas.
@@ -10,6 +13,12 @@ type mmapArena struct{}
 
 func newMmapArena(size int) (*mmapArena, error) {
 	return nil, errors.New("graph: mmap arenas unsupported on this platform")
+}
+
+// mapFileRO is unavailable off unix; checkpoint loading falls back to a
+// heap read of the file.
+func mapFileRO(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("graph: file mmap unsupported on this platform")
 }
 
 func (a *mmapArena) int32s(n int) []int32   { return make([]int32, n) }

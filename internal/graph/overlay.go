@@ -70,6 +70,15 @@ type Overlay struct {
 	compactThreshold int // delta size triggering background compaction; <=0 disables
 	compacting       bool
 	compactDone      *sync.Cond // signalled under mu when a compaction finishes
+
+	// Durability state (see durable.go); all zero on a plain in-memory
+	// overlay. batchSeq counts applied batches (each Apply is one WAL
+	// batch), baseBatch is the batch cut baked into w.base, replaying is
+	// true between OpenDurable and the end of Recover.
+	batchSeq  uint64
+	baseBatch uint64
+	replaying bool
+	dur       *durability
 }
 
 // OverlayOption configures an Overlay at construction.
@@ -280,6 +289,15 @@ func (ov *Overlay) Apply(b *Batch) error {
 	if err := ov.validateLocked(b); err != nil {
 		return err
 	}
+	// Log-then-publish: on a durable overlay the batch must be on disk
+	// (per the fsync policy) before any of it becomes visible. A failed
+	// append leaves the overlay on its previous epoch.
+	if ov.dur != nil {
+		if err := ov.dur.logBatchLocked(ov.batchSeq+1, ov.seq+1, b); err != nil {
+			return err
+		}
+	}
+	ov.batchSeq++
 	for i := range b.ops {
 		ov.gen++
 		ov.applyLocked(&b.ops[i])

@@ -52,6 +52,19 @@ type Config struct {
 	// requests wait in the admission semaphore until a slot frees or
 	// their deadline expires (default 8).
 	MaxConcurrent int
+	// MaxQueueDepth bounds the admission queue: once this many requests
+	// are already waiting for a slot, further ones fast-fail with 503 and
+	// a Retry-After header instead of stacking goroutines until their
+	// deadlines expire. 0 means unbounded (the pre-existing behavior).
+	MaxQueueDepth int
+	// StartRecovering makes the server boot not-ready: /healthz and
+	// /query answer 503 "recovering" until SetReady is called. gpmld sets
+	// it while a durable store replays its WAL, so load balancers keep
+	// the instance out of rotation until the graph is complete.
+	StartRecovering bool
+	// Durability, when set, is surfaced under /stats (WAL position,
+	// checkpoint cut, recovery summary). gpmld passes the durable store.
+	Durability graph.DurabilitySource
 	// DefaultTimeout bounds requests that set no timeout_ms; 0 means no
 	// deadline.
 	DefaultTimeout time.Duration
@@ -72,9 +85,12 @@ type Server struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	draining   atomic.Bool
+	ready      atomic.Bool
 
 	queries atomic.Uint64 // requests admitted to /query
 	rows    atomic.Uint64 // rows streamed across all requests
+	queued  atomic.Int32  // requests waiting in the admission queue
+	rejects atomic.Uint64 // requests fast-failed by the queue bound
 }
 
 // New builds a Server over a catalog of graphs.
@@ -107,12 +123,17 @@ func New(cfg Config) (*Server, error) {
 		rootCtx:    ctx,
 		rootCancel: cancel,
 	}
+	s.ready.Store(!cfg.StartRecovering)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
+
+// SetReady flips a StartRecovering server into service once its store
+// has finished replaying. Idempotent.
+func (s *Server) SetReady() { s.ready.Store(true) }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -131,13 +152,14 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // handlers return, letting Shutdown complete.
 func (s *Server) Abort() { s.rootCancel() }
 
-// OnEpochPublished is the overlay-store invalidation hook: a writer (or
-// a compaction observer) calls it with each newly published epoch number
-// and epoch-tagged cache entries older than it are dropped. Compiled
-// plans are epoch-independent (join ordering happens at stream time
-// against the pinned snapshot), so today this only touches entries other
-// layers stored with PutEpoch; the hook keeps the invalidation contract
-// in one place for when epoch-bound artifacts join the cache.
+// OnEpochPublished drops epoch-tagged cache entries older than seq.
+// Compiled plans are epoch-independent for ordinary publishes (join
+// ordering happens at stream time against the pinned snapshot), so this
+// is NOT a per-publish hook — calling it on every mutation would gut the
+// cache for no benefit. It exists for store-identity changes: after a
+// crash recovery or a store swap, call it with the new store's epoch
+// (graph.StoreEpoch) so plans prepared against the departed store are
+// re-resolved rather than served stale.
 func (s *Server) OnEpochPublished(seq uint64) int { return s.cache.InvalidateBelow(seq) }
 
 // queryRequest is the JSON body of /query and /explain.
@@ -239,8 +261,13 @@ type prepared struct {
 // prepare resolves a compiled query through the plan cache. The key is
 // the token-normalized text (whitespace, comments, literal spelling and
 // keyword case collapse) prefixed with the host mode, which changes
-// expression typing rules and therefore plan identity.
-func (s *Server) prepare(src string, gqlMode bool) (*gpml.Query, bool, error) {
+// expression typing rules and therefore plan identity. Entries are
+// tagged with the target store's current epoch so InvalidateBelow can
+// drop plans compiled against a superseded store — in particular, plans
+// cached before a crash-recovery swapped the store out from under the
+// server. Stores without an epoch notion tag 0, which InvalidateBelow
+// never touches.
+func (s *Server) prepare(st graph.Store, src string, gqlMode bool) (*gpml.Query, bool, error) {
 	mode := "core"
 	if gqlMode {
 		mode = "gql"
@@ -261,7 +288,7 @@ func (s *Server) prepare(src string, gqlMode bool) (*gpml.Query, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	s.cache.Put(key, prepared{q: q})
+	s.cache.PutEpoch(key, prepared{q: q}, graph.StoreEpoch(st))
 	return q, false, nil
 }
 
@@ -325,9 +352,46 @@ func mergeCancel(parent, other context.Context) (context.Context, context.Cancel
 	return ctx, func() { stop(); cancel() }
 }
 
+// admit reserves an evaluation slot, enforcing the queue bound. On true
+// the caller owns a slot and must release it with <-s.sem; on false a
+// 503 has already been written.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}: // free slot: no queueing at all
+		return true
+	default:
+	}
+	if max := s.cfg.MaxQueueDepth; max > 0 {
+		// Add-then-check keeps the bound exact under concurrent arrivals:
+		// whichever request pushes the count past max is the one bounced.
+		if n := s.queued.Add(1); int(n) > max {
+			s.queued.Add(-1)
+			s.rejects.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errorBody{Message: "admission queue full", Kind: "unavailable"})
+			return false
+		}
+	} else {
+		s.queued.Add(1)
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, errorBody{Message: "admission wait: " + ctx.Err().Error(), Kind: "unavailable"})
+		return false
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, errorBody{Message: "server is draining", Kind: "unavailable"})
+		return
+	}
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errorBody{Message: "server is recovering", Kind: "unavailable"})
 		return
 	}
 	req, st, params, ok := s.parseRequest(w, r)
@@ -339,17 +403,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: heavy work (compile included — a cache miss plans the
 	// query) waits for a slot so a burst degrades to queueing, not to a
-	// thundering herd of concurrent enumerations.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		writeError(w, http.StatusServiceUnavailable, errorBody{Message: "admission wait: " + ctx.Err().Error(), Kind: "unavailable"})
+	// thundering herd of concurrent enumerations — and the queue itself
+	// is bounded so a sustained overload fast-fails instead of parking
+	// one goroutine per excess request until deadlines fire.
+	if !s.admit(ctx, w) {
 		return
 	}
+	defer func() { <-s.sem }()
 	s.queries.Add(1)
 
-	q, cached, err := s.prepare(req.Query, req.GQL)
+	q, cached, err := s.prepare(st, req.Query, req.GQL)
 	if err != nil {
 		body := classify(err)
 		if d := gpml.Diagnostic(req.Query, err); d != "" {
@@ -476,7 +539,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q, cached, err := s.prepare(req.Query, req.GQL)
+	q, cached, err := s.prepare(st, req.Query, req.GQL)
 	if err != nil {
 		body := classify(err)
 		if d := gpml.Diagnostic(req.Query, err); d != "" {
@@ -498,12 +561,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /stats payload.
 type statsResponse struct {
-	Cache    qcache.Stats `json:"cache"`
-	HitRatio float64      `json:"hit_ratio"`
-	Queries  uint64       `json:"queries"`
-	Rows     uint64       `json:"rows"`
-	Graphs   []string     `json:"graphs"`
-	Draining bool         `json:"draining"`
+	Cache      qcache.Stats           `json:"cache"`
+	HitRatio   float64                `json:"hit_ratio"`
+	Queries    uint64                 `json:"queries"`
+	Rows       uint64                 `json:"rows"`
+	Graphs     []string               `json:"graphs"`
+	Draining   bool                   `json:"draining"`
+	Recovering bool                   `json:"recovering"`
+	QueueDepth int32                  `json:"queue_depth"`
+	Rejected   uint64                 `json:"rejected"`
+	Durability *graph.DurabilityStats `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -511,12 +578,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	names := s.cfg.Catalog.Names()
 	sort.Strings(names)
 	resp := statsResponse{
-		Cache:    cs,
-		HitRatio: cs.HitRatio(),
-		Queries:  s.queries.Load(),
-		Rows:     s.rows.Load(),
-		Graphs:   names,
-		Draining: s.draining.Load(),
+		Cache:      cs,
+		HitRatio:   cs.HitRatio(),
+		Queries:    s.queries.Load(),
+		Rows:       s.rows.Load(),
+		Graphs:     names,
+		Draining:   s.draining.Load(),
+		Recovering: !s.ready.Load(),
+		QueueDepth: s.queued.Load(),
+		Rejected:   s.rejects.Load(),
+	}
+	if s.cfg.Durability != nil {
+		ds := s.cfg.Durability.DurabilityStats()
+		resp.Durability = &ds
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
@@ -526,6 +600,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
 		return
 	}
 	fmt.Fprintln(w, "ok")

@@ -11,10 +11,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gpml"
 	"gpml/internal/dataset"
 	"gpml/internal/gql"
+	"gpml/internal/graph"
 	"gpml/internal/server"
 )
 
@@ -327,10 +329,11 @@ func TestStatsAndHealthz(t *testing.T) {
 }
 
 // The serving smoke scenario: concurrent parameterized queries against a
-// live overlay store while a writer publishes epochs (invoking the cache
-// invalidation hook). Run under -race in CI. Readers must never observe
-// an error: each query pins one epoch, and compiled plans are
-// epoch-independent.
+// live overlay store while a writer publishes epochs. Run under -race in
+// CI. Readers must never observe an error: each query pins one epoch,
+// and compiled plans survive ordinary publishes — the invalidation hook
+// is reserved for store-identity changes (recovery, store swap), so the
+// writer does NOT call it here and the hit ratio stays high.
 func TestConcurrentQueriesWithWriter(t *testing.T) {
 	ov := gpml.NewOverlay(gpml.Fig1())
 	catalog := gql.NewCatalog()
@@ -355,7 +358,6 @@ func TestConcurrentQueriesWithWriter(t *testing.T) {
 				errc <- fmt.Errorf("apply %d: %w", i, err)
 				return
 			}
-			srv.OnEpochPublished(ov.Snapshot().Seq())
 		}
 	}()
 
@@ -392,5 +394,263 @@ func TestConcurrentQueriesWithWriter(t *testing.T) {
 	st := srv.Cache().Stats()
 	if st.HitRatio() <= 0.9 {
 		t.Errorf("hit ratio %.2f under concurrency, want > 0.9", st.HitRatio())
+	}
+}
+
+// blockingStore gates full-scan enumeration behind a channel so tests
+// can hold evaluation slots occupied deterministically. entered receives
+// one token per scan that reached the gate.
+type blockingStore struct {
+	graph.Store
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingStore) Nodes(f func(*graph.Node) bool) {
+	b.entered <- struct{}{}
+	<-b.release
+	b.Store.Nodes(f)
+}
+
+func (b *blockingStore) NodesWithLabel(label string, f func(*graph.Node) bool) {
+	b.entered <- struct{}{}
+	<-b.release
+	b.Store.NodesWithLabel(label, f)
+}
+
+func getQueueDepth(t *testing.T, url string) int32 {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		QueueDepth int32 `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.QueueDepth
+}
+
+// With MaxConcurrent slots full and MaxQueueDepth waiters parked, the
+// next arrival must fast-fail 503 with a Retry-After header instead of
+// joining the queue; everything admitted still completes once unblocked.
+func TestAdmissionQueueBound(t *testing.T) {
+	bs := &blockingStore{
+		Store:   gpml.Snapshot(gpml.Fig1()),
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+	catalog := gql.NewCatalog()
+	if err := catalog.Register("slow", bs); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, server.Config{Catalog: catalog, MaxConcurrent: 2, MaxQueueDepth: 2})
+
+	raw, err := json.Marshal(map[string]any{"query": "MATCH (x:Account)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (*http.Response, error) {
+		return http.Post(ts.URL+"/query", "application/json", bytes.NewReader(raw))
+	}
+	statuses := make(chan int, 4)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := post()
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	for i := 0; i < 2; i++ { // both hold slots, blocked inside the scan
+		<-bs.entered
+	}
+	for i := 0; i < 2; i++ { // two more park in the admission queue
+		go func() {
+			resp, err := post()
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for getQueueDepth(t, ts.URL) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached 2 (now %d)", getQueueDepth(t, ts.URL))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Fifth arrival: queue is at capacity, must bounce immediately.
+	resp, err := post()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var e struct {
+		Error struct{ Message, Kind string } `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e.Error.Kind != "unavailable" || !strings.Contains(e.Error.Message, "queue full") {
+		t.Errorf("overflow error = %q %q", e.Error.Kind, e.Error.Message)
+	}
+
+	close(bs.release) // let the four admitted requests run to completion
+	for i := 0; i < 4; i++ {
+		if s := <-statuses; s != http.StatusOK {
+			t.Errorf("admitted request finished with status %d", s)
+		}
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Rejected   uint64 `json:"rejected"`
+		QueueDepth int32  `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Rejected != 1 || stats.QueueDepth != 0 {
+		t.Errorf("stats after drain: rejected %d queue %d, want 1/0", stats.Rejected, stats.QueueDepth)
+	}
+	_ = srv
+}
+
+// A StartRecovering server answers 503 "recovering" on /query and
+// /healthz until SetReady, then serves normally.
+func TestRecoveringGate(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{StartRecovering: true})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "recovering") {
+		t.Fatalf("healthz while recovering: %d %q", resp.StatusCode, body)
+	}
+	status, res := postQuery(t, ts.URL, map[string]any{"query": "MATCH (x:Account)"})
+	if status != http.StatusServiceUnavailable || res.errKind != "unavailable" || !strings.Contains(res.errMsg, "recovering") {
+		t.Fatalf("query while recovering: %d %q %q", status, res.errKind, res.errMsg)
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Recovering bool `json:"recovering"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !stats.Recovering {
+		t.Error("stats.recovering = false while not ready")
+	}
+
+	srv.SetReady()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after SetReady: %d", resp.StatusCode)
+	}
+	if status, res := postQuery(t, ts.URL, map[string]any{"query": "MATCH (x:Account)"}); status != http.StatusOK || res.errKind != "" {
+		t.Fatalf("query after SetReady: %d %s", status, res.errMsg)
+	}
+}
+
+// Regression: plans cached against a crash-recovered store must carry the
+// recovered (nonzero) epoch tag. If recovery restarted epochs at zero —
+// or prepare tagged zero — InvalidateBelow would never retire them and a
+// store swap could serve stale plans forever.
+func TestPlanCacheEpochAcrossRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ov, err := graph.OpenDurable(graph.DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("a%d", i)
+		b := ov.Begin().AddNode(gpml.NodeID(id), []string{"Account"}, map[string]gpml.Value{"isBlocked": gpml.Str("no")})
+		if err := ov.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ov.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart: the recovered store resumes at the pre-crash epoch.
+	ov2, err := graph.OpenDurable(graph.DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer ov2.CloseDurable()
+	epoch := graph.StoreEpoch(ov2)
+	if epoch == 0 {
+		t.Fatal("recovered store reports epoch 0")
+	}
+
+	catalog := gql.NewCatalog()
+	if err := catalog.Register("live", ov2); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, server.Config{Catalog: catalog})
+	q := map[string]any{"query": "MATCH (x:Account)"}
+	if status, res := postQuery(t, ts.URL, q); status != http.StatusOK || res.errKind != "" {
+		t.Fatalf("query against recovered store: %d %s", status, res.errMsg)
+	}
+
+	// The cached plan must be tagged with the recovered epoch: publish a
+	// newer one and the invalidation hook must drop exactly that entry.
+	b := ov2.Begin().AddNode("fresh", []string{"Account"}, nil)
+	if err := ov2.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	newEpoch := graph.StoreEpoch(ov2)
+	if newEpoch <= epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch, newEpoch)
+	}
+	if n := srv.OnEpochPublished(newEpoch); n != 1 {
+		t.Fatalf("InvalidateBelow(%d) dropped %d entries, want 1 (plan should be tagged %d)", newEpoch, n, epoch)
+	}
+	if _, res := postQuery(t, ts.URL, q); res.cached {
+		t.Error("query served from cache after invalidation, want recompile")
+	}
+	if _, res := postQuery(t, ts.URL, q); !res.cached {
+		t.Error("re-sent query missed the cache, want hit on the re-tagged plan")
 	}
 }

@@ -1,0 +1,416 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openT opens a log in dir, failing the test on error.
+func openT(t *testing.T, o Options) (*Log, RecoverInfo) {
+	t.Helper()
+	l, info, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, info
+}
+
+// appendN appends n one-op batches starting at seq start+1, with op
+// payloads that identify their batch.
+func appendN(t *testing.T, l *Log, start uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq := start + uint64(i) + 1
+		op := []byte(fmt.Sprintf("op-%d-payload", seq))
+		if err := l.Append(seq, seq*10, [][]byte{op, []byte("second")}); err != nil {
+			t.Fatalf("Append(%d): %v", seq, err)
+		}
+	}
+}
+
+// collect replays everything after `after` into (seq, epoch, op-count)
+// triples.
+func collect(t *testing.T, l *Log, after uint64) [][3]uint64 {
+	t.Helper()
+	var got [][3]uint64
+	err := l.Replay(after, func(seq, epoch uint64, ops [][]byte) error {
+		want := fmt.Sprintf("op-%d-payload", seq)
+		if string(ops[0]) != want {
+			t.Fatalf("batch %d first op = %q, want %q", seq, ops[0], want)
+		}
+		got = append(got, [3]uint64{seq, epoch, uint64(len(ops))})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info := openT(t, Options{Dir: dir})
+	if info.Batches != 0 || info.Segments != 0 {
+		t.Fatalf("fresh dir: %+v", info)
+	}
+	appendN(t, l, 0, 7)
+	got := collect(t, l, 0)
+	if len(got) != 7 {
+		t.Fatalf("replayed %d batches, want 7", len(got))
+	}
+	for i, g := range got {
+		if g[0] != uint64(i+1) || g[1] != g[0]*10 || g[2] != 2 {
+			t.Fatalf("batch %d: got %v", i, g)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, info := openT(t, Options{Dir: dir})
+	defer l2.Close()
+	if info.Batches != 7 || info.LastSeq != 7 || info.MaxEpoch != 70 || info.Truncated {
+		t.Fatalf("reopen: %+v", info)
+	}
+	if got := collect(t, l2, 3); len(got) != 4 || got[0][0] != 4 {
+		t.Fatalf("Replay(3) = %v", got)
+	}
+	// And appending continues from where the log left off.
+	appendN(t, l2, 7, 1)
+	if st := l2.Stats(); st.LastSeq != 8 {
+		t.Fatalf("LastSeq after reopen append = %d", st.LastSeq)
+	}
+}
+
+func TestAppendOutOfOrder(t *testing.T) {
+	l, _ := openT(t, Options{Dir: t.TempDir()})
+	defer l.Close()
+	appendN(t, l, 0, 2)
+	if err := l.Append(4, 0, nil); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if err := l.Append(2, 0, nil); err == nil {
+		t.Fatal("replayed seq accepted")
+	}
+}
+
+func TestSegmentRoll(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: 256})
+	appendN(t, l, 0, 20)
+	if n := len(segFiles(t, dir)); n < 2 {
+		t.Fatalf("expected multiple segments, got %d", n)
+	}
+	if got := collect(t, l, 0); len(got) != 20 {
+		t.Fatalf("replayed %d, want 20", len(got))
+	}
+	l.Close()
+	l2, info := openT(t, Options{Dir: dir, SegmentBytes: 256})
+	defer l2.Close()
+	if info.Batches != 20 || info.LastSeq != 20 {
+		t.Fatalf("reopen across segments: %+v", info)
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: 256})
+	defer l.Close()
+	appendN(t, l, 0, 20)
+	before := len(segFiles(t, dir))
+	if err := l.TruncateBefore(15); err != nil {
+		t.Fatal(err)
+	}
+	after := len(segFiles(t, dir))
+	if after >= before {
+		t.Fatalf("TruncateBefore removed nothing (%d -> %d segments)", before, after)
+	}
+	// Batches after the cut all survive.
+	got := collect(t, l, 15)
+	if len(got) != 5 || got[0][0] != 16 {
+		t.Fatalf("post-truncate Replay(15) = %v", got)
+	}
+	if st := l.Stats(); st.LastSeq != 20 {
+		t.Fatalf("LastSeq = %d", st.LastSeq)
+	}
+}
+
+func TestSetNextSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	defer l.Close()
+	l.SetNextSeq(42)
+	if err := l.Append(42, 420, [][]byte{[]byte("op-42-payload")}); err != nil {
+		t.Fatalf("Append(42) after SetNextSeq: %v", err)
+	}
+	// SetNextSeq never rewinds.
+	l.SetNextSeq(10)
+	if err := l.Append(43, 430, [][]byte{[]byte("op-43-payload")}); err != nil {
+		t.Fatalf("Append(43): %v", err)
+	}
+}
+
+// tailFile returns the newest segment's path and size.
+func tailFile(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	names := segFiles(t, dir)
+	if len(names) == 0 {
+		t.Fatal("no segments")
+	}
+	p := filepath.Join(dir, names[len(names)-1])
+	st, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, st.Size()
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int64{1, 3, 7} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openT(t, Options{Dir: dir})
+			appendN(t, l, 0, 5)
+			l.Close()
+			p, size := tailFile(t, dir)
+			// Cut into the last batch's bytes: a torn tail.
+			if err := os.Truncate(p, size-cut); err != nil {
+				t.Fatal(err)
+			}
+			l2, info := openT(t, Options{Dir: dir})
+			if !info.Truncated || info.TornBytes == 0 {
+				t.Fatalf("no repair reported: %+v", info)
+			}
+			if info.Batches != 4 || info.LastSeq != 4 {
+				t.Fatalf("committed prefix: %+v", info)
+			}
+			if got := collect(t, l2, 0); len(got) != 4 {
+				t.Fatalf("replayed %d, want 4", len(got))
+			}
+			l2.Close()
+			// Double reopen is idempotent: the repair already happened.
+			l3, info := openT(t, Options{Dir: dir})
+			defer l3.Close()
+			if info.Truncated || info.Batches != 4 {
+				t.Fatalf("second reopen not clean: %+v", info)
+			}
+		})
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 5)
+	l.Close()
+	p, _ := tailFile(t, dir)
+	// Flip a bit early in the file (inside the first batch's records);
+	// valid records follow, so this must be corruption, not a torn tail.
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[hdrSize+recHdrSize+3] ^= 0x10
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open = %v, want CorruptionError", err)
+	}
+}
+
+func TestFlippedLengthDoesNotSwallowLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 5)
+	l.Close()
+	p, _ := tailFile(t, dir)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow up the first record's length prefix so it claims to extend
+	// past EOF. Later records are intact, so recovery must refuse to
+	// treat this as a torn tail.
+	binary.LittleEndian.PutUint32(data[hdrSize:], 1<<27)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open = %v, want CorruptionError", err)
+	}
+}
+
+func TestHeaderOnlyAndShortSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 3)
+	l.Close()
+
+	// A header-only next segment (crash right after a roll).
+	var hdr [hdrSize]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint64(hdr[8:], 4)
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000004.seg"), hdr[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, info := openT(t, Options{Dir: dir})
+	if info.Batches != 3 {
+		t.Fatalf("header-only segment: %+v", info)
+	}
+	appendN(t, l2, 3, 1)
+	l2.Close()
+
+	// A sub-header tail segment (crash mid-creation) is deleted.
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000000000000ff.seg"), []byte("GPML"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, info := openT(t, Options{Dir: dir})
+	defer l3.Close()
+	if !info.Truncated || info.Batches != 4 {
+		t.Fatalf("short segment: %+v", info)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal-00000000000000ff.seg")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("short segment not removed")
+	}
+}
+
+func TestUncommittedBatchDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 3)
+	// Kill exactly at a record boundary inside batch 4: BEGIN and the op
+	// are fully written, the COMMIT never is.
+	st := l.Stats()
+	op := []byte("op-4-payload")
+	beginLen := int64(recHdrSize + 1 + len(binary.AppendUvarint(binary.AppendUvarint(nil, 4), 1)))
+	opLen := int64(recHdrSize + 1 + len(op))
+	l.Arm(Failpoint{Kind: FaultKill, Offset: st.Bytes + beginLen + opLen})
+	if err := l.Append(4, 40, [][]byte{op}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append under kill = %v", err)
+	}
+	if err := l.Append(5, 50, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead log accepted append: %v", err)
+	}
+	l.Close()
+	l2, info := openT(t, Options{Dir: dir})
+	defer l2.Close()
+	if info.Batches != 3 || !info.Truncated {
+		t.Fatalf("uncommitted batch surfaced: %+v", info)
+	}
+	if got := collect(t, l2, 0); len(got) != 3 {
+		t.Fatalf("replayed %d, want 3", len(got))
+	}
+}
+
+func TestFaultTruncateRewindsStream(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: 256})
+	appendN(t, l, 0, 3)
+	cut := l.Stats().Bytes // rewind to the end of batch 3
+	appendN(t, l, 3, 4)
+	l.Arm(Failpoint{Kind: FaultTruncate, Offset: cut, After: l.Stats().Bytes + 1})
+	if err := l.Append(8, 80, [][]byte{[]byte("op-8-payload")}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append under truncate fault = %v", err)
+	}
+	l.Close()
+	l2, info := openT(t, Options{Dir: dir, SegmentBytes: 256})
+	defer l2.Close()
+	if info.Batches != 3 || info.LastSeq != 3 {
+		t.Fatalf("after injected tail loss: %+v", info)
+	}
+}
+
+func TestFaultFlipDetectedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 2)
+	flipAt := l.Stats().Bytes + 12 // somewhere inside batch 3's records
+	l.Arm(Failpoint{Kind: FaultFlip, Offset: flipAt})
+	// The flip is silent: the writer stays alive and keeps acking.
+	appendN(t, l, 2, 3)
+	l.Close()
+	_, _, err := Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open after bit flip = %v, want CorruptionError", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			l, _ := openT(t, Options{Dir: t.TempDir(), Policy: pol, SyncEvery: time.Millisecond})
+			appendN(t, l, 0, 5)
+			if pol == SyncInterval {
+				time.Sleep(20 * time.Millisecond)
+			}
+			st := l.Stats()
+			if pol == SyncAlways && st.Syncs < 5 {
+				t.Fatalf("SyncAlways synced %d times", st.Syncs)
+			}
+			if pol == SyncInterval && st.Syncs == 0 {
+				t.Fatal("SyncInterval never synced")
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Sync(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Sync after Close = %v", err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "Interval": SyncInterval, " none ": SyncNone} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestSegmentSeqGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: 256})
+	appendN(t, l, 0, 20)
+	l.Close()
+	names := segFiles(t, dir)
+	if len(names) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(names))
+	}
+	// Deleting a middle segment leaves a sequence gap recovery must see.
+	if err := os.Remove(filepath.Join(dir, names[1])); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open with missing segment = %v, want CorruptionError", err)
+	}
+}
