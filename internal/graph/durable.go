@@ -190,12 +190,21 @@ func (ov *Overlay) Recover() (RecoveryStats, error) {
 	if ov.seq < info.MaxEpoch {
 		ov.seq = info.MaxEpoch
 	}
+	// The checkpoint cut can be newer than anything left in the WAL (a
+	// crash under fsync=interval/none loses acked batches the checkpoint
+	// already covered); SetNextSeq then resets the log so the next append
+	// opens a fresh segment instead of writing a sequence gap into the
+	// old one.
+	if err := log.SetNextSeq(ov.batchSeq + 1); err != nil {
+		ov.mu.Unlock()
+		log.Close()
+		return RecoveryStats{}, err
+	}
 	ov.replaying = false
 	d.ckptMu.Lock()
 	d.log = log
 	d.recovered = stats
 	d.ckptMu.Unlock()
-	log.SetNextSeq(ov.batchSeq + 1)
 	snap := ov.publishLocked()
 	ov.maybeCompactLocked(snap)
 	ov.mu.Unlock()

@@ -282,6 +282,68 @@ func TestApplyBeforeRecoverRejected(t *testing.T) {
 	}
 }
 
+func TestRecoverCheckpointAheadOfWAL(t *testing.T) {
+	// The fsync=interval/none crash where acked batches vanish from the
+	// WAL after a checkpoint already made them durable: the checkpoint
+	// cut exceeds the WAL's recovered last sequence. Recovery must reset
+	// the stale segments so the first post-recovery append doesn't write
+	// a batch-sequence gap that the NEXT open rejects as corruption.
+	dir := t.TempDir()
+	work := genWorkload(11, 6)
+	ov, _ := openRecovered(t, DurableOptions{Dir: dir, CompactThreshold: -1})
+	for _, ops := range work {
+		if err := ov.Apply(batchOf(ops)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ov.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ov.Snapshot())
+	if err := ov.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+	// Lose the unsynced WAL tail: tear the newest batch off the newest
+	// segment. The checkpoint still covers it.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("wal segments: %v (%v)", segs, err)
+	}
+	newest := segs[len(segs)-1]
+	st, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	ov2, stats := openRecovered(t, DurableOptions{Dir: dir, CompactThreshold: -1})
+	if stats.CheckpointBatch != uint64(len(work)) || stats.ReplayedBatches != 0 {
+		t.Fatalf("checkpoint-ahead recovery: %+v", stats)
+	}
+	if got := fingerprint(ov2.Snapshot()); got != want {
+		t.Fatal("recovered store differs from the checkpointed state")
+	}
+	if err := ov2.Apply((&Batch{}).AddNode("post-gap", []string{"Person"}, nil)); err != nil {
+		t.Fatalf("Apply after checkpoint-ahead recovery: %v", err)
+	}
+	want2 := fingerprint(ov2.Snapshot())
+	if err := ov2.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reopen that used to fail with a CorruptionError on the gap.
+	ov3, stats := openRecovered(t, DurableOptions{Dir: dir, CompactThreshold: -1})
+	defer ov3.CloseDurable()
+	if stats.ReplayedBatches != 1 {
+		t.Fatalf("replayed %d batches, want 1: %+v", stats.ReplayedBatches, stats)
+	}
+	if got := fingerprint(ov3.Snapshot()); got != want2 {
+		t.Fatal("post-gap batch lost across reopen")
+	}
+}
+
 func TestCheckpointAndWALTruncation(t *testing.T) {
 	dir := t.TempDir()
 	work := genWorkload(2, 30)

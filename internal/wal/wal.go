@@ -20,7 +20,9 @@
 // (non-last) segment is corruption and Open fails — data known committed
 // is missing, and serving a silent prefix would be a lie. In the last
 // segment an invalid record is a torn tail only if no valid record exists
-// anywhere after it (a forward byte-wise resync scan); the tail — and any
+// after it (a forward resync scan that skips the damaged record's own
+// declared body and requires candidates to chain to end-of-segment, so
+// payload bytes cannot impersonate records); the tail — and any
 // batch left without its COMMIT — is then physically truncated away, so
 // the log is always an exact committed prefix after Open. If valid
 // records do follow the damage, the middle of the log is corrupt (e.g. a
@@ -213,11 +215,12 @@ type Log struct {
 	syncs   uint64
 	dirty   bool
 
-	fp     *Failpoint
-	dead   bool
-	closed bool
-	stop   chan struct{}
-	done   chan struct{}
+	fp      *Failpoint
+	dead    bool
+	deadErr error // why the log died (ErrInjected, or the I/O error)
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
 }
 
 // Open scans the directory, repairs any torn tail, and returns a log
@@ -392,7 +395,7 @@ func parseSegment(data []byte, firstSeq uint64, last bool, name string) (batches
 		// it; anything else is mid-log corruption (a flipped length byte
 		// masquerading as EOF must not silently swallow the committed
 		// batches that follow it).
-		if !last || hasValidRecordAfter(data, p+1) {
+		if !last || hasValidRecordAfter(data, p) {
 			return nil, 0, &CorruptionError{Segment: name, Offset: p, Reason: reason}
 		}
 		tornAt = p
@@ -456,25 +459,59 @@ func parseSegment(data []byte, firstSeq uint64, last bool, name string) (batches
 	return batches, keep, nil
 }
 
-// hasValidRecordAfter reports whether any well-formed record starts at
-// any byte offset after from — the resync scan distinguishing a torn
-// tail (nothing valid follows) from mid-log corruption.
-func hasValidRecordAfter(data []byte, from int64) bool {
+// hasValidRecordAfter reports whether writer-emitted records follow the
+// invalid record at p — the resync scan distinguishing a torn tail
+// (nothing valid follows) from mid-log corruption. Two guards keep
+// caller-encoded op payloads inside the damaged record from
+// impersonating records: when the invalid record's declared body lies
+// within the segment (a CRC or type failure), the scan starts after that
+// body, since every byte of it is this record's own payload; and a
+// candidate only counts if records chain contiguously from it to the end
+// of the segment (at most the final one cut off mid-record), which a
+// frame embedded at a random payload offset essentially never does.
+func hasValidRecordAfter(data []byte, p int64) bool {
 	size := int64(len(data))
-	for c := from; c+recHdrSize <= size; c++ {
-		n := binary.LittleEndian.Uint32(data[c:])
-		if n == 0 || n > maxRecord || c+recHdrSize+int64(n) > size {
-			continue
+	start := p + 1
+	if size-p >= recHdrSize {
+		if n := binary.LittleEndian.Uint32(data[p:]); n >= 1 && n <= maxRecord && p+recHdrSize+int64(n) <= size {
+			start = p + recHdrSize + int64(n)
 		}
-		body := data[c+recHdrSize : c+recHdrSize+int64(n)]
-		if body[0] < rBegin || body[0] > rCommit {
-			continue
-		}
-		if crc32.Checksum(body, castagnoli) == binary.LittleEndian.Uint32(data[c+4:]) {
+	}
+	for c := start; c+recHdrSize <= size; c++ {
+		if chainsToEnd(data, c) {
 			return true
 		}
 	}
 	return false
+}
+
+// chainsToEnd reports whether a well-formed record starts at c and
+// records parse contiguously from there to the end of the segment. Only
+// the final record may be incomplete (header or body cut off at EOF);
+// any fully-contained invalid record mid-chain rejects the candidate.
+func chainsToEnd(data []byte, c int64) bool {
+	size := int64(len(data))
+	valid := false
+	for c < size {
+		if size-c < recHdrSize {
+			break // final header cut off at EOF
+		}
+		n := binary.LittleEndian.Uint32(data[c:])
+		if n == 0 || n > maxRecord {
+			return false
+		}
+		if c+recHdrSize+int64(n) > size {
+			break // final body cut off at EOF
+		}
+		body := data[c+recHdrSize : c+recHdrSize+int64(n)]
+		if body[0] < rBegin || body[0] > rCommit ||
+			crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[c+4:]) {
+			return false
+		}
+		valid = true
+		c += recHdrSize + int64(n)
+	}
+	return valid
 }
 
 func decodeBegin(p []byte) (seq uint64, nops int, ok bool) {
@@ -554,7 +591,7 @@ func (l *Log) Append(seq, epoch uint64, ops [][]byte) error {
 	case l.closed:
 		return ErrClosed
 	case l.dead:
-		return ErrInjected
+		return l.deadErr
 	case seq != l.lastSeq+1:
 		return fmt.Errorf("wal: batch %d out of order (last was %d)", seq, l.lastSeq)
 	}
@@ -584,9 +621,18 @@ func (l *Log) Append(seq, epoch uint64, ops [][]byte) error {
 			return err
 		}
 	}
+	// A failed or partial write mid-batch would leave garbage (or a
+	// headless batch prefix) that later successful appends bury in the
+	// middle of the segment, turning a runtime error into mid-log
+	// corruption at the next Open. Rewind the whole batch on any write
+	// error; if the rewind itself fails, the log is dead.
+	startOff, startSize := l.off, l.fsize
 	for _, rec := range recs {
 		if err := l.writeRecordLocked(rec); err != nil {
-			return err
+			if errors.Is(err, ErrInjected) {
+				return err
+			}
+			return l.rewindLocked(startOff, startSize, err)
 		}
 	}
 	l.lastSeq = seq
@@ -618,6 +664,33 @@ func (l *Log) writeRecordLocked(rec []byte) error {
 	return nil
 }
 
+// rewindLocked restores the file to the pre-batch state after a write
+// error: the file is truncated back to the last known-good offset and
+// the write position reset, so the failed batch leaves no trace and the
+// log can keep accepting appends. If the rewind itself fails the file
+// may hold garbage past the committed prefix, so the log is marked dead
+// — exactly as an injected crash would — and every later operation
+// reports why.
+func (l *Log) rewindLocked(off, fsize int64, cause error) error {
+	err := func() error {
+		if l.f == nil {
+			return errors.New("no active segment")
+		}
+		if terr := l.f.Truncate(fsize); terr != nil {
+			return terr
+		}
+		_, serr := l.f.Seek(fsize, io.SeekStart)
+		return serr
+	}()
+	if err != nil {
+		l.dead = true
+		l.deadErr = fmt.Errorf("wal: log dead: write failed (%v) and rewind failed: %w", cause, err)
+		return l.deadErr
+	}
+	l.off, l.fsize = off, fsize
+	return cause
+}
+
 // fireFaultLocked executes a one-shot injected fault during the write of
 // rec (which starts at stream offset l.off and file offset l.fsize).
 func (l *Log) fireFaultLocked(fp *Failpoint, rec []byte) error {
@@ -636,6 +709,7 @@ func (l *Log) fireFaultLocked(fp *Failpoint, rec []byte) error {
 		}
 		l.f.Sync()
 		l.dead = true
+		l.deadErr = ErrInjected
 		return ErrInjected
 	case FaultTruncate:
 		// The stream ran past Offset (acknowledging batches) and now the
@@ -644,6 +718,7 @@ func (l *Log) fireFaultLocked(fp *Failpoint, rec []byte) error {
 		l.f.Write(rec)
 		l.truncateStreamLocked(fp.Offset)
 		l.dead = true
+		l.deadErr = ErrInjected
 		return ErrInjected
 	case FaultFlip:
 		if _, err := l.f.Write(rec); err != nil {
@@ -725,17 +800,24 @@ func (l *Log) Sync() error {
 		return ErrClosed
 	}
 	if l.dead {
-		return ErrInjected
+		return l.deadErr
 	}
 	return l.syncLocked()
 }
 
+// syncLocked fsyncs the active segment. A failed fsync leaves the
+// durability of everything since the last successful one unknowable
+// (the kernel may have dropped the dirty pages while clearing the error),
+// so the log is marked dead rather than risking acknowledged batches
+// that a clean-looking disk no longer holds.
 func (l *Log) syncLocked() error {
 	if !l.dirty || l.f == nil {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		l.dead = true
+		l.deadErr = fmt.Errorf("wal: log dead after fsync error: %w", err)
+		return l.deadErr
 	}
 	l.dirty = false
 	l.syncs++
@@ -807,15 +889,44 @@ func (l *Log) Stats() Stats {
 	}
 }
 
-// SetNextSeq positions an empty log so the next Append must carry seq;
+// SetNextSeq positions the log so the next Append must carry seq;
 // recovery calls it when the checkpoint cut is newer than anything left
-// in the log. It never rewinds.
-func (l *Log) SetNextSeq(seq uint64) {
+// in the log (a crash under fsync=interval/none can lose acked batches
+// the checkpoint had already made durable). By calling it the caller
+// asserts every batch up to seq-1 is durable elsewhere. It never
+// rewinds. When the jump leaves existing segments behind — their newest
+// batch is below seq-1 — appending seq into them would write a
+// batch-sequence gap that the next Open rejects as corruption, so the
+// segments (fully covered by the caller's checkpoint) are deleted and
+// the next append starts a fresh segment whose header carries seq.
+func (l *Log) SetNextSeq(seq uint64) error {
 	l.mu.Lock()
-	if seq > 0 && l.lastSeq < seq-1 {
-		l.lastSeq = seq - 1
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
 	}
-	l.mu.Unlock()
+	if seq == 0 || l.lastSeq >= seq-1 {
+		return nil
+	}
+	if len(l.segs) > 0 {
+		if l.f != nil {
+			if err := l.f.Close(); err != nil {
+				return err
+			}
+			l.f = nil
+		}
+		for _, seg := range l.segs {
+			if err := os.Remove(filepath.Join(l.opts.Dir, seg.name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		l.segs = nil
+		l.fsize = 0
+		l.dirty = false
+		syncDir(l.opts.Dir)
+	}
+	l.lastSeq = seq - 1
+	return nil
 }
 
 // Close flushes and closes the log. Further operations return ErrClosed.

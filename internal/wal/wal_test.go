@@ -1,9 +1,11 @@
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -153,14 +155,42 @@ func TestSetNextSeq(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openT(t, Options{Dir: dir})
 	defer l.Close()
-	l.SetNextSeq(42)
+	if err := l.SetNextSeq(42); err != nil {
+		t.Fatal(err)
+	}
 	if err := l.Append(42, 420, [][]byte{[]byte("op-42-payload")}); err != nil {
 		t.Fatalf("Append(42) after SetNextSeq: %v", err)
 	}
 	// SetNextSeq never rewinds.
-	l.SetNextSeq(10)
+	if err := l.SetNextSeq(10); err != nil {
+		t.Fatal(err)
+	}
 	if err := l.Append(43, 430, [][]byte{[]byte("op-43-payload")}); err != nil {
 		t.Fatalf("Append(43): %v", err)
+	}
+}
+
+func TestSetNextSeqResetsStaleSegments(t *testing.T) {
+	// The checkpoint-ahead-of-WAL crash: batches 6..8 were made durable by
+	// a checkpoint but lost from the WAL (fsync=interval/none), so
+	// recovery jumps the sequence past a non-empty log. The stale
+	// segments must be reset — appending batch 9 directly after batch 5
+	// would write a sequence gap the next Open rejects as corruption.
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 5)
+	if err := l.SetNextSeq(9); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 8, 2)
+	l.Close()
+	l2, info := openT(t, Options{Dir: dir})
+	defer l2.Close()
+	if info.Batches != 2 || info.LastSeq != 10 {
+		t.Fatalf("reopen after sequence jump: %+v", info)
+	}
+	if got := collect(t, l2, 0); len(got) != 2 || got[0][0] != 9 {
+		t.Fatalf("Replay = %v", got)
 	}
 }
 
@@ -209,6 +239,102 @@ func TestTornTailTruncated(t *testing.T) {
 				t.Fatalf("second reopen not clean: %+v", info)
 			}
 		})
+	}
+}
+
+func TestTornPayloadEmbeddedFrameIsTornTail(t *testing.T) {
+	// A torn record whose partially-written payload happens to contain a
+	// well-formed record frame must still classify as a torn tail: the
+	// resync scan skips the torn record's declared body and requires
+	// candidates to chain to end-of-segment, so caller-encoded bytes
+	// can't turn a routine crash into an unrecoverable CorruptionError.
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 1)
+	embedded := encRecord(rCommit, []byte("payload-victim"))
+	op := append(append([]byte{}, embedded...), bytes.Repeat([]byte{0xFF}, 16)...)
+	if err := l.Append(2, 20, [][]byte{op}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	p, size := tailFile(t, dir)
+	// Cut 2 bytes into the end of batch 2's OP record body: the record
+	// header survives, the declared body runs past EOF, and the embedded
+	// frame sits whole inside the surviving bytes.
+	commitLen := int64(len(encRecord(rCommit, binary.AppendUvarint(binary.AppendUvarint(nil, 2), 20))))
+	if err := os.Truncate(p, size-commitLen-2); err != nil {
+		t.Fatal(err)
+	}
+	l2, info := openT(t, Options{Dir: dir})
+	defer l2.Close()
+	if !info.Truncated || info.Batches != 1 || info.LastSeq != 1 {
+		t.Fatalf("embedded frame misclassified the torn tail: %+v", info)
+	}
+}
+
+func TestWriteErrorRewind(t *testing.T) {
+	// A failed mid-batch write (ENOSPC-style partial write) must not
+	// leave garbage that later successful appends bury in the middle of
+	// the segment: the writer truncates back to the last good offset and
+	// the log keeps accepting batches.
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 3)
+	cause := errors.New("disk full")
+	l.mu.Lock()
+	if _, err := l.f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	err := l.rewindLocked(l.off, l.fsize, cause)
+	l.mu.Unlock()
+	if !errors.Is(err, cause) {
+		t.Fatalf("rewind returned %v, want the write error", err)
+	}
+	appendN(t, l, 3, 2)
+	l.Close()
+	l2, info := openT(t, Options{Dir: dir})
+	defer l2.Close()
+	if info.Batches != 5 || info.LastSeq != 5 || info.Truncated {
+		t.Fatalf("reopen after rewound write error: %+v", info)
+	}
+	if got := collect(t, l2, 0); len(got) != 5 {
+		t.Fatalf("replayed %d, want 5", len(got))
+	}
+}
+
+func TestWriteErrorUnrewindableMarksDead(t *testing.T) {
+	// When the rewind itself fails the file may hold garbage past the
+	// committed prefix, so the log must die rather than accept more
+	// appends after it; reopen still serves the committed prefix.
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	appendN(t, l, 0, 2)
+	l.mu.Lock()
+	good := l.f
+	ro, err := os.Open(good.Name())
+	if err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	if _, err := ro.Seek(0, io.SeekEnd); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.f = ro // writes (and the rewind's truncate) now fail
+	l.mu.Unlock()
+	if err := l.Append(3, 30, [][]byte{[]byte("x")}); err == nil {
+		t.Fatal("append through an unwritable file succeeded")
+	}
+	if err := l.Append(3, 30, [][]byte{[]byte("x")}); err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("dead log accepted another append: %v", err)
+	}
+	good.Close()
+	l.Close()
+	l2, info := openT(t, Options{Dir: dir})
+	defer l2.Close()
+	if info.Batches != 2 || info.LastSeq != 2 {
+		t.Fatalf("reopen after dead log: %+v", info)
 	}
 }
 
